@@ -1,0 +1,53 @@
+"""Extension bench: workload drift vs frozen oracles.
+
+§3 lists "a client's access distribution may change over time" among the
+sources of broadcast/client mismatch.  Here the client's hotspot rotates
+through its access range while the broadcast and the idealised policies'
+probability oracle stay frozen at the t=0 snapshot.
+
+Expected shape:
+
+* at zero drift the paper's ordering holds: PIX < P < LIX < LRU;
+* drift collapses the frozen *probability* signal but never the
+  frequency (cost) signal, so P falls hardest while PIX stays afloat on
+  its cost half;
+* once the hotspot moves at all, the implementable LIX — whose
+  estimator keeps re-learning the probabilities — overtakes the frozen
+  PIX ideal.  Adaptivity beats stale omniscience.
+"""
+
+from benchmarks.conftest import bench_seed, print_figure, run_once
+from repro.experiments.figures import drift_study
+
+
+def test_drift(benchmark):
+    data = run_once(
+        benchmark, drift_study, num_requests=10_000, seed=bench_seed()
+    )
+    print_figure(data)
+
+    pix = data.series["PIX"]
+    p_curve = data.series["P"]
+    lix = data.series["LIX"]
+    lru = data.series["LRU"]
+
+    # Static world: the paper's ordering.
+    assert pix[0] < p_curve[0] < lix[0] < lru[0]
+
+    # Drift hurts every policy relative to its static performance.
+    for series in (pix, p_curve, lix):
+        assert max(series[1:]) > series[0]
+
+    # The probability oracle decays hardest: P loses to PIX by an
+    # increasing margin under drift.
+    assert p_curve[2] / pix[2] > p_curve[0] / pix[0]
+
+    # The inversion: adaptive LIX beats frozen-oracle PIX at every
+    # non-zero drift rate tested.
+    for index in range(1, len(data.x_values)):
+        assert lix[index] < pix[index], data.x_values[index]
+
+    # LRU stays worst throughout — adaptivity alone is not enough
+    # without cost awareness.
+    for index in range(len(data.x_values)):
+        assert lru[index] > lix[index]

@@ -1,0 +1,89 @@
+"""Extension benches: the paper's future-work directions, measured.
+
+* **Bus Stop Paradox** (§2.1): flat / clustered-skewed / random /
+  multidisk on the same bandwidth allocation — multidisk must win.
+* **Broadcast shaping** (§2.2/§7 open problem): the analytic optimiser's
+  layout versus the paper's D1-D5 presets, cross-validated by
+  simulation.
+* **Prefetching** (§7): the PT rule versus demand-driven LIX/PIX.
+* **Policy zoo** (§5.5): LRU-K and 2Q — the cited "better LRU"
+  candidates — against LIX, showing recency tweaks alone do not close
+  the cost-awareness gap.
+"""
+
+from benchmarks.conftest import bench_seed, print_figure, run_once
+from repro.experiments.figures import (
+    bus_stop_paradox,
+    policy_zoo,
+    prefetch_comparison,
+    shaping_ablation,
+)
+
+
+def test_bus_stop_paradox(benchmark):
+    data = run_once(benchmark, bus_stop_paradox, seed=bench_seed())
+    print_figure(data)
+    delays = dict(zip(data.x_values, data.series["expected delay"]))
+    assert delays["multidisk"] < delays["skewed"]
+    assert delays["multidisk"] < delays["random"]
+    assert delays["multidisk"] < delays["flat"]
+    # Clustering and randomising are both strictly worse than fixed
+    # spacing for the same allocation (the paradox itself).
+    assert delays["skewed"] > delays["multidisk"]
+
+
+def test_broadcast_shaping(benchmark):
+    data = run_once(benchmark, shaping_ablation, seed=bench_seed())
+    print_figure(data)
+    analytic = dict(zip(data.x_values, data.series["analytic"]))
+    simulated = dict(zip(data.x_values, data.series["simulated"]))
+
+    # The optimiser's layout beats every preset analytically.
+    presets = [name for name in data.x_values if name != "optimised"]
+    assert analytic["optimised"] <= min(analytic[name] for name in presets)
+
+    # Simulation confirms the analytic model (no cache, no noise) for
+    # every layout.  The tolerance allows for think-time phase
+    # correlation: after a miss the client's clock is pinned to a slot
+    # boundary, so arrival phases are not perfectly uniform (strongest
+    # for D1, whose accessed pages share one 500-slot chunk).
+    for name in data.x_values:
+        assert abs(simulated[name] - analytic[name]) / analytic[name] < 0.20, name
+
+    # And the optimiser's win is real under simulation, not only on paper.
+    preset_simulated = [simulated[name] for name in presets]
+    assert simulated["optimised"] < min(preset_simulated)
+
+
+def test_prefetching(benchmark):
+    data = run_once(benchmark, prefetch_comparison, seed=bench_seed())
+    print_figure(data)
+    prefetch = data.series["PT prefetch"]
+    lix = data.series["demand LIX"]
+    pix = data.series["demand PIX"]
+
+    # Prefetching beats demand LIX everywhere — the broadcast installs
+    # valuable pages for free, no demand miss needed.
+    for index in range(len(data.x_values)):
+        assert prefetch[index] < lix[index], index
+    # Against the PIX *ideal* it is statistically tied: the steady PT
+    # rule (p x gap/2) ranks pages identically to P/X, so the two share
+    # a steady-state cache; prefetching only reaches it sooner.
+    assert sum(prefetch) < sum(pix) * 1.05
+
+
+def test_policy_zoo(benchmark):
+    data = run_once(benchmark, policy_zoo, seed=bench_seed())
+    print_figure(data)
+    response = dict(zip(data.x_values, data.series["response time"]))
+
+    # Cost-aware beats cost-blind: every frequency-aware policy (LIX,
+    # PIX) beats every recency-only policy (LRU, LRU-K, 2Q).
+    for aware in ("LIX", "PIX"):
+        for blind in ("LRU", "LRU-K", "2Q"):
+            assert response[aware] < response[blind], (aware, blind)
+
+    # The cited LRU improvements do help over plain LRU...
+    assert min(response["LRU-K"], response["2Q"]) < response["LRU"] * 1.1
+    # ...but none closes the gap to LIX.
+    assert response["LIX"] < 0.9 * min(response["LRU-K"], response["2Q"])

@@ -1,0 +1,48 @@
+"""Figure 10: P vs PIX with varying noise (Δ=3 and Δ=5, flat baseline).
+
+Expected shape (paper §5.4.1): P degrades faster than PIX and crosses
+the flat-disk line around Noise≈45%; PIX rises gradually and stays below
+flat across the whole noise range; P's Δ=5 curve is worse than its Δ=3
+curve (it fails to adapt to stronger skew), while PIX handles both.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure10
+from repro.experiments.reporting import summarize_crossovers
+
+
+def test_figure10(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure10, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    flat = data.series["Flat Δ=0"][0]
+    print(summarize_crossovers(data, reference=flat))
+
+    p3, p5 = data.series["P Δ=3"], data.series["P Δ=5"]
+    pix3, pix5 = data.series["PIX Δ=3"], data.series["PIX Δ=5"]
+
+    # PIX beats P wherever noise creates a probability/frequency tension
+    # (at 0% noise with Offset=CacheSize the two cache the same pages).
+    for p_curve, pix_curve in ((p3, pix3), (p5, pix5)):
+        for index, (p_value, pix_value) in enumerate(zip(p_curve, pix_curve)):
+            if data.x_values[index] == "0%":
+                assert pix_value <= p_value * 1.02
+            else:
+                assert pix_value < p_value
+
+    # PIX stays below the flat baseline throughout.
+    assert all(value < flat for value in pix3)
+    assert all(value < flat for value in pix5)
+
+    # P eventually becomes worse than the flat disk (the paper places the
+    # crossing near 45% noise).
+    assert p5[-1] > flat or p3[-1] > flat
+    crossing_index = next(
+        (index for index, value in enumerate(p5) if value > flat), None
+    )
+    assert crossing_index is not None and crossing_index >= 2  # not too early
+
+    # P degrades with higher delta under noise; PIX does not blow up.
+    assert p5[-1] > p3[-1]
+    assert pix5[-1] < flat

@@ -1,0 +1,34 @@
+"""Figure 11: access locations for P vs PIX (Noise=30%, Δ=3).
+
+Expected shape (paper §5.4.1): P has the higher cache-hit rate, but PIX
+obtains *fewer* pages from the slowest disk (and more from the fast
+disks) — "a lower cache hit rate does not mean lower response times in
+broadcast environments; the key is to reduce expected latency by caching
+important pages that reside on the slower disks."
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure11
+
+
+def test_figure11(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure11, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    locations = dict(zip(data.x_values, range(len(data.x_values))))
+    p = data.series["P"]
+    pix = data.series["PIX"]
+
+    # Each column distributes all accesses.
+    assert abs(sum(p) - 1.0) < 1e-9
+    assert abs(sum(pix) - 1.0) < 1e-9
+
+    # P caches harder...
+    assert p[locations["cache"]] >= pix[locations["cache"]]
+    # ...but PIX avoids the slowest disk.
+    assert pix[locations["disk3"]] < p[locations["disk3"]]
+    # PIX takes more from the two fast disks combined.
+    pix_fast = pix[locations["disk1"]] + pix[locations["disk2"]]
+    p_fast = p[locations["disk1"]] + p[locations["disk2"]]
+    assert pix_fast > p_fast

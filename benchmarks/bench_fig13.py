@@ -1,0 +1,39 @@
+"""Figure 13: sensitivity to Δ of LRU, L, LIX and the PIX ideal.
+
+D5, CacheSize=Offset=500, Noise=30%.  Expected shape (paper §5.5.1):
+LRU is worst and degrades as Δ grows; L does better at small Δ then
+degrades; LIX is a fraction of L's response time (the paper reports
+roughly 25-50%); PIX lower-bounds LIX by a modest margin.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure13
+
+
+def test_figure13(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure13, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    lru = data.series["LRU"]
+    l_curve = data.series["L"]
+    lix = data.series["LIX"]
+    pix = data.series["PIX"]
+
+    # Ordering at every skewed delta: PIX <= LIX < L < LRU.
+    for index in range(1, len(data.x_values)):
+        assert pix[index] <= lix[index] * 1.02, index
+        assert lix[index] < l_curve[index], index
+        assert l_curve[index] <= lru[index] * 1.05, index
+
+    # LRU consistently degrades as delta increases.
+    assert lru[-1] > lru[1]
+
+    # The frequency heuristic is what matters: LIX is well below L at
+    # moderate-to-high delta (paper: 25-50%; we accept < 85%).
+    for index in range(3, len(data.x_values)):
+        assert lix[index] < 0.85 * l_curve[index], index
+
+    # LIX tracks the PIX ideal within a small factor.
+    for index in range(1, len(data.x_values)):
+        assert lix[index] < pix[index] * 2.5, index

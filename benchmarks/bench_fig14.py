@@ -1,0 +1,34 @@
+"""Figure 14: page access locations for LRU, L and LIX (Δ=3, Noise=30%).
+
+Expected shape (paper §5.5.1): the three algorithms have roughly similar
+cache-hit rates, but LIX obtains a much smaller proportion of its pages
+from the slowest disk — that difference in distribution, not hit rate,
+drives the response-time results of Figure 13.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure14
+
+
+def test_figure14(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure14, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    index_of = {place: index for index, place in enumerate(data.x_values)}
+    lru = data.series["LRU"]
+    l_series = data.series["L"]
+    lix = data.series["LIX"]
+
+    # Roughly similar cache-hit rates (within 12 percentage points).
+    hits = [series[index_of["cache"]] for series in (lru, l_series, lix)]
+    assert max(hits) - min(hits) < 0.12
+
+    # LIX takes far fewer pages from the slowest disk.
+    disk3 = index_of["disk3"]
+    assert lix[disk3] < lru[disk3] * 0.75
+    assert lix[disk3] < l_series[disk3] * 0.85
+
+    # Each column distributes all accesses.
+    for series in (lru, l_series, lix):
+        assert abs(sum(series) - 1.0) < 1e-9

@@ -1,0 +1,33 @@
+"""Figure 15: LRU vs L vs LIX with varying noise at Δ=3.
+
+Expected shape (paper §5.5.1): L performs only somewhat better than LRU;
+LIX degrades with noise, as expected, but outperforms both across the
+entire noise range — the frequency-based heuristic keeps paying off even
+when the broadcast disagrees with the client.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure15
+
+
+def test_figure15(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure15, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    lru = data.series["LRU"]
+    l_curve = data.series["L"]
+    lix = data.series["LIX"]
+
+    # LIX wins across the entire noise range.
+    for index in range(len(data.x_values)):
+        assert lix[index] < l_curve[index], index
+        assert lix[index] < lru[index], index
+
+    # L is at most a modest improvement over LRU (the paper: "only
+    # somewhat better").
+    for index in range(len(data.x_values)):
+        assert l_curve[index] <= lru[index] * 1.10, index
+
+    # Noise degrades LIX too — it shields, it does not immunise.
+    assert lix[-1] > lix[0]

@@ -1,0 +1,48 @@
+"""Figure 5: client response time vs Δ, CacheSize=1, Noise=0%.
+
+Expected shape (paper §5.1):
+
+* at Δ=0 every configuration sits at the flat-disk 2500 bu;
+* every configuration improves on flat once Δ >= 1;
+* D4⟨300,1200,3500⟩ is the best configuration across the range and
+  reaches roughly one-third of the flat response time at Δ=7;
+* D1⟨500,4500⟩ bottoms out at moderate Δ then degrades;
+* D2⟨900,4100⟩ keeps improving across the studied range;
+* D3⟨2500,2500⟩ is the worst two-disk configuration;
+* D5⟨500,2000,2500⟩ beats its two-disk counterpart D3.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure5
+
+FLAT = 2500.0
+
+
+def test_figure5(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure5, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    series = {name.split("<")[0]: values for name, values in data.series.items()}
+
+    # Delta 0 is the flat disk for every configuration.
+    for name, values in series.items():
+        assert abs(values[0] - FLAT) / FLAT < 0.05, (name, values[0])
+
+    # Everybody beats flat at delta >= 2.
+    for name, values in series.items():
+        assert all(value < FLAT for value in values[2:]), name
+
+    # D4 is the best configuration at the high end...
+    finals = {name: values[-1] for name, values in series.items()}
+    assert min(finals, key=finals.get) == "D4"
+    # ...reaching roughly one third of flat.
+    assert 0.2 < finals["D4"] / FLAT < 0.45
+
+    # D3 is the worst two-disk configuration at moderate skew.
+    at_delta4 = {name: values[4] for name, values in series.items()}
+    assert at_delta4["D3"] > at_delta4["D1"]
+    assert at_delta4["D3"] > at_delta4["D2"]
+
+    # D5 beats its two-disk counterpart D3.
+    assert at_delta4["D5"] < at_delta4["D3"]

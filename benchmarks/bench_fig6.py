@@ -1,0 +1,33 @@
+"""Figure 6: noise sensitivity of D3⟨2500,2500⟩, CacheSize=1.
+
+Expected shape (paper §5.2): every noise level degrades with Δ relative
+to the 0%-noise curve, and at high noise the multi-disk configuration
+can perform *worse* than the flat disk — without a cache, the broadcast
+must fit the client's needs to pay off.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import summarize_crossovers
+
+FLAT = 2500.0
+
+
+def test_figure6(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure6, num_requests=num_requests, seed=seed)
+    print_figure(data)
+    print(summarize_crossovers(data, reference=FLAT))
+
+    quiet = data.series["Noise 0%"]
+    noisy = data.series["Noise 75%"]
+
+    # Noise hurts at every skewed delta.
+    for index in range(1, len(data.x_values)):
+        assert noisy[index] > quiet[index]
+
+    # At zero noise the multi-disk beats flat for delta >= 1.
+    assert all(value < FLAT for value in quiet[1:])
+
+    # At 75% noise the high-delta end is at or above the flat disk.
+    assert noisy[-1] > FLAT * 0.95

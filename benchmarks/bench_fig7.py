@@ -1,0 +1,34 @@
+"""Figure 7: noise sensitivity of D5⟨500,2000,2500⟩, CacheSize=1.
+
+Same protocol as Figure 6 on the three-disk configuration.  Expected
+shape: performance degrades with noise; the 0%-noise curve keeps the
+full multi-disk win.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import summarize_crossovers
+
+FLAT = 2500.0
+
+
+def test_figure7(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure7, num_requests=num_requests, seed=seed)
+    print_figure(data)
+    print(summarize_crossovers(data, reference=FLAT))
+
+    quiet = data.series["Noise 0%"]
+    noisy = data.series["Noise 75%"]
+
+    # Degradation with noise at a moderate delta (index 3): the widely
+    # separated noise levels must order correctly (adjacent levels can
+    # swap within sampling error).
+    at_delta3 = {n: data.series[f"Noise {n}%"][3] for n in (0, 30, 75)}
+    assert at_delta3[0] < at_delta3[30] < at_delta3[75]
+
+    # Quiet curve beats flat everywhere past delta 0.
+    assert all(value < FLAT for value in quiet[1:])
+
+    # Noise erodes most of the benefit at the high end.
+    assert noisy[-1] > quiet[-1] * 1.5

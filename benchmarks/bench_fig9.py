@@ -1,0 +1,36 @@
+"""Figure 9: the idealised PIX policy under noise.
+
+Same setting as Figure 8 with cost-based replacement.  Expected shape
+(paper §5.4.1): PIX insulates the client — response time still degrades
+with noise, but stays *below* the corresponding flat-disk performance
+for every noise level and Δ studied, and flattens out as Δ grows instead
+of blowing up the way P does.
+"""
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import figure9
+from repro.experiments.reporting import summarize_crossovers
+
+
+def test_figure9(benchmark, paper_scale):
+    num_requests, seed = paper_scale
+    data = run_once(benchmark, figure9, num_requests=num_requests, seed=seed)
+    print_figure(data)
+
+    quiet = data.series["Noise 0%"]
+    flat_with_cache = quiet[0]
+    print(f"flat-disk baseline with PIX cache: {flat_with_cache:.0f} bu")
+    print(summarize_crossovers(data, reference=flat_with_cache))
+
+    # The paper's headline claim: PIX stays better than flat for ALL
+    # noise values and deltas in the experiment.
+    for name, values in data.series.items():
+        assert all(value <= flat_with_cache * 1.02 for value in values), name
+
+    # Noise still costs something (ordering at delta 3).
+    assert data.series["Noise 0%"][3] < data.series["Noise 75%"][3]
+
+    # Stability: past delta 2 the curves do not blow up (within 35% of
+    # their delta-2 value), unlike P under noise.
+    for name, values in data.series.items():
+        assert max(values[2:]) < values[2] * 1.35 + 50, name

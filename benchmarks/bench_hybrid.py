@@ -1,0 +1,57 @@
+"""Extension bench: hybrid push/pull population scaling.
+
+The §6 future-work question — what does a low-bandwidth upstream buy? —
+answered by simulation.  The server reserves every 2nd slot for a pull
+queue; clients pull when the push wait exceeds a threshold and take
+whichever delivery lands first.
+
+Expected shape:
+
+* push-only response is population-independent (broadcast scalability);
+* a lone client with a pull path gets near-on-demand latency
+  (orders of magnitude below push);
+* as the population grows, pull-queue contention erodes the win until
+  the hybrid falls *behind a dedicated push channel* — the reserved
+  pull bandwidth costs more than it delivers.  Push scales; pull
+  doesn't.  That crossover is the architectural argument for broadcast
+  disks in one picture.
+"""
+
+from benchmarks.conftest import bench_seed, print_figure, run_once
+from repro.hybrid.study import hybrid_population_study
+
+POPULATIONS = (1, 8, 32, 128, 256)
+
+
+def test_hybrid_population_scaling(benchmark):
+    data = run_once(
+        benchmark,
+        hybrid_population_study,
+        populations=POPULATIONS,
+        requests_per_client=150,
+        pull_spacing=2,
+        seed=bench_seed(),
+    )
+    print_figure(data)
+
+    dedicated = data.series["dedicated push"]
+    push_only = data.series["push only"]
+    hybrid = data.series["push + pull"]
+
+    # Push latency is population-independent (within sampling error).
+    assert max(dedicated) / min(dedicated) < 1.15
+    assert max(push_only) / min(push_only) < 1.15
+
+    # Reserving half the slots for pulls stretches pure push ~2x.
+    for stretched, pure in zip(push_only, dedicated):
+        assert stretched > pure * 1.5
+
+    # A lone client's pulls are transformative.
+    assert hybrid[0] < dedicated[0] / 10
+
+    # Contention erodes the win monotonically with population...
+    assert all(b > a for a, b in zip(hybrid, hybrid[1:]))
+
+    # ...until the hybrid loses to a dedicated push channel.
+    assert hybrid[-1] > dedicated[-1]
+    assert hybrid[0] < dedicated[0]

@@ -1,0 +1,73 @@
+"""Extension bench: (1, m) indexing on air — tuning vs access tradeoff.
+
+The paper's clients listen continuously while waiting (tuning time =
+access time).  The [Imie94b] (1, m) organisation the paper cites (§6)
+and plans to integrate (§7) buys orders-of-magnitude less listening —
+the battery budget — for a bounded increase in latency.
+
+Expected shape:
+
+* tuning time collapses from ~cycle/2 to tree-depth + 2 buckets
+  (constant in m);
+* access time has an interior minimum in m near the analytic
+  ``m* = sqrt(Data/Index)``;
+* the simulated access curve tracks the closed-form model.
+"""
+
+from benchmarks.conftest import bench_seed, print_figure, run_once
+from repro.experiments.figures import indexing_tradeoff
+from repro.index.analysis import no_index_expectations, optimal_m
+
+DATA_BUCKETS = 1000
+FANOUT = 8
+
+
+def test_indexing_tradeoff(benchmark):
+    data = run_once(
+        benchmark,
+        indexing_tradeoff,
+        num_data_buckets=DATA_BUCKETS,
+        fanout=FANOUT,
+        seed=bench_seed(),
+    )
+    print_figure(data)
+
+    flat = no_index_expectations(DATA_BUCKETS)
+    access = data.series["access (sim)"]
+    analytic = data.series["access (analytic)"]
+    tuning = data.series["tuning (sim)"]
+
+    # Tuning collapses by >25x versus continuous listening, for every m.
+    assert all(value < flat["tuning"] / 25 for value in tuning)
+
+    # Tuning is (nearly) constant in m: replication buys latency only.
+    assert max(tuning) - min(tuning) < 0.5
+
+    # Access pays a bounded premium over the unindexed carousel.
+    assert all(value < flat["access"] * 4 for value in access)
+
+    # Interior access minimum near the analytic optimum.
+    best_m = data.x_values[access.index(min(access))]
+    assert abs(best_m - optimal_m(DATA_BUCKETS, FANOUT)) <= 2
+
+    # Simulation tracks the closed form within the wrap-bias tolerance.
+    for simulated, model in zip(access, analytic):
+        assert abs(simulated - model) / model < 0.15
+
+
+def test_indexed_multidisk_integration(benchmark):
+    """§7's integration: the multidisk win survives the index detour."""
+    from repro.experiments.figures import indexed_multidisk_study
+
+    data = run_once(benchmark, indexed_multidisk_study, seed=bench_seed())
+    print_figure(data)
+
+    access = dict(zip(data.x_values, data.series["access (bu)"]))
+    tuning = dict(zip(data.x_values, data.series["tuning (bu)"]))
+    flat_name = "flat + (1,3) index"
+    multi_name = "multidisk + (1,8) index"
+
+    # Same selective-tuning cost...
+    assert abs(tuning[multi_name] - tuning[flat_name]) < 0.5
+    # ...meaningfully better access under the skewed workload.
+    assert access[multi_name] < 0.85 * access[flat_name]

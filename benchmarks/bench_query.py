@@ -1,0 +1,37 @@
+"""Extension bench: query processing over the broadcast (§7).
+
+A query needing k pages should harvest them in arrival order, not fetch
+them one by one.  Expected shape:
+
+* opportunistic makespan stays below one broadcast cycle for any k and
+  tracks the closed form P*k/(k+1);
+* sequential grows linearly (~ k*P/2);
+* the speedup is (k+1)/2 — a 16-page form fills ~8x faster.
+"""
+
+from benchmarks.conftest import bench_seed, print_figure, run_once
+from repro.experiments.figures import query_study
+
+NUM_PAGES = 500
+
+
+def test_query_processing(benchmark):
+    data = run_once(benchmark, query_study, seed=bench_seed(),
+                    num_pages=NUM_PAGES)
+    print_figure(data)
+
+    sequential = dict(zip(data.x_values, data.series["sequential"]))
+    opportunistic = dict(zip(data.x_values, data.series["opportunistic"]))
+    analytic = dict(zip(data.x_values, data.series["opportunistic (analytic)"]))
+
+    for k in data.x_values:
+        # Opportunistic never needs more than one cycle...
+        assert opportunistic[k] < NUM_PAGES + 1
+        # ...and tracks the closed form.
+        assert abs(opportunistic[k] - analytic[k]) / analytic[k] < 0.08
+        # Sequential pays per page.
+        assert sequential[k] >= opportunistic[k] - 1e-9
+
+    # The speedup grows like (k+1)/2.
+    speedup_16 = sequential[16] / opportunistic[16]
+    assert 6.5 < speedup_16 < 10.5

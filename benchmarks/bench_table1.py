@@ -1,0 +1,35 @@
+"""Table 1: expected delay of the Figure 2 example programs.
+
+Paper values (broadcast units):
+
+    Access Probabilities      Flat(a)   Skewed(b)   Multi-disk(c)
+    0.333 / 0.333 / 0.333      1.50       1.75         1.67
+    0.50  / 0.25  / 0.25       1.50       1.625        1.50
+    0.75  / 0.125 / 0.125      1.50       1.4375       1.25
+    0.90  / 0.05  / 0.05       1.50       1.325        1.10
+    1.00  / 0.00  / 0.00       1.50       1.25         1.00
+
+Being closed-form, the reproduction must match these exactly.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, run_once
+from repro.experiments.figures import table1
+
+
+def test_table1(benchmark):
+    data = run_once(benchmark, table1)
+    print_figure(data)
+
+    flat = data.series["flat"]
+    skewed = data.series["skewed"]
+    multidisk = data.series["multidisk"]
+    # Exact agreement with the published table.
+    assert flat == pytest.approx([1.50] * 5)
+    assert skewed == pytest.approx([1.75, 1.625, 1.4375, 1.325, 1.25])
+    assert multidisk == pytest.approx([5 / 3, 1.50, 1.25, 1.10, 1.00])
+    # The three qualitative points §2.1 draws from the table.
+    assert flat[0] < skewed[0] and flat[0] < multidisk[0]
+    assert all(m < s for m, s in zip(multidisk, skewed))
+    assert multidisk[-1] < flat[-1]

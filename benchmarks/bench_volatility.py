@@ -1,0 +1,51 @@
+"""Extension bench: volatile broadcast data and invalidation reports.
+
+The §7 what-if, measured.  Pages update periodically (random phase);
+the client either ignores updates (fast but increasingly stale) or
+listens to an invalidation report every 1000 broadcast units and
+discards named pages (fresh but paying re-fetch misses).
+
+Expected shape:
+
+* without reports, the stale-read fraction grows monotonically with
+  volatility while response time is unaffected (staleness is free);
+* with reports, staleness collapses to (at most) the report-window
+  residue, but response time climbs with volatility — and at extreme
+  volatility approaches the *no-cache* level for this broadcast, which
+  is especially bad here because Offset=CacheSize shaped the broadcast
+  assuming the hot pages stayed cached.  Consistency, latency, and
+  broadcast shaping are coupled decisions.
+"""
+
+from benchmarks.conftest import bench_seed, print_figure, run_once
+from repro.experiments.figures import volatility_study
+
+
+def test_volatility(benchmark):
+    data = run_once(benchmark, volatility_study, seed=bench_seed())
+    print_figure(data)
+
+    stale_without = data.series["stale frac (no reports)"]
+    stale_with = data.series["stale frac (reports)"]
+    response_without = data.series["response (no reports)"]
+    response_with = data.series["response (reports)"]
+
+    # x runs from the least to the most volatile setting.
+    assert all(
+        later >= earlier - 0.02
+        for earlier, later in zip(stale_without, stale_without[1:])
+    )
+    assert stale_without[-1] > 0.5  # high volatility: mostly stale reads
+
+    # Reports bound staleness to a small residue at every volatility.
+    for with_reports, without in zip(stale_with, stale_without):
+        assert with_reports < 0.05
+        assert with_reports < without
+
+    # Ignoring updates costs nothing in latency...
+    assert max(response_without) - min(response_without) < 1e-6
+    # ...while consistency costs latency, increasingly with volatility.
+    assert all(
+        w >= wo for w, wo in zip(response_with, response_without)
+    )
+    assert response_with[-1] > response_with[0]

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""A wireless field-service fleet sharing one broadcast (multi-client).
+
+Scenario (paper §1.1: "wireless networks with stationary base stations
+and mobile clients"): a base station broadcasts a 700-page manual +
+work-order database to a fleet of field technicians' handhelds.  The
+server shapes the broadcast for the *average* technician, but individual
+technicians differ:
+
+* most are "aligned" — their hot pages match the server's ranking;
+* a specialist cares about different pages, so from their point of view
+  the server's ranking is half wrong (modelled as 50% mapping noise:
+  many of their hot pages ride slow disks);
+* handhelds have small caches, and the point of the exercise is that a
+  cost-based cache (LIX) rescues the mismatched client where plain LRU
+  cannot.
+
+The example runs all clients concurrently on the process-oriented
+discrete-event engine and demonstrates the broadcast's headline scaling
+property: adding clients costs nothing.
+
+Run::
+
+    python examples/mobile_field_service.py
+"""
+
+from repro.cache.base import PolicyContext
+from repro.cache.registry import make_policy
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.experiments.simengine import ClientSpec, run_clients
+from repro.sim.rng import RandomStreams
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import generate_trace
+from repro.workload.zipf import ZipfRegionDistribution
+
+DB_PAGES = 700
+ACCESS_RANGE = 140
+CACHE_PAGES = 35
+REQUESTS = 2_500
+
+
+def make_client(
+    name: str,
+    layout: DiskLayout,
+    schedule,
+    policy_name: str,
+    streams: RandomStreams,
+    mapping: LogicalPhysicalMapping,
+    trace=None,
+) -> ClientSpec:
+    """Wire up one technician: workload, mapping, cache policy."""
+    distribution = ZipfRegionDistribution(
+        access_range=ACCESS_RANGE, region_size=10, theta=0.95
+    )
+    probabilities = distribution.probabilities()
+    context = PolicyContext(
+        probability=lambda page: (
+            float(probabilities[page]) if page < ACCESS_RANGE else 0.0
+        ),
+        frequency=lambda page: schedule.frequency(mapping.to_physical(page)),
+        disk_of=lambda page: layout.disk_of_page(mapping.to_physical(page)),
+        num_disks=layout.num_disks,
+    )
+    # Steady-state protocol: warm up (cache fill + 2x the measured
+    # length) before measuring, like the paper's §5.
+    return ClientSpec(
+        mapping=mapping,
+        cache=make_policy(policy_name, CACHE_PAGES, context),
+        trace=trace if trace is not None else generate_trace(
+            distribution, 4 * REQUESTS, streams.stream(f"requests-{name}")
+        ),
+        think_time=2.0,
+        extra_warmup=2 * REQUESTS,
+        name=name,
+    )
+
+
+def main() -> None:
+    # The base station shapes a 3-disk broadcast for the average client.
+    layout = DiskLayout.from_delta((70, 210, 420), delta=3)
+    schedule = multidisk_program(layout)
+    streams = RandomStreams(99)
+
+    print("Field-service broadcast", layout.describe(),
+          f"(period {schedule.period} units)")
+    print("fleet: 6 aligned technicians, 1 specialist "
+          "(50% of their hot pages mis-ranked by the server)\n")
+
+    aligned_mapping = LogicalPhysicalMapping(layout)
+    # The specialist's mismatch: half their hot pages mis-ranked.  Built
+    # once so the LRU and LIX runs face the identical broadcast reality.
+    specialist_mapping = LogicalPhysicalMapping(
+        layout,
+        noise=0.5,
+        rng=streams.stream("specialist-noise"),
+        noise_scope=ACCESS_RANGE,
+    )
+
+    specs = []
+    # Aligned technicians: LRU caches, interests match the broadcast.
+    for index in range(6):
+        specs.append(
+            make_client(f"tech-{index}", layout, schedule, "LRU",
+                        streams, aligned_mapping)
+        )
+    # The specialist, twice: once with LRU, once with cost-based LIX.
+    # One request trace, used by both: a paired LRU/LIX comparison.
+    specialist_trace = generate_trace(
+        ZipfRegionDistribution(ACCESS_RANGE, 10, 0.95),
+        4 * REQUESTS,
+        streams.stream("requests-specialist"),
+    )
+    specs.append(make_client("specialist-LRU", layout, schedule, "LRU",
+                             streams, specialist_mapping,
+                             trace=specialist_trace))
+    specs.append(make_client("specialist-LIX", layout, schedule, "LIX",
+                             streams, specialist_mapping,
+                             trace=specialist_trace))
+
+    reports = run_clients(schedule, layout, specs)
+
+    print(f"{'client':<16}{'response (bu)':>14}{'hit rate':>10}")
+    print("-" * 40)
+    for spec, report in zip(specs, reports):
+        print(f"{spec.name:<16}{report.mean_response_time:>14.1f}"
+              f"{report.counters.hit_rate:>10.1%}")
+
+    aligned = [
+        report.mean_response_time
+        for spec, report in zip(specs, reports)
+        if spec.name.startswith("tech-")
+    ]
+    by_name = {
+        spec.name: report.mean_response_time
+        for spec, report in zip(specs, reports)
+    }
+    print()
+    average = sum(aligned) / len(aligned)
+    print(f"aligned fleet average        : {average:.1f} bu")
+    print(f"specialist penalty with LRU  : "
+          f"{by_name['specialist-LRU'] / average:.2f}x")
+    print(f"specialist penalty with LIX  : "
+          f"{by_name['specialist-LIX'] / average:.2f}x")
+    print()
+    print("The broadcast served the whole fleet at once (no contention), "
+          "and the cost-based LIX cache recovers a large part of the "
+          "mismatch penalty for the specialist — the paper's §3 argument "
+          "in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Designing a broadcast for a stock-ticker dissemination service.
+
+Scenario (from the paper's §1.1 motivation: "information dispersal
+systems for volatile, time-sensitive information such as stock prices"):
+a feed provider broadcasts quote pages for 2,000 instruments over a
+satellite downlink.  Interest is heavily skewed — a handful of tickers
+account for most lookups — and the provider wants to choose the number
+of disks, the partitioning, and the relative spin speeds.
+
+This example shows the broadcast *design* workflow:
+
+1. model the measured popularity histogram,
+2. let the optimiser search partitionings and speeds against the exact
+   analytic delay model,
+3. compare the result with naive designs (flat disk, a hand-built
+   2-disk split), including the square-root-rule lower bound,
+4. validate the winner by simulation.
+
+Run::
+
+    python examples/stock_ticker.py
+"""
+
+import numpy as np
+
+from repro import DiskLayout, ExperimentConfig, run_experiment
+from repro.core.analysis import (
+    flat_expected_delay,
+    multidisk_expected_delay,
+    sqrt_rule_lower_bound,
+)
+from repro.core.optimizer import optimize_layout
+
+NUM_INSTRUMENTS = 2_000
+REGION = 50  # popularity plateaus: instruments are ranked in blocks of 50
+
+
+def measured_popularity() -> dict:
+    """A Zipf-like popularity histogram over ranked instruments.
+
+    Block r of 50 instruments receives weight (1/r)^1.1 — a long-tailed
+    profile typical of quote-lookup traffic.
+    """
+    ranks = np.arange(1, NUM_INSTRUMENTS // REGION + 1)
+    block_weights = (1.0 / ranks) ** 1.1
+    per_page = np.repeat(block_weights / REGION, REGION)
+    per_page = per_page / per_page.sum()
+    return {page: float(p) for page, p in enumerate(per_page)}
+
+
+def main() -> None:
+    popularity = measured_popularity()
+
+    # ------------------------------------------------------------------
+    # Baselines: flat broadcast, and a hand-built "hot 10% fast" split.
+    # ------------------------------------------------------------------
+    flat_delay = flat_expected_delay(NUM_INSTRUMENTS)
+    hand_built = DiskLayout.from_delta((200, 1800), delta=3)
+    hand_delay = multidisk_expected_delay(hand_built, popularity)
+    bound = sqrt_rule_lower_bound(popularity)
+
+    print("Stock ticker broadcast design")
+    print(f"  instruments                 : {NUM_INSTRUMENTS}")
+    print(f"  flat broadcast delay        : {flat_delay:8.1f} page-units")
+    print(f"  hand-built {hand_built.describe():<17}: {hand_delay:8.1f} page-units")
+    print(f"  sqrt-rule lower bound       : {bound:8.1f} page-units")
+
+    # ------------------------------------------------------------------
+    # Optimiser: search partitionings (cuts on popularity plateaus) and
+    # delta values for up to 3 disks.
+    # ------------------------------------------------------------------
+    shaped = optimize_layout(
+        popularity,
+        total_pages=NUM_INSTRUMENTS,
+        max_disks=3,
+        deltas=range(0, 10),
+    )
+    print(f"  optimised {shaped.layout.describe():<18}: "
+          f"{shaped.expected_delay:8.1f} page-units "
+          f"(delta={shaped.delta}, {shaped.evaluated} candidates, "
+          f"{shaped.optimality_gap:.2f}x the lower bound)")
+
+    # ------------------------------------------------------------------
+    # Validate by simulation: a terminal that looks up quotes with the
+    # same popularity profile and no cache (thin set-top receiver).
+    # ------------------------------------------------------------------
+    print()
+    print("Simulation check (no client cache):")
+    for label, layout in (
+        ("flat", DiskLayout.flat(NUM_INSTRUMENTS)),
+        ("hand-built", hand_built),
+        ("optimised", shaped.layout),
+    ):
+        config = ExperimentConfig(
+            disk_sizes=layout.sizes,
+            rel_freqs=layout.rel_freqs,
+            cache_size=1,
+            access_range=NUM_INSTRUMENTS,
+            region_size=REGION,
+            theta=1.1,
+            num_requests=10_000,
+            seed=2024,
+            label=label,
+        )
+        result = run_experiment(config)
+        print(f"  {label:<11}: {result.mean_response_time:8.1f} page-units "
+              f"(period {result.schedule_period})")
+
+    print()
+    print("The optimised program gets the popular tickers to terminals "
+          "several times faster than a flat carousel, at zero extra "
+          "bandwidth — the whole point of Broadcast Disks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Client cache replacement policies (§3, §5 of the paper).
+
+The broadcast disk makes pages *non-equidistant*, so replacement must
+weigh the cost of re-acquiring a page, not just its access probability.
+The policy family implemented here:
+
+===========  ==============================================================
+``P``        Idealised: keep the pages with the highest access
+             probability (perfect knowledge; §5.3).
+``PIX``      Idealised cost-based: evict the smallest ratio of access
+             probability to broadcast frequency, P/X (§5.4).
+``LRU``      Classic least-recently-used.
+``LIX``      Implementable PIX approximation: one LRU chain per disk, a
+             running probability estimate per cached page, evict the
+             smallest estimate/frequency among the chain bottoms (§5.5).
+``L``        LIX with the frequency term disabled — the implementable
+             approximation of P used to isolate the frequency heuristic's
+             contribution (§5.5.1).
+``LRU-K``    [ONei93], cited by the paper as a candidate for better LIX
+             variants; provided as an extension baseline.
+``2Q``       [John94], likewise.
+===========  ==============================================================
+
+All policies implement the :class:`~repro.cache.base.CachePolicy`
+interface and are constructed through
+:func:`~repro.cache.registry.make_policy`.
+"""
+
+from repro.cache.base import CachePolicy, PolicyContext
+from repro.cache.lix import LPolicy, LIXPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.lruk import LRUKPolicy
+from repro.cache.p import PPolicy
+from repro.cache.pix import PIXPolicy
+from repro.cache.registry import available_policies, make_policy
+from repro.cache.twoq import TwoQPolicy
+
+__all__ = [
+    "CachePolicy",
+    "LIXPolicy",
+    "LPolicy",
+    "LRUKPolicy",
+    "LRUPolicy",
+    "PIXPolicy",
+    "PPolicy",
+    "PolicyContext",
+    "TwoQPolicy",
+    "available_policies",
+    "make_policy",
+]

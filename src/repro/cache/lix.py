@@ -1,0 +1,175 @@
+"""LIX and L: the implementable cost-based policies of §5.5.
+
+**LIX** modifies LRU to account for broadcast frequency:
+
+* The cache is organised as one LRU chain per broadcast disk; a page
+  always lives in the chain of the disk it is broadcast on.  Chains have
+  no fixed sizes — they grow and shrink with the access pattern.
+* Each cached page carries a running probability estimate ``p`` and its
+  last access time ``t``.  On entry ``p = 0`` and ``t = now``; on a hit::
+
+      p = alpha / (now - t) + (1 - alpha) * p;   t = now
+
+  with ``alpha = 0.25`` in the paper's experiments.
+* On replacement, the *lix* value ``p_evaluated / frequency`` is computed
+  only for the page at the bottom (least recently used end) of each
+  chain, where ``p_evaluated`` applies the update formula at the current
+  time without committing it — aging the estimate so long-untouched
+  pages look colder.  The smallest lix value is evicted, and the new
+  page joins the chain of its own disk.
+
+This costs a constant number of operations per replacement (proportional
+to the number of disks), the same order as LRU.  With a single flat disk
+LIX reduces exactly to LRU: one chain, one candidate — its bottom page.
+
+**L** is LIX with the frequency division removed (all pages assumed
+equally frequent).  It isolates how much of LIX's win comes from the
+probability estimate versus the frequency heuristic (§5.5.1): L is the
+implementable analogue of P, as LIX is of PIX.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.cache.base import CachePolicy, PolicyContext
+from repro.errors import ConfigurationError
+
+#: Minimum inter-access gap used in the estimator, guarding the division
+#: when a page is re-hit at the same simulation instant.
+_MIN_GAP = 1e-9
+
+
+@dataclass
+class _PageState:
+    """Per-page bookkeeping: running estimate and last access time."""
+
+    estimate: float
+    last_access: float
+
+
+class LIXPolicy(CachePolicy):
+    """Per-disk LRU chains with probability-estimate/frequency eviction."""
+
+    name = "LIX"
+
+    #: Whether the lix value divides by broadcast frequency.  The L
+    #: subclass switches this off.
+    use_frequency = True
+
+    def __init__(self, capacity: int, context: PolicyContext):
+        super().__init__(capacity)
+        context.require("disk_of")
+        if self.use_frequency:
+            context.require("frequency")
+        if not 0.0 < context.lix_alpha <= 1.0:
+            raise ConfigurationError(
+                f"lix_alpha must be in (0, 1], got {context.lix_alpha}"
+            )
+        if context.num_disks < 1:
+            raise ConfigurationError(
+                f"num_disks must be >= 1, got {context.num_disks}"
+            )
+        self._alpha = context.lix_alpha
+        self._disk_of = context.disk_of
+        self._frequency = context.frequency
+        self._chains: tuple[OrderedDict[int, _PageState], ...] = tuple(
+            OrderedDict() for _ in range(context.num_disks)
+        )
+        self._chain_of: Dict[int, int] = {}
+
+    # -- protocol ------------------------------------------------------------
+    def __contains__(self, page: int) -> bool:
+        return page in self._chain_of
+
+    def __len__(self) -> int:
+        return len(self._chain_of)
+
+    def pages(self) -> Iterable[int]:
+        return iter(self._chain_of)
+
+    def lookup(self, page: int, now: float) -> bool:
+        chain_index = self._chain_of.get(page)
+        if chain_index is None:
+            return False
+        chain = self._chains[chain_index]
+        state = chain[page]
+        state.estimate = self._evaluate(state, now)
+        state.last_access = now
+        chain.move_to_end(page)
+        return True
+
+    def admit(self, page: int, now: float) -> Optional[int]:
+        self._check_not_resident(page)
+        victim = None
+        if self.is_full:
+            victim = self._choose_victim(now)
+            chain_index = self._chain_of.pop(victim)
+            del self._chains[chain_index][victim]
+        destination = self._disk_of(page)
+        self._chains[destination][page] = _PageState(
+            estimate=0.0, last_access=now
+        )
+        self._chain_of[page] = destination
+        return victim
+
+    def discard(self, page: int) -> bool:
+        chain_index = self._chain_of.pop(page, None)
+        if chain_index is None:
+            return False
+        del self._chains[chain_index][page]
+        return True
+
+    # -- internals ------------------------------------------------------------
+    def _evaluate(self, state: _PageState, now: float) -> float:
+        """The paper's estimator, applied at ``now`` without committing.
+
+        ``alpha / (now - t) + (1 - alpha) * p`` — used both to update the
+        estimate on a hit and to age the chain-bottom candidates at
+        eviction time ("evaluated for the least recently used pages of
+        each chain to estimate their *current* probability of access").
+        """
+        gap = max(now - state.last_access, _MIN_GAP)
+        return self._alpha / gap + (1.0 - self._alpha) * state.estimate
+
+    def _lix_value(self, page: int, state: _PageState, now: float) -> float:
+        value = self._evaluate(state, now)
+        if self.use_frequency:
+            frequency = float(self._frequency(page))
+            if frequency <= 0.0:
+                return float("inf")
+            value /= frequency
+        return value
+
+    def _choose_victim(self, now: float) -> int:
+        best_page = None
+        best_value = float("inf")
+        for chain in self._chains:
+            if not chain:
+                continue
+            page = next(iter(chain))  # bottom: least recently used
+            value = self._lix_value(page, chain[page], now)
+            if value < best_value:
+                best_value = value
+                best_page = page
+        assert best_page is not None, "eviction from a non-empty cache"
+        return best_page
+
+    # -- introspection (used by tests and the worked Figure 12 example) -----
+    def chain_pages(self, disk: int) -> list[int]:
+        """Pages in one chain, least recently used first."""
+        return list(self._chains[disk])
+
+    def estimate_of(self, page: int) -> float:
+        """Committed (not aged) probability estimate of a resident page."""
+        chain_index = self._chain_of[page]
+        return self._chains[chain_index][page].estimate
+
+
+class LPolicy(LIXPolicy):
+    """LIX without the frequency term: the implementable analogue of P."""
+
+    name = "L"
+    use_frequency = False

@@ -1,0 +1,87 @@
+"""LRU-K replacement [ONei93] — an extension baseline.
+
+§5.5 suggests that "better approximations of PIX ... might be developed
+using some of the recently proposed improvements to LRU like 2Q or
+LRU-K".  This module provides classic LRU-K so that suggestion can be
+measured: the registry exposes ``lru2`` (K=2), and the ablation bench
+compares it against LRU and LIX.
+
+LRU-K evicts the page whose K-th most recent reference is oldest
+(maximum backward K-distance).  Pages with fewer than K references have
+infinite backward K-distance; ties among them fall back to plain LRU on
+their most recent reference, per the paper's recommended tie-breaking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional
+
+from repro.cache.base import CachePolicy, PolicyContext
+from repro.errors import ConfigurationError
+
+
+class LRUKPolicy(CachePolicy):
+    """Evict the maximum backward K-distance page."""
+
+    name = "LRU-K"
+
+    def __init__(
+        self,
+        capacity: int,
+        context: Optional[PolicyContext] = None,
+        k: int = 2,
+    ):
+        super().__init__(capacity)
+        if k < 1:
+            raise ConfigurationError(f"K must be >= 1, got {k}")
+        self.k = k
+        # Page -> its K most recent reference times (oldest first).
+        self._history: Dict[int, Deque[float]] = {}
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._history
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def pages(self) -> Iterable[int]:
+        return iter(self._history)
+
+    def lookup(self, page: int, now: float) -> bool:
+        history = self._history.get(page)
+        if history is None:
+            return False
+        history.append(now)
+        return True
+
+    def admit(self, page: int, now: float) -> Optional[int]:
+        self._check_not_resident(page)
+        victim = None
+        if self.is_full:
+            victim = self._choose_victim()
+            del self._history[victim]
+        self._history[page] = deque([now], maxlen=self.k)
+        return victim
+
+    def discard(self, page: int) -> bool:
+        return self._history.pop(page, None) is not None
+
+    def _choose_victim(self) -> int:
+        # Prefer pages with fewer than K references (infinite backward
+        # distance), oldest last-reference first; otherwise the oldest
+        # K-th reference.
+        best_page = None
+        best_key = None
+        for page, history in self._history.items():
+            underfilled = len(history) < self.k
+            kth_time = history[0]
+            last_time = history[-1]
+            # Sort key: underfilled pages dominate; within a class,
+            # older timestamps are better victims.
+            key = (0 if underfilled else 1, last_time if underfilled else kth_time)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_page = page
+        assert best_page is not None
+        return best_page

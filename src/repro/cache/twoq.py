@@ -1,0 +1,111 @@
+"""2Q replacement [John94] — an extension baseline (see §5.5).
+
+Full-version 2Q as in the VLDB '94 paper: three structures —
+
+* ``A1in``: a FIFO of recently admitted pages (correlated references
+  stay here and never pollute the main cache),
+* ``A1out``: a ghost FIFO of page *identifiers* recently expelled from
+  ``A1in`` (no page data),
+* ``Am``: the main LRU holding pages proven hot (re-referenced while in
+  the ghost queue).
+
+Tunables follow the authors' recommendation: ``Kin`` ≈ 25% of the page
+slots, ``Kout`` ≈ 50% of the page slots.  ``A1in`` and ``Am`` together
+hold exactly ``capacity`` pages of data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.cache.base import CachePolicy, PolicyContext
+
+
+class TwoQPolicy(CachePolicy):
+    """The full 2Q algorithm with A1in / A1out / Am."""
+
+    name = "2Q"
+
+    def __init__(
+        self,
+        capacity: int,
+        context: Optional[PolicyContext] = None,
+        kin_fraction: float = 0.25,
+        kout_fraction: float = 0.50,
+    ):
+        super().__init__(capacity)
+        self.kin = max(1, int(capacity * kin_fraction))
+        self.kout = max(1, int(capacity * kout_fraction))
+        self._a1in: OrderedDict[int, None] = OrderedDict()   # FIFO, data
+        self._a1out: OrderedDict[int, None] = OrderedDict()  # FIFO, ghosts
+        self._am: OrderedDict[int, None] = OrderedDict()     # LRU, data
+
+    # -- protocol ------------------------------------------------------------
+    def __contains__(self, page: int) -> bool:
+        return page in self._a1in or page in self._am
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def pages(self) -> Iterable[int]:
+        yield from self._a1in
+        yield from self._am
+
+    def lookup(self, page: int, now: float) -> bool:
+        if page in self._am:
+            self._am.move_to_end(page)
+            return True
+        # A hit in A1in deliberately does NOT promote: 2Q treats bursts
+        # of correlated references as one reference.
+        return page in self._a1in
+
+    def admit(self, page: int, now: float) -> Optional[int]:
+        self._check_not_resident(page)
+        victim = self._reclaim_slot_if_full()
+        if page in self._a1out:
+            # Re-referenced after leaving A1in: proven hot, goes to Am.
+            del self._a1out[page]
+            self._am[page] = None
+        else:
+            self._a1in[page] = None
+        return victim
+
+    def discard(self, page: int) -> bool:
+        if page in self._a1in:
+            del self._a1in[page]
+            return True
+        if page in self._am:
+            del self._am[page]
+            return True
+        return False
+
+    # -- internals ------------------------------------------------------------
+    def _reclaim_slot_if_full(self) -> Optional[int]:
+        if not self.is_full:
+            return None
+        if len(self._a1in) > self.kin:
+            # Demote the A1in head to the ghost queue.
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            if len(self._a1out) > self.kout:
+                self._a1out.popitem(last=False)
+            return victim
+        if self._am:
+            victim, _ = self._am.popitem(last=False)
+            return victim
+        # Degenerate small-cache case: fall back to evicting from A1in.
+        victim, _ = self._a1in.popitem(last=False)
+        self._a1out[victim] = None
+        if len(self._a1out) > self.kout:
+            self._a1out.popitem(last=False)
+        return victim
+
+    # -- introspection (tests) ---------------------------------------------
+    def queue_sizes(self) -> dict:
+        """Current ``{a1in, a1out, am}`` sizes."""
+        return {
+            "a1in": len(self._a1in),
+            "a1out": len(self._a1out),
+            "am": len(self._am),
+        }

@@ -1,0 +1,122 @@
+"""The demand-driven client process (§4.1 client execution model).
+
+"The client runs a continuous loop that randomly requests a page
+according to a specified distribution.  If the requested page is not
+cache-resident, then the client waits for the page to arrive on the
+broadcast and then brings the requested page into its cache. ... Once
+the requested page is cache resident, the client waits ThinkTime
+broadcast units of time and then makes the next request."
+
+The process version consumes a pre-drawn :class:`RequestTrace` so that
+runs are comparable request-by-request with the fast engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.base import CacheCounters, CachePolicy
+from repro.core.disks import DiskLayout
+from repro.server.channel import BroadcastChannel
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.stats import RunningStats
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+
+@dataclass
+class ClientReport:
+    """Measurements accumulated by one client."""
+
+    response: RunningStats = field(default_factory=RunningStats)
+    counters: CacheCounters = field(default_factory=CacheCounters)
+    samples: Optional[List[float]] = None
+    warmup_requests: int = 0
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean measured response time in broadcast units."""
+        return self.response.mean
+
+    def access_locations(self, num_disks: int) -> Dict[str, float]:
+        """Fraction of measured accesses served per location."""
+        return self.counters.access_locations(num_disks)
+
+
+class Client:
+    """A cache-equipped client running on the simulation kernel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: BroadcastChannel,
+        mapping: LogicalPhysicalMapping,
+        layout: DiskLayout,
+        cache: CachePolicy,
+        trace: RequestTrace,
+        think_time: float,
+        warmup_requests: Optional[int] = None,
+        collect_responses: bool = False,
+        extra_warmup: int = 0,
+        name: str = "client",
+    ):
+        self.sim = sim
+        self.channel = channel
+        self.mapping = mapping
+        self.layout = layout
+        self.cache = cache
+        self.trace = trace
+        self.think_time = think_time
+        self.warmup_requests = warmup_requests
+        self.extra_warmup = extra_warmup
+        self.name = name
+        self.report = ClientReport(
+            samples=[] if collect_responses else None
+        )
+        self.process: Process = sim.process(self._run())
+
+    def _run(self):
+        sim = self.sim
+        cache = self.cache
+        report = self.report
+        warming = True
+        extra_left = self.extra_warmup
+
+        for index in range(len(self.trace)):
+            page = self.trace[index]
+            yield sim.timeout(self.think_time)
+
+            if warming:
+                if self.warmup_requests is not None:
+                    warming = report.warmup_requests < self.warmup_requests
+                elif cache.is_full:
+                    if extra_left <= 0:
+                        warming = False
+                    else:
+                        extra_left -= 1
+            measuring = not warming
+            if warming:
+                report.warmup_requests += 1
+
+            if cache.lookup(page, sim.now):
+                if measuring:
+                    report.response.add(0.0)
+                    report.counters.record_hit()
+                    if report.samples is not None:
+                        report.samples.append(0.0)
+                continue
+
+            physical = self.mapping.to_physical(page)
+            issued = sim.now
+            yield self.channel.wait_for(physical)
+            wait = sim.now - issued
+            cache.admit(page, sim.now)
+            if measuring:
+                report.response.add(wait)
+                report.counters.record_miss(self.layout.disk_of_page(physical))
+                if report.samples is not None:
+                    report.samples.append(wait)
+
+        return report

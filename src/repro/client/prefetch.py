@@ -1,0 +1,225 @@
+"""Opportunistic prefetching from the broadcast (§7 future work).
+
+The paper closes by sketching prefetching: "The client cache manager
+would use the broadcast as a way to opportunistically increase the
+temperature of its cache."  The heuristic the authors subsequently
+published (the *PT* rule) values a page by
+
+    pt(page) = probability(page) x time-until-next-broadcast(page)
+
+and, as each page goes by on the broadcast, swaps it into the cache iff
+its value exceeds the lowest-valued resident page.  Intuitively, a page
+worth caching is one that is both likely to be needed and about to become
+expensive to obtain.
+
+Two variants are provided:
+
+* ``steady`` (default) — values are the steady-state expectation
+  ``probability x inter-arrival/2``; static per experiment, so the swap
+  test is O(log cache) per passing page and full-scale runs are cheap.
+* ``dynamic`` — values are recomputed with the live clock at every slot
+  (the exact PT rule); O(cache) per slot, intended for small scenarios.
+
+Unlike the demand-driven policies, a PT cache changes on *every* slot,
+not only on misses, so the engine steps slot-by-slot through each
+interval the client is thinking or waiting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Dict, Optional
+
+from repro.cache.base import CacheCounters
+from repro.core.disks import DiskLayout
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ConfigurationError
+from repro.experiments.engine import EngineOutcome
+from repro.sim.stats import RunningStats
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+
+def pt_value(
+    probability: float,
+    schedule: BroadcastSchedule,
+    physical_page: int,
+    now: float,
+) -> float:
+    """The exact PT value: probability x time until the next broadcast."""
+    return probability * (schedule.next_arrival(physical_page, now) - now)
+
+
+class PrefetchEngine:
+    """Slot-stepping simulation of a PT-prefetching client."""
+
+    def __init__(
+        self,
+        schedule: BroadcastSchedule,
+        mapping: LogicalPhysicalMapping,
+        layout: DiskLayout,
+        probability: Callable[[int], float],
+        cache_capacity: int,
+        think_time: float,
+        variant: str = "steady",
+    ):
+        if variant not in ("steady", "dynamic"):
+            raise ConfigurationError(
+                f"variant must be 'steady' or 'dynamic', got {variant!r}"
+            )
+        if cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {cache_capacity}"
+            )
+        self.schedule = schedule
+        self.mapping = mapping
+        self.layout = layout
+        self.probability = probability
+        self.capacity = cache_capacity
+        self.think_time = think_time
+        self.variant = variant
+
+        # Steady-state value of each logical page: p x mean residual life
+        # of its broadcast (half the fixed inter-arrival gap).
+        self._steady_value: Dict[int, float] = {}
+        # Resident set: logical page -> steady value (for the lazy heap).
+        self._resident: Dict[int, float] = {}
+        self._heap: list[tuple[float, int, int]] = []
+        self._stamp = itertools.count()
+
+    # -- cache mechanics --------------------------------------------------
+    def _steady(self, logical: int) -> float:
+        value = self._steady_value.get(logical)
+        if value is None:
+            p = self.probability(logical)
+            if p <= 0.0:
+                value = 0.0
+            else:
+                physical = self.mapping.to_physical(logical)
+                gaps = self.schedule.gaps(physical)
+                value = p * float(gaps[0]) / 2.0
+            self._steady_value[logical] = value
+        return value
+
+    def _dynamic(self, logical: int, now: float) -> float:
+        p = self.probability(logical)
+        if p <= 0.0:
+            return 0.0
+        physical = self.mapping.to_physical(logical)
+        return pt_value(p, self.schedule, physical, now)
+
+    def _consider(self, logical: int, now: float) -> None:
+        """Apply the PT swap rule to a page passing on the broadcast."""
+        if logical in self._resident:
+            return
+        if len(self._resident) < self.capacity:
+            if self._steady(logical) > 0.0 or len(self._resident) == 0:
+                self._insert(logical)
+            return
+        if self.variant == "steady":
+            value = self._steady(logical)
+            victim = self._peek_min()
+            if self._resident[victim] < value:
+                self._evict(victim)
+                self._insert(logical)
+        else:
+            value = self._dynamic(logical, now)
+            victim = min(
+                self._resident, key=lambda page: self._dynamic(page, now)
+            )
+            if self._dynamic(victim, now) < value:
+                del self._resident[victim]
+                self._resident[logical] = self._steady(logical)
+
+    def _insert(self, logical: int) -> None:
+        value = self._steady(logical)
+        self._resident[logical] = value
+        heapq.heappush(self._heap, (value, next(self._stamp), logical))
+
+    def _peek_min(self) -> int:
+        while True:
+            value, _stamp, page = self._heap[0]
+            if self._resident.get(page) == value:
+                return page
+            heapq.heappop(self._heap)
+
+    def _evict(self, page: int) -> None:
+        heapq.heappop(self._heap)
+        del self._resident[page]
+
+    # -- simulation loop ----------------------------------------------------
+    def run_trace(
+        self,
+        trace: RequestTrace,
+        warmup_requests: int = 0,
+        collect_responses: bool = False,
+    ) -> EngineOutcome:
+        """Run the trace with continuous snooping between requests."""
+        schedule = self.schedule
+        mapping = self.mapping
+        response = RunningStats()
+        counters = CacheCounters()
+        samples: Optional[list] = [] if collect_responses else None
+
+        now = 0.0
+        for index in range(len(trace)):
+            # Think, snooping every completion that goes by.
+            now = self._snoop_until(now, now + self.think_time)
+            measuring = index >= warmup_requests
+            page = trace[index]
+
+            if page in self._resident:
+                if measuring:
+                    response.add(0.0)
+                    counters.record_hit()
+                    if samples is not None:
+                        samples.append(0.0)
+                continue
+
+            physical = mapping.to_physical(page)
+            arrival = schedule.next_arrival(physical, now)
+            # Snoop everything broadcast while waiting (the wanted page's
+            # own arrival is the last completion in the interval and is
+            # itself subject to the swap rule).
+            self._snoop_until(now, arrival)
+            wait = arrival - now
+            now = arrival
+            if measuring:
+                response.add(wait)
+                counters.record_miss(self.layout.disk_of_page(physical))
+                if samples is not None:
+                    samples.append(wait)
+
+        return EngineOutcome(
+            response=response,
+            counters=counters,
+            measured_requests=response.count,
+            warmup_requests=min(warmup_requests, len(trace)),
+            final_time=now,
+            samples=samples,
+        )
+
+    def _snoop_until(self, start: float, stop: float) -> float:
+        """Process every completion in ``(start, stop]``; returns ``stop``."""
+        to_logical = self.mapping.to_logical
+        first_slot = int(math.floor(start))
+        last_slot = int(math.ceil(stop)) - 1
+        period = self.schedule.period
+        slots = self.schedule.slots
+        for slot in range(first_slot, last_slot + 1):
+            completion = slot + 1.0
+            if completion <= start or completion > stop:
+                continue
+            physical = slots[slot % period]
+            if physical < 0:  # padding
+                continue
+            self._consider(to_logical(physical), completion)
+        return stop
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def resident_pages(self) -> list:
+        """Sorted logical pages currently cached."""
+        return sorted(self._resident)

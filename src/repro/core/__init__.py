@@ -1,0 +1,62 @@
+"""The paper's primary contribution: broadcast-disk program construction.
+
+Layout of this subpackage:
+
+* :mod:`~repro.core.disks` — :class:`DiskLayout`: how the database pages
+  are partitioned onto "disks" and the Δ-rule relating disk speeds (§4.2).
+* :mod:`~repro.core.chunks` — the LCM chunking arithmetic of §2.2 step 4.
+* :mod:`~repro.core.schedule` — :class:`BroadcastSchedule`: the periodic
+  slot sequence with per-page occurrence/frequency/next-arrival queries.
+* :mod:`~repro.core.programs` — generators for the §2.2 multidisk
+  algorithm plus the flat, clustered-skewed, and random comparison
+  programs of Figure 2.
+* :mod:`~repro.core.analysis` — closed-form expected-delay analysis
+  (Table 1, the Bus Stop Paradox, bandwidth bounds).
+* :mod:`~repro.core.optimizer` — broadcast shaping: search for the disk
+  partitioning and Δ minimising analytic expected delay (the open
+  optimisation problem the paper defers to future work).
+"""
+
+from repro.core.analysis import (
+    bus_stop_penalty,
+    expected_delay,
+    flat_expected_delay,
+    multidisk_expected_delay,
+    per_page_expected_delay,
+    sqrt_rule_lower_bound,
+    sqrt_rule_shares,
+)
+from repro.core.chunks import ChunkPlan, lcm_many
+from repro.core.disks import DiskLayout
+from repro.core.programs import (
+    EMPTY_SLOT,
+    clustered_skewed_program,
+    flat_program,
+    multidisk_program,
+    paper_example_programs,
+    random_allocation_program,
+)
+from repro.core.schedule import BroadcastSchedule
+from repro.core.validate import ValidationReport, validate_program
+
+__all__ = [
+    "BroadcastSchedule",
+    "ChunkPlan",
+    "DiskLayout",
+    "EMPTY_SLOT",
+    "bus_stop_penalty",
+    "clustered_skewed_program",
+    "expected_delay",
+    "flat_expected_delay",
+    "flat_program",
+    "lcm_many",
+    "multidisk_expected_delay",
+    "multidisk_program",
+    "paper_example_programs",
+    "per_page_expected_delay",
+    "random_allocation_program",
+    "sqrt_rule_lower_bound",
+    "sqrt_rule_shares",
+    "ValidationReport",
+    "validate_program",
+]

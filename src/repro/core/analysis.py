@@ -1,0 +1,221 @@
+"""Closed-form delay analysis of broadcast programs.
+
+This module reproduces the paper's analytic results without simulation:
+
+* Table 1's expected delays for the Figure 2 example programs.
+* The Bus Stop Paradox: for a fixed per-page bandwidth share, any
+  variance in the inter-arrival gaps strictly increases expected delay
+  (:func:`bus_stop_penalty` quantifies the excess over the fixed-gap
+  floor).
+* The multidisk layout's expected delay, computable directly from the
+  chunk plan (each page's inter-arrival time is exactly
+  ``period / rel_freq``).
+* The square-root bandwidth-allocation rule: with item spacing free to be
+  ideal, expected delay is minimised when a page's share of the channel
+  is proportional to the square root of its access probability, giving a
+  lower bound of ``(sum_i sqrt(p_i))^2 / 2`` for unit-length pages.
+  The paper defers broadcast shaping to future work; this bound is the
+  yardstick our :mod:`~repro.core.optimizer` searches against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.chunks import ChunkPlan
+from repro.core.disks import DiskLayout
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ConfigurationError
+
+
+def expected_delay(
+    schedule: BroadcastSchedule,
+    probabilities: Mapping[int, float],
+) -> float:
+    """Probability-weighted expected delay of ``schedule`` (Table 1 metric)."""
+    return schedule.expected_delay_under(probabilities)
+
+
+def per_page_expected_delay(schedule: BroadcastSchedule) -> Dict[int, float]:
+    """Expected delay of each page carried by ``schedule``."""
+    return {page: schedule.expected_delay(page) for page in schedule.pages}
+
+
+def flat_expected_delay(num_pages: int) -> float:
+    """Expected delay of a flat broadcast of ``num_pages`` pages.
+
+    Half a broadcast period, regardless of access skew — e.g. 2500 for the
+    paper's 5000-page server database.
+    """
+    if num_pages < 1:
+        raise ConfigurationError(f"need at least one page, got {num_pages}")
+    return num_pages / 2.0
+
+
+def multidisk_expected_delay(
+    layout: DiskLayout,
+    probabilities: Mapping[int, float],
+) -> float:
+    """Analytic expected delay of the §2.2 program for ``layout``.
+
+    Every page on disk ``i`` has fixed inter-arrival
+    ``period / rel_freq(i)`` (with ``period`` including chunk padding), so
+    its expected delay is half that.  Matches
+    ``multidisk_program(layout).expected_delay_under(probabilities)``
+    exactly — a property the test suite checks — while being O(num_disks)
+    instead of O(period).
+    """
+    plan = ChunkPlan.for_layout(layout)
+    per_disk_delay = [
+        plan.period / (2.0 * freq) for freq in layout.rel_freqs
+    ]
+    total = 0.0
+    for page, probability in probabilities.items():
+        if probability:
+            total += probability * per_disk_delay[layout.disk_of_page(page)]
+    return total
+
+
+def bus_stop_penalty(schedule: BroadcastSchedule, page: int) -> float:
+    """Excess expected delay of ``page`` over the fixed-gap floor.
+
+    A page broadcast ``k`` times per period ``P`` cannot do better than
+    gaps of exactly ``P/k`` (delay ``P/2k``).  The penalty is the actual
+    expected delay minus that floor; it is zero iff the gaps are all
+    equal, and grows with gap variance:
+
+        penalty = Var(g) / (2 * mean(g))   over length-biased gaps.
+    """
+    floor = schedule.period / (2.0 * schedule.broadcasts_per_period(page))
+    return schedule.expected_delay(page) - floor
+
+
+def sqrt_rule_shares(probabilities: Mapping[int, float]) -> Dict[int, float]:
+    """Optimal bandwidth share per page: proportional to sqrt(probability).
+
+    Minimises ``sum_i p_i * s_i / 2`` subject to ``sum_i 1/s_i = 1`` where
+    ``s_i`` is page *i*'s spacing; Lagrange multipliers give
+    ``s_i ∝ 1/sqrt(p_i)``, i.e. share ``1/s_i ∝ sqrt(p_i)``.
+    """
+    roots = {
+        page: math.sqrt(probability)
+        for page, probability in probabilities.items()
+        if probability > 0
+    }
+    if not roots:
+        raise ConfigurationError("need at least one page with positive probability")
+    total = sum(roots.values())
+    return {page: root / total for page, root in roots.items()}
+
+
+def sqrt_rule_lower_bound(probabilities: Mapping[int, float]) -> float:
+    """Delay lower bound ``(sum_i sqrt(p_i))^2 / 2`` for unit-length pages.
+
+    No periodic unit-page broadcast can achieve a smaller expected delay
+    for the given access probabilities.  Real programs (integral
+    frequencies, chunk padding) sit above this.
+    """
+    total_root = sum(
+        math.sqrt(probability)
+        for probability in probabilities.values()
+        if probability > 0
+    )
+    return total_root * total_root / 2.0
+
+
+def cached_p_expected_delay(
+    layout: DiskLayout,
+    probabilities: Mapping[int, float],
+    cache_size: int,
+    offset: int = 0,
+) -> float:
+    """Analytic steady-state response of an idealised P-cached client.
+
+    Assumes no noise and the §5.3 steady state: the cache holds exactly
+    the ``cache_size`` highest-probability logical pages (hits cost
+    zero), every other page is fetched from its broadcast disk after the
+    Offset-shifted mapping.  Setting ``offset = cache_size`` models the
+    paper's best-broadcast arrangement.
+
+    This closed form predicts the zero-noise column of Figure 8 (and of
+    Figure 9 — P and PIX coincide without noise) up to the think-time
+    phase correlation the simulation exhibits.
+    """
+    if cache_size < 0:
+        raise ConfigurationError(f"cache_size must be >= 0, got {cache_size}")
+    plan = ChunkPlan.for_layout(layout)
+    per_disk_delay = [plan.period / (2.0 * freq) for freq in layout.rel_freqs]
+    total = layout.total_pages
+    # The cache holds the cache_size hottest pages; a 1-page cache is
+    # the paper's "no caching" convention and holds nothing useful.
+    cached = set()
+    if cache_size > 1:
+        by_heat = sorted(
+            probabilities, key=lambda page: probabilities[page], reverse=True
+        )
+        cached = set(by_heat[:cache_size])
+    delay = 0.0
+    for page, probability in probabilities.items():
+        if not probability or page in cached:
+            continue
+        physical = (page - offset) % total
+        delay += probability * per_disk_delay[layout.disk_of_page(physical)]
+    return delay
+
+
+def table1_rows() -> Sequence[Tuple[Tuple[float, float, float], Dict[str, float]]]:
+    """Reproduce Table 1: expected delay of the Figure 2 programs.
+
+    Returns one entry per access-probability row of the paper's table:
+    ``((pA, pB, pC), {"flat": d, "skewed": d, "multidisk": d})``.
+    """
+    from repro.core.programs import paper_example_programs
+
+    programs = paper_example_programs()
+    rows = []
+    mixes = [
+        (1 / 3, 1 / 3, 1 / 3),
+        (0.50, 0.25, 0.25),
+        (0.75, 0.125, 0.125),
+        (0.90, 0.05, 0.05),
+        (1.00, 0.00, 0.00),
+    ]
+    for mix in mixes:
+        probabilities = {0: mix[0], 1: mix[1], 2: mix[2]}
+        delays = {
+            name: expected_delay(program, probabilities)
+            for name, program in programs.items()
+        }
+        rows.append((mix, delays))
+    return rows
+
+
+def program_comparison(
+    layout: DiskLayout,
+    probabilities: Mapping[int, float],
+    rng=None,
+    random_trials: int = 8,
+) -> Dict[str, float]:
+    """Expected delay of flat / skewed / random / multidisk for one layout.
+
+    The random program's delay is averaged over ``random_trials``
+    independent draws (it has no closed form).  Demonstrates §2.1's
+    ordering multidisk <= skewed and multidisk <= random for skewed access.
+    """
+    from repro.core.programs import schedule_for
+
+    results: Dict[str, float] = {
+        "flat": flat_expected_delay(layout.total_pages),
+        "multidisk": multidisk_expected_delay(layout, probabilities),
+        "skewed": expected_delay(
+            schedule_for(layout, kind="skewed"), probabilities
+        ),
+    }
+    if rng is not None:
+        total = 0.0
+        for _trial in range(random_trials):
+            program = schedule_for(layout, kind="random", rng=rng)
+            total += expected_delay(program, probabilities)
+        results["random"] = total / random_trials
+    return results

@@ -1,0 +1,252 @@
+"""Periodic broadcast schedules and their timing queries.
+
+A :class:`BroadcastSchedule` is an immutable periodic sequence of slots,
+each carrying a physical page id (or :data:`~repro.core.chunks.EMPTY_SLOT`
+for padding).  Slot ``s`` of cycle ``k`` occupies real time
+``[k*period + s, k*period + s + 1)`` in broadcast units, and its page is
+usable by a client at the *completion* instant ``k*period + s + 1``.
+
+The class pre-computes each page's occurrence list so the two timing
+queries the simulators need are cheap:
+
+* :meth:`next_arrival` — the first completion of a page after a given
+  time, found by bisection (O(log occurrences)).
+* :meth:`expected_delay` — the closed-form mean wait of a uniformly
+  arriving request, ``sum(g^2) / (2 * period)`` over the inter-arrival
+  gaps ``g`` (the Bus Stop Paradox in formula form: for fixed gaps this is
+  ``period / (2 * count)``; variance in the gaps strictly increases it).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chunks import EMPTY_SLOT
+from repro.errors import ScheduleError
+
+
+class BroadcastSchedule:
+    """An immutable periodic broadcast program."""
+
+    def __init__(self, slots: Sequence[int], label: str = ""):
+        slots = [int(s) for s in slots]
+        if not slots:
+            raise ScheduleError("a broadcast schedule needs at least one slot")
+        if any(s < 0 and s != EMPTY_SLOT for s in slots):
+            raise ScheduleError("slots must hold page ids >= 0 or EMPTY_SLOT")
+        self._slots: Tuple[int, ...] = tuple(slots)
+        self.label = label
+        self._occurrences: Dict[int, np.ndarray] = {}
+        for index, page in enumerate(self._slots):
+            if page == EMPTY_SLOT:
+                continue
+            self._occurrences.setdefault(page, []).append(index)  # type: ignore[arg-type]
+        if not self._occurrences:
+            raise ScheduleError("schedule contains only empty slots")
+        for page, indices in self._occurrences.items():
+            self._occurrences[page] = np.asarray(indices, dtype=np.int64)
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def slots(self) -> Tuple[int, ...]:
+        """The page id (or EMPTY_SLOT) broadcast in each slot of one period."""
+        return self._slots
+
+    @property
+    def period(self) -> int:
+        """Length of the major cycle, in broadcast units."""
+        return len(self._slots)
+
+    @property
+    def pages(self) -> List[int]:
+        """Sorted list of distinct pages carried by the broadcast."""
+        return sorted(self._occurrences)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of distinct pages carried by the broadcast."""
+        return len(self._occurrences)
+
+    @property
+    def empty_slots(self) -> int:
+        """Number of padding slots per period."""
+        return self.period - sum(len(o) for o in self._occurrences.values())
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._occurrences
+
+    def __len__(self) -> int:
+        return self.period
+
+    def occurrences(self, page: int) -> np.ndarray:
+        """Sorted slot indices (within one period) where ``page`` appears."""
+        try:
+            return self._occurrences[page]
+        except KeyError:
+            raise ScheduleError(
+                f"page {page} never appears on broadcast {self.label!r}"
+            ) from None
+
+    def broadcasts_per_period(self, page: int) -> int:
+        """How many times ``page`` is transmitted each major cycle."""
+        return len(self.occurrences(page))
+
+    def frequency(self, page: int) -> float:
+        """Broadcast frequency of ``page`` in transmissions per broadcast unit.
+
+        This is the paper's *X*: the fraction of broadcast slots carrying
+        the page.
+        """
+        return self.broadcasts_per_period(page) / self.period
+
+    # -- timing --------------------------------------------------------------
+    def next_arrival(self, page: int, time: float) -> float:
+        """First completion instant of ``page`` strictly after ``time``.
+
+        A request issued exactly at a completion instant has missed that
+        transmission and waits for the next one, which matches the
+        "monitor the broadcast and wait for the item to arrive" semantics
+        of §2.1.
+        """
+        occ = self.occurrences(page)
+        cycle, phase = divmod(time, self.period)
+        base = cycle * self.period
+        # Completion of slot s is at s+1; we need s+1 > phase, i.e. s > phase-1.
+        index = bisect_right(occ, phase - 1.0)
+        if index < len(occ):
+            candidate = base + float(occ[index]) + 1.0
+            if candidate > time:
+                return candidate
+            index += 1
+            if index < len(occ):
+                return base + float(occ[index]) + 1.0
+        return base + self.period + float(occ[0]) + 1.0
+
+    def wait_time(self, page: int, time: float) -> float:
+        """Delay a request issued at ``time`` experiences for ``page``."""
+        return self.next_arrival(page, time) - time
+
+    def gaps(self, page: int) -> np.ndarray:
+        """Inter-arrival gaps (slot counts) between successive broadcasts."""
+        occ = self.occurrences(page)
+        if len(occ) == 1:
+            return np.asarray([self.period], dtype=np.int64)
+        diffs = np.diff(occ)
+        wrap = self.period - occ[-1] + occ[0]
+        return np.concatenate([diffs, [wrap]])
+
+    def has_fixed_interarrival(self, page: int) -> bool:
+        """True when every gap between broadcasts of ``page`` is equal."""
+        gaps = self.gaps(page)
+        return bool(np.all(gaps == gaps[0]))
+
+    def expected_delay(self, page: int) -> float:
+        """Mean wait for ``page`` of a request at a uniform random time.
+
+        With gaps ``g_1..g_k`` summing to the period ``P``, a request
+        lands in gap ``j`` with probability ``g_j / P`` and then waits
+        ``g_j / 2`` on average, giving ``sum(g_j^2) / (2 P)``.
+        """
+        gaps = self.gaps(page).astype(np.float64)
+        return float(np.sum(gaps * gaps) / (2.0 * self.period))
+
+    def delay_variance(self, page: int) -> float:
+        """Variance of the wait for ``page`` under uniform random arrival.
+
+        Within a gap of length ``g`` the wait is Uniform(0, g); mixing over
+        gaps weighted by ``g/P`` gives ``E[W^2] = sum(g^3) / (3 P)``.
+        """
+        gaps = self.gaps(page).astype(np.float64)
+        second_moment = float(np.sum(gaps**3) / (3.0 * self.period))
+        mean = self.expected_delay(page)
+        return second_moment - mean * mean
+
+    def delay_cdf(self, page: int, wait: float) -> float:
+        """P(W <= wait) for a uniformly-arriving request for ``page``.
+
+        A request landing in a gap of length ``g`` (probability ``g/P``)
+        waits Uniform(0, g]; conditioning on the gap gives
+        ``P(W <= w) = (1/P) * sum_i min(w, g_i)``.
+        """
+        if wait < 0:
+            return 0.0
+        gaps = self.gaps(page).astype(np.float64)
+        return float(np.minimum(wait, gaps).sum() / self.period)
+
+    def delay_quantile(self, page: int, fraction: float) -> float:
+        """The ``fraction``-quantile of the wait for ``page``.
+
+        Computed exactly by inverting the piecewise-linear CDF: with the
+        gaps sorted ascending, the CDF's slope drops by one gap at each
+        gap length.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ScheduleError(
+                f"quantile fraction must be in [0, 1], got {fraction}"
+            )
+        gaps = np.sort(self.gaps(page).astype(np.float64))
+        period = float(self.period)
+        target = fraction * period
+        accumulated = 0.0  # sum of min(w, g_i) achieved so far
+        previous = 0.0
+        for index, gap in enumerate(gaps):
+            active = len(gaps) - index  # gaps still growing with w
+            segment = (gap - previous) * active
+            if accumulated + segment >= target:
+                return previous + (target - accumulated) / active
+            accumulated += segment
+            previous = gap
+        return float(gaps[-1])
+
+    def worst_case_delay(self, page: int) -> float:
+        """The maximum possible wait for ``page``: its largest gap."""
+        return float(self.gaps(page).max())
+
+    def expected_delay_under(self, probabilities: Mapping[int, float]) -> float:
+        """Access-probability-weighted mean delay (the paper's Table 1 metric).
+
+        ``probabilities`` maps page id to access probability; pages with
+        zero probability may be omitted.
+        """
+        total = 0.0
+        for page, probability in probabilities.items():
+            if probability:
+                total += probability * self.expected_delay(page)
+        return total
+
+    # -- slot iteration -------------------------------------------------------
+    def page_at(self, slot_time: float) -> Optional[int]:
+        """Page occupying the slot that contains instant ``slot_time``.
+
+        Returns ``None`` for padding slots.
+        """
+        slot = int(math.floor(slot_time)) % self.period
+        page = self._slots[slot]
+        return None if page == EMPTY_SLOT else page
+
+    def completions_in(self, start: float, stop: float):
+        """Yield ``(time, page)`` completions in ``(start, stop]``, in order.
+
+        Used by the process-oriented engine and the prefetching client,
+        which observe every page going by rather than only the ones they
+        asked for.
+        """
+        first = int(math.floor(start))  # slot whose completion is first+1
+        last = int(math.ceil(stop)) - 1
+        for slot in range(first, last + 1):
+            completion = slot + 1.0
+            if completion <= start or completion > stop:
+                continue
+            page = self._slots[slot % self.period]
+            if page != EMPTY_SLOT:
+                yield completion, page
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BroadcastSchedule {self.label!r} period={self.period} "
+            f"pages={self.num_pages} empty={self.empty_slots}>"
+        )

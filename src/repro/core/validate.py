@@ -1,0 +1,119 @@
+"""Validation of broadcast programs against the §2.1 desiderata.
+
+The paper argues a broadcast program should have three features:
+
+1. "The inter-arrival times of subsequent copies of a data item should
+   be fixed" — no Bus Stop Paradox penalty;
+2. "There should be a well defined unit of broadcast after which the
+   broadcast repeats" — periodicity (structural for our schedules, but
+   the *effective* period may be shorter than the stored one if the slot
+   sequence repeats internally);
+3. "Subject to the above two constraints, as much of the available
+   broadcast bandwidth should be used as possible" — minimal padding.
+
+:func:`validate_program` checks all three and quantifies violations, so
+hand-built or third-party schedules can be audited before use.  The CLI
+(``python -m repro inspect``) prints the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.schedule import BroadcastSchedule
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of auditing one broadcast program."""
+
+    period: int
+    effective_period: int
+    num_pages: int
+    utilisation: float
+    #: Pages whose inter-arrival gaps vary, with their bus-stop penalty
+    #: (extra expected delay over the fixed-gap floor, in slots).
+    variable_gap_pages: Dict[int, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def has_fixed_interarrivals(self) -> bool:
+        """Desideratum 1: every page's gaps are equal."""
+        return not self.variable_gap_pages
+
+    @property
+    def is_tight(self) -> bool:
+        """Desideratum 2 (effective): no internal repetition wastes period."""
+        return self.effective_period == self.period
+
+    @property
+    def total_bus_stop_penalty(self) -> float:
+        """Sum of per-page penalties (unweighted)."""
+        return sum(self.variable_gap_pages.values())
+
+    def summary(self) -> str:
+        """A short human-readable audit."""
+        lines = [
+            f"period {self.period}"
+            + (
+                ""
+                if self.is_tight
+                else f" (effective {self.effective_period}: the cycle repeats)"
+            ),
+            f"pages {self.num_pages}, bandwidth utilisation "
+            f"{self.utilisation:.2%}",
+        ]
+        if self.has_fixed_interarrivals:
+            lines.append("fixed inter-arrival times: yes (no bus-stop penalty)")
+        else:
+            worst = max(
+                self.variable_gap_pages, key=self.variable_gap_pages.get
+            )
+            lines.append(
+                f"fixed inter-arrival times: NO — "
+                f"{len(self.variable_gap_pages)} page(s) with variable "
+                f"gaps, worst page {worst} "
+                f"(+{self.variable_gap_pages[worst]:.2f} slots expected delay)"
+            )
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def _effective_period(slots) -> int:
+    """Smallest divisor-length prefix whose repetition yields the cycle."""
+    length = len(slots)
+    for candidate in range(1, length + 1):
+        if length % candidate:
+            continue
+        if all(
+            slots[position] == slots[position % candidate]
+            for position in range(length)
+        ):
+            return candidate
+    return length
+
+
+def validate_program(schedule: BroadcastSchedule) -> ValidationReport:
+    """Audit ``schedule`` against the §2.1 desiderata."""
+    from repro.core.analysis import bus_stop_penalty
+
+    variable: Dict[int, float] = {}
+    for page in schedule.pages:
+        if not schedule.has_fixed_interarrival(page):
+            variable[page] = bus_stop_penalty(schedule, page)
+
+    report = ValidationReport(
+        period=schedule.period,
+        effective_period=_effective_period(schedule.slots),
+        num_pages=schedule.num_pages,
+        utilisation=1.0 - schedule.empty_slots / schedule.period,
+        variable_gap_pages=variable,
+    )
+    if report.utilisation < 0.95:
+        report.notes.append(
+            f"note: {schedule.empty_slots} padding slots "
+            f"({1 - report.utilisation:.1%}) — consider adjusting relative "
+            "frequencies (§2.2)"
+        )
+    return report

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, program, or policy was configured inconsistently.
+
+    Examples: a disk layout whose sizes do not cover the database, a
+    relative frequency that is not a positive integer, or a cache capacity
+    below one page.
+    """
+
+
+class ScheduleError(ReproError):
+    """A broadcast schedule violates a structural requirement.
+
+    Raised, for example, when a page is requested that never appears on
+    the broadcast, so the client would wait forever.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent state.
+
+    Examples: scheduling an event in the past, resuming a process that
+    has already terminated, or triggering an event twice.
+    """
+
+
+class PolicyError(ReproError):
+    """A cache replacement policy was used incorrectly.
+
+    Examples: admitting a page that is already cached, or notifying a hit
+    for a page the cache does not hold.
+    """

@@ -1,0 +1,232 @@
+"""Experiment configuration: the paper's Tables 2, 3, and 4 in one place.
+
+Client parameters (Table 2): CacheSize, ThinkTime, AccessRange, θ,
+RegionSize.  Server parameters (Table 3): ServerDBSize, NumDisks,
+DiskSize(i), Δ, Offset, Noise.  Study settings (Table 4) are the
+defaults: ServerDBSize 5000, AccessRange 1000, ThinkTime 2.0, θ 0.95,
+RegionSize 50, 15,000 measured requests after cache warm-up.
+
+The five disk configurations the paper studies are exposed as
+:data:`DISK_PRESETS`: D1⟨500,4500⟩, D2⟨900,4100⟩, D3⟨2500,2500⟩,
+D4⟨300,1200,3500⟩, D5⟨500,2000,2500⟩.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.cache.base import PolicyContext
+from repro.cache.registry import make_policy
+from repro.core.disks import DiskLayout
+from repro.core.programs import flat_program, multidisk_program
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.zipf import ZipfRegionDistribution
+
+#: The paper's five disk configurations (Figure 5), sizes in pages.
+DISK_PRESETS: Dict[str, Tuple[int, ...]] = {
+    "D1": (500, 4500),
+    "D2": (900, 4100),
+    "D3": (2500, 2500),
+    "D4": (300, 1200, 3500),
+    "D5": (500, 2000, 2500),
+}
+
+#: Noise levels swept in Experiments 2-5.
+NOISE_LEVELS: Tuple[float, ...] = (0.00, 0.15, 0.30, 0.45, 0.60, 0.75)
+
+#: Δ values swept along the x-axis of Figures 5-9 and 13.
+DELTA_RANGE: Tuple[int, ...] = tuple(range(0, 8))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully-specified broadcast-disk experiment."""
+
+    # -- server (Table 3) ----------------------------------------------------
+    disk_sizes: Tuple[int, ...] = DISK_PRESETS["D5"]
+    delta: int = 0
+    rel_freqs: Optional[Tuple[int, ...]] = None  # overrides delta if given
+    offset: int = 0
+    noise: float = 0.0
+    #: By default the noise coin is tossed for the client's access-range
+    #: pages — the pages "for which there may be a mismatch between the
+    #: client and the server" (§4.2) — which keeps Noise the upper bound
+    #: on deviation the paper's footnote 3 asserts and calibrates the
+    #: reproduction to the paper's Figure 9/10 crossovers.  Set True to
+    #: toss the coin over every database page instead (a harsher model:
+    #: fast-disk pages become frequent swap victims).
+    noise_over_full_database: bool = False
+
+    # -- client (Table 2) ----------------------------------------------------
+    cache_size: int = 1
+    think_time: float = 2.0
+    access_range: int = 1000
+    theta: float = 0.95
+    region_size: int = 50
+    policy: str = "LRU"
+    lix_alpha: float = 0.25
+
+    # -- measurement protocol (Table 4 / §5 preamble) -------------------------
+    num_requests: int = 15_000
+    warmup_requests: Optional[int] = None  # explicit warm-up length override
+    #: §5 measures "once the client performance reached steady state".
+    #: With ``warmup_requests=None``, warm-up runs until the cache is
+    #: full and then for ``steady_state_factor * num_requests`` further
+    #: requests so the cache-convergence transient is excluded.  Set to
+    #: 0.0 to measure straight after the cache fills.
+    steady_state_factor: float = 2.0
+    seed: int = 42
+
+    # -- presentation ------------------------------------------------------
+    label: str = ""
+
+    def __post_init__(self):
+        if self.cache_size < 1:
+            raise ConfigurationError(
+                f"cache_size must be >= 1 (1 means no caching), "
+                f"got {self.cache_size}"
+            )
+        if self.think_time < 0:
+            raise ConfigurationError(
+                f"think_time must be >= 0, got {self.think_time}"
+            )
+        if self.num_requests < 1:
+            raise ConfigurationError(
+                f"num_requests must be >= 1, got {self.num_requests}"
+            )
+        if not 0.0 <= self.noise <= 1.0:
+            raise ConfigurationError(f"noise must be in [0, 1], got {self.noise}")
+        if self.access_range > self.server_db_size:
+            raise ConfigurationError(
+                f"access_range {self.access_range} exceeds the database "
+                f"size {self.server_db_size} (§4.2: ServerDBSize >= AccessRange)"
+            )
+        if not 0 <= self.offset <= self.server_db_size:
+            raise ConfigurationError(
+                f"offset must be in [0, {self.server_db_size}], got {self.offset}"
+            )
+        if self.steady_state_factor < 0:
+            raise ConfigurationError(
+                f"steady_state_factor must be >= 0, got {self.steady_state_factor}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def server_db_size(self) -> int:
+        """Total pages broadcast (the paper's ServerDBSize)."""
+        return sum(self.disk_sizes)
+
+    @property
+    def num_disks(self) -> int:
+        """Number of broadcast disks."""
+        return len(self.disk_sizes)
+
+    @property
+    def has_cache(self) -> bool:
+        """True when the client has more than the trivial one-page cache."""
+        return self.cache_size > 1
+
+    @property
+    def extra_warmup(self) -> int:
+        """Steady-state shake-out requests after the cache fills.
+
+        Zero when an explicit ``warmup_requests`` is given or there is no
+        cache worth converging.
+        """
+        if self.warmup_requests is not None or not self.has_cache:
+            return 0
+        return int(self.steady_state_factor * self.num_requests)
+
+    def describe(self) -> str:
+        """Short human-readable identifier for reports."""
+        if self.label:
+            return self.label
+        sizes = ",".join(str(s) for s in self.disk_sizes)
+        return (
+            f"<{sizes}> Δ={self.delta} noise={self.noise:.0%} "
+            f"cache={self.cache_size} policy={self.policy}"
+        )
+
+    # -- component builders ----------------------------------------------------
+    def build_layout(self) -> DiskLayout:
+        """The disk layout implied by sizes and Δ (or explicit frequencies)."""
+        if self.rel_freqs is not None:
+            return DiskLayout(self.disk_sizes, self.rel_freqs)
+        return DiskLayout.from_delta(self.disk_sizes, self.delta)
+
+    def build_schedule(self, layout: Optional[DiskLayout] = None) -> BroadcastSchedule:
+        """The periodic broadcast program for this configuration."""
+        layout = layout or self.build_layout()
+        if layout.is_flat:
+            # Flat layouts produce the canonical one-copy-per-page cycle
+            # (identical timing, trivial period).
+            return flat_program(layout.total_pages)
+        return multidisk_program(layout)
+
+    def build_streams(self) -> RandomStreams:
+        """The experiment's named random streams."""
+        return RandomStreams(self.seed)
+
+    def build_distribution(self) -> ZipfRegionDistribution:
+        """The client's Zipf-over-regions access distribution."""
+        return ZipfRegionDistribution(
+            access_range=self.access_range,
+            region_size=self.region_size,
+            theta=self.theta,
+        )
+
+    def build_mapping(
+        self,
+        layout: Optional[DiskLayout] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> LogicalPhysicalMapping:
+        """The §4.2 logical→physical mapping (offset + noise)."""
+        layout = layout or self.build_layout()
+        streams = streams or self.build_streams()
+        return LogicalPhysicalMapping(
+            layout=layout,
+            offset=self.offset,
+            noise=self.noise,
+            rng=streams.stream("noise"),
+            noise_scope=(
+                None if self.noise_over_full_database else self.access_range
+            ),
+        )
+
+    def build_policy(
+        self,
+        schedule: BroadcastSchedule,
+        mapping: LogicalPhysicalMapping,
+        distribution: ZipfRegionDistribution,
+        layout: Optional[DiskLayout] = None,
+    ):
+        """The client's cache policy wired to its oracles."""
+        layout = layout or self.build_layout()
+        probabilities = distribution.probabilities()
+        access_range = self.access_range
+
+        def probability(page: int) -> float:
+            return float(probabilities[page]) if 0 <= page < access_range else 0.0
+
+        def frequency(page: int) -> float:
+            return schedule.frequency(mapping.to_physical(page))
+
+        def disk_of(page: int) -> int:
+            return layout.disk_of_page(mapping.to_physical(page))
+
+        context = PolicyContext(
+            probability=probability,
+            frequency=frequency,
+            disk_of=disk_of,
+            num_disks=layout.num_disks,
+            lix_alpha=self.lix_alpha,
+        )
+        return make_policy(self.policy, self.cache_size, context)
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """A modified copy (dataclasses.replace with a shorter name)."""
+        return replace(self, **overrides)

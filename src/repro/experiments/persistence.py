@@ -1,0 +1,106 @@
+"""JSON persistence for experiment results and figure data.
+
+Full-scale figure reproductions take seconds to minutes; persisting
+their outputs lets the bench harness, notebooks, and plotting scripts
+share one set of measurements.  The format is plain JSON with a schema
+tag, so files remain diffable and tool-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import ExperimentResult
+
+_FIGURE_SCHEMA = "repro.figure/1"
+_RESULT_SCHEMA = "repro.result/1"
+
+
+def figure_to_dict(data: FigureData) -> dict:
+    """A JSON-ready representation of one figure's series."""
+    return {
+        "schema": _FIGURE_SCHEMA,
+        "figure": data.figure,
+        "title": data.title,
+        "x_label": data.x_label,
+        "x_values": list(data.x_values),
+        "series": {name: list(values) for name, values in data.series.items()},
+        "notes": data.notes,
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureData:
+    """Rebuild a :class:`FigureData` from :func:`figure_to_dict` output."""
+    if payload.get("schema") != _FIGURE_SCHEMA:
+        raise ConfigurationError(
+            f"not a figure payload (schema={payload.get('schema')!r})"
+        )
+    data = FigureData(
+        figure=payload["figure"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        x_values=list(payload["x_values"]),
+        notes=payload.get("notes", ""),
+    )
+    for name, values in payload["series"].items():
+        data.add_series(name, values)
+    return data
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-ready summary of one experiment result.
+
+    The raw per-request samples are omitted (they can be megabytes);
+    the distributional summary (mean/stddev/min/max) is retained.
+    """
+    config = asdict(result.config)
+    return {
+        "schema": _RESULT_SCHEMA,
+        "config": config,
+        "mean_response_time": result.mean_response_time,
+        "response_stddev": result.response_stats.stddev,
+        "response_min": result.response_stats.minimum,
+        "response_max": result.response_stats.maximum,
+        "hit_rate": result.hit_rate,
+        "access_locations": dict(result.access_locations),
+        "measured_requests": result.measured_requests,
+        "warmup_requests": result.warmup_requests,
+        "schedule_period": result.schedule_period,
+        "schedule_utilisation": result.schedule_utilisation,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def config_from_dict(payload: dict) -> ExperimentConfig:
+    """Rebuild the :class:`ExperimentConfig` embedded in a result payload."""
+    config = dict(payload)
+    for key in ("disk_sizes", "rel_freqs"):
+        if config.get(key) is not None:
+            config[key] = tuple(config[key])
+    return ExperimentConfig(**config)
+
+
+def save(payload: Union[FigureData, ExperimentResult], path: str) -> None:
+    """Serialise a figure or result to ``path`` as indented JSON."""
+    if isinstance(payload, FigureData):
+        body = figure_to_dict(payload)
+    elif isinstance(payload, ExperimentResult):
+        body = result_to_dict(payload)
+    else:
+        raise ConfigurationError(
+            f"cannot persist a {type(payload).__name__}"
+        )
+    with open(path, "w") as handle:
+        json.dump(body, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_figure(path: str) -> FigureData:
+    """Load a figure saved with :func:`save`."""
+    with open(path) as handle:
+        return figure_from_dict(json.load(handle))

@@ -1,0 +1,161 @@
+"""Tabulation of figure data for the bench harness and examples.
+
+The paper presents line plots; the benches print the same information as
+aligned ascii tables (one row per x value, one column per curve) so that
+"who wins, by roughly what factor, where the crossovers fall" can be read
+directly from the bench output, plus a CSV writer for downstream
+plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional
+
+from repro.experiments.figures import FigureData
+
+
+def format_table(
+    data: FigureData,
+    float_format: str = "{:.2f}",
+    x_width: int = 0,
+    min_column: int = 12,
+) -> str:
+    """Render a :class:`FigureData` as an aligned ascii table.
+
+    Column widths adapt to the longest series name and the x labels, so
+    long curve names (e.g. ``D4<300,1200,3500>``) never collide.
+    """
+    names = list(data.series)
+    x_width = max(
+        x_width,
+        len(data.x_label) + 2,
+        *(len(str(x)) + 2 for x in data.x_values),
+    )
+    widths = {name: max(min_column, len(name) + 2) for name in names}
+    out = io.StringIO()
+    out.write(f"{data.figure}: {data.title}\n")
+    header = f"{data.x_label:<{x_width}}" + "".join(
+        f"{name:>{widths[name]}}" for name in names
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for x, row in data.row_iter():
+        cells = "".join(
+            float_format.format(row[name]).rjust(widths[name])
+            for name in names
+        )
+        out.write(f"{str(x):<{x_width}}" + cells + "\n")
+    if data.notes:
+        out.write(f"note: {data.notes}\n")
+    return out.getvalue()
+
+
+def write_csv(data: FigureData, path: str) -> None:
+    """Write the series to ``path`` as CSV (x column + one per curve)."""
+    names = list(data.series)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([data.x_label, *names])
+        for x, row in data.row_iter():
+            writer.writerow([x, *(row[name] for name in names)])
+
+
+def csv_string(data: FigureData) -> str:
+    """The CSV rendering as a string (used by tests)."""
+    names = list(data.series)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([data.x_label, *names])
+    for x, row in data.row_iter():
+        writer.writerow([x, *(row[name] for name in names)])
+    return out.getvalue()
+
+
+def ascii_chart(
+    data: FigureData,
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Render the series as a monochrome ASCII line chart.
+
+    Each curve is drawn with its own marker (the first letter of its
+    name, or a digit on collision); x positions map the series' indices
+    across ``width`` columns, y is linear from 0 to the maximum value.
+    Good enough to eyeball the paper's crossovers in bench output.
+    """
+    if height < 3 or width < 8:
+        raise ValueError("chart needs height >= 3 and width >= 8")
+    numeric_series = {
+        name: values
+        for name, values in data.series.items()
+        if values and all(isinstance(v, (int, float)) for v in values)
+    }
+    if not numeric_series:
+        return "(no numeric series to chart)"
+    top = max(max(values) for values in numeric_series.values())
+    if top <= 0:
+        top = 1.0
+    points = max(len(values) for values in numeric_series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for index, name in enumerate(numeric_series):
+        marker = name.strip()[:1].upper() or "?"
+        if marker in used:
+            marker = str(index % 10)
+        used.add(marker)
+        markers[name] = marker
+
+    for name, values in numeric_series.items():
+        marker = markers[name]
+        for position, value in enumerate(values):
+            column = (
+                0 if points == 1
+                else round(position * (width - 1) / (points - 1))
+            )
+            row = height - 1 - round(value / top * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][column] = marker
+
+    out = io.StringIO()
+    label = f"{top:.0f} bu" if top >= 10 else f"{top:.2f}"
+    out.write(f"{data.figure} — ascii view (top = {label})\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    legend = "  ".join(
+        f"{marker}={name}" for name, marker in markers.items()
+    )
+    out.write(f"x: {data.x_label} ({data.x_values[0]} .. {data.x_values[-1]})"
+              f"   {legend}\n")
+    return out.getvalue()
+
+
+def summarize_crossovers(
+    data: FigureData,
+    reference: float,
+    series_name: Optional[str] = None,
+) -> str:
+    """Describe where each curve crosses a reference level.
+
+    Used by the noise-sensitivity benches to report the paper's
+    qualitative claim ("P crosses the flat disk near 45% noise") from the
+    measured series.
+    """
+    lines = []
+    names = [series_name] if series_name else list(data.series)
+    for name in names:
+        values = data.series[name]
+        crossing = None
+        for x, value in zip(data.x_values, values):
+            if value > reference:
+                crossing = x
+                break
+        if crossing is None:
+            lines.append(f"{name}: stays below {reference:.0f}")
+        else:
+            lines.append(f"{name}: crosses {reference:.0f} at {crossing}")
+    return "\n".join(lines)

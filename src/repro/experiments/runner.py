@@ -1,0 +1,167 @@
+"""Build-and-run glue: from an :class:`ExperimentConfig` to a result.
+
+``run_experiment`` assembles the layout, schedule, mapping, workload,
+trace, and cache policy a configuration describes, runs the chosen
+engine, and returns an :class:`ExperimentResult` carrying the metrics
+the paper reports (mean response time in broadcast units, cache hit
+rate, per-location access fractions).
+
+``sweep`` runs a family of configurations and tabulates one metric —
+the building block every figure reproduction uses.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import EngineOutcome, FastEngine
+from repro.sim.stats import RunningStats
+from repro.workload.trace import generate_trace
+
+#: Extra requests drawn beyond the measured count so the warm-up phase
+#: (cache fill) never exhausts the trace.  The cache needs at least
+#: ``cache_size`` misses to fill; skew makes warm-up take longer, so the
+#: allowance is generous and checked after the run.
+_WARMUP_ALLOWANCE_FACTOR = 6
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment run."""
+
+    config: ExperimentConfig
+    mean_response_time: float
+    response_stats: RunningStats
+    hit_rate: float
+    access_locations: Dict[str, float]
+    measured_requests: int
+    warmup_requests: int
+    schedule_period: int
+    schedule_utilisation: float
+    wall_seconds: float
+    samples: Optional[List[float]] = None
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.config.describe()}: "
+            f"response={self.mean_response_time:.1f} bu, "
+            f"hit_rate={self.hit_rate:.1%}, "
+            f"period={self.schedule_period}"
+        )
+
+
+def _warmup_trace_allowance(config: ExperimentConfig) -> int:
+    """Requests to draw beyond the measured phase for cache warm-up."""
+    if config.warmup_requests is not None:
+        return config.warmup_requests
+    if not config.has_cache:
+        return 8  # a couple of requests fills the 1-page cache
+    fill_allowance = max(2_000, _WARMUP_ALLOWANCE_FACTOR * config.cache_size)
+    return fill_allowance + config.extra_warmup
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    engine: str = "fast",
+    collect_responses: bool = False,
+) -> ExperimentResult:
+    """Run one fully-specified experiment and return its measurements."""
+    started = _time.perf_counter()
+    layout = config.build_layout()
+    schedule = config.build_schedule(layout)
+    streams = config.build_streams()
+    mapping = config.build_mapping(layout, streams)
+    distribution = config.build_distribution()
+    cache = config.build_policy(schedule, mapping, distribution, layout)
+
+    allowance = _warmup_trace_allowance(config)
+    trace = generate_trace(
+        distribution,
+        config.num_requests + allowance,
+        streams.stream("requests"),
+    )
+
+    if engine == "fast":
+        fast = FastEngine(
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            cache=cache,
+            think_time=config.think_time,
+        )
+        outcome = fast.run_trace(
+            trace,
+            warmup_requests=config.warmup_requests,
+            collect_responses=collect_responses,
+            extra_warmup=config.extra_warmup,
+        )
+    elif engine == "process":
+        from repro.experiments.simengine import run_single_client
+
+        report = run_single_client(
+            schedule=schedule,
+            layout=layout,
+            mapping=mapping,
+            cache=cache,
+            trace=trace,
+            think_time=config.think_time,
+            warmup_requests=config.warmup_requests,
+            collect_responses=collect_responses,
+            extra_warmup=config.extra_warmup,
+        )
+        outcome = EngineOutcome(
+            response=report.response,
+            counters=report.counters,
+            measured_requests=report.response.count,
+            warmup_requests=report.warmup_requests,
+            final_time=0.0,
+            samples=report.samples,
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; use 'fast' or 'process'"
+        )
+
+    if outcome.measured_requests == 0:
+        raise ConfigurationError(
+            f"warm-up consumed the whole trace for {config.describe()}; "
+            "increase num_requests or lower cache_size"
+        )
+
+    return ExperimentResult(
+        config=config,
+        mean_response_time=outcome.response.mean,
+        response_stats=outcome.response,
+        hit_rate=outcome.counters.hit_rate,
+        access_locations=outcome.counters.access_locations(layout.num_disks),
+        measured_requests=outcome.measured_requests,
+        warmup_requests=outcome.warmup_requests,
+        schedule_period=schedule.period,
+        schedule_utilisation=1.0 - schedule.empty_slots / schedule.period,
+        wall_seconds=_time.perf_counter() - started,
+        samples=outcome.samples,
+    )
+
+
+def sweep(
+    configs: Iterable[ExperimentConfig],
+    metric: Callable[[ExperimentResult], float] = (
+        lambda result: result.mean_response_time
+    ),
+    engine: str = "fast",
+) -> List[float]:
+    """Run every configuration; return ``metric`` of each, in order."""
+    return [metric(run_experiment(config, engine=engine)) for config in configs]
+
+
+def sweep_results(
+    configs: Iterable[ExperimentConfig],
+    engine: str = "fast",
+) -> List[ExperimentResult]:
+    """Run every configuration; return the full results, in order."""
+    return [run_experiment(config, engine=engine) for config in configs]

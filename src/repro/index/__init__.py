@@ -1,0 +1,49 @@
+"""Indexing on air: selective tuning for broadcast clients.
+
+The paper broadcasts self-identifying pages, so a client waiting for a
+page must listen *continuously* — its tuning time (the energy-relevant
+metric on battery devices) equals its access time.  §2.1's footnote and
+the related work (§6) point at the alternative: interleave an index with
+the data, as in Imielinski, Viswanathan & Badrinath's *Energy Efficient
+Indexing on Air* [Imie94b], so clients can doze between index-directed
+wake-ups.  §7 lists integrating indexes with the multilevel disk as
+future work; this subpackage builds the substrate:
+
+* :mod:`~repro.index.tree` — a balanced n-ary dispatch tree over the
+  keys carried by a broadcast cycle.
+* :mod:`~repro.index.onem` — the classic **(1, m)** organisation: the
+  full index is broadcast ``m`` times per cycle, evenly interleaved with
+  the data segments, and every bucket carries a pointer to the next
+  index segment.
+* :mod:`~repro.index.client` — the selective-tuning client protocol:
+  probe, doze to the next index, walk the tree dozing between levels,
+  doze to the data bucket.  Reports both access time and tuning time.
+* :mod:`~repro.index.analysis` — closed-form expectations and the
+  optimal replication ``m* = sqrt(Data / Index)``.
+
+Times are in *bucket units* (the index analogue of the paper's broadcast
+unit); tuning time counts buckets actually listened to.
+"""
+
+from repro.index.analysis import (
+    expected_access_time,
+    expected_tuning_time,
+    no_index_expectations,
+    optimal_m,
+)
+from repro.index.client import ProbeResult, TuningClient
+from repro.index.onem import Bucket, IndexedBroadcast, build_one_m_broadcast
+from repro.index.tree import DispatchTree
+
+__all__ = [
+    "Bucket",
+    "DispatchTree",
+    "IndexedBroadcast",
+    "ProbeResult",
+    "TuningClient",
+    "build_one_m_broadcast",
+    "expected_access_time",
+    "expected_tuning_time",
+    "no_index_expectations",
+    "optimal_m",
+]

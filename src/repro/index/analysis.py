@@ -1,0 +1,94 @@
+"""Closed-form expectations for (1, m) indexing and the optimal m.
+
+With ``D`` data buckets, index size ``I`` buckets, and ``m`` index
+replicas per cycle:
+
+* cycle length ``C = m I + D``;
+* index segments are ``C / m`` apart, so a random probe waits
+  ``C / (2m)`` on average for the next index root;
+* from the root, the wanted data bucket is uniformly distributed over
+  the cycle: another ``C / 2`` expected — total access
+  ``≈ C/(2m) + C/2`` (plus small constants for the probe bucket and
+  final read);
+* tuning is ``depth + 2`` buckets: the initial probe, one bucket per
+  tree level, and the data bucket.
+
+Minimising access over ``m`` gives the classic ``m* = sqrt(D / I)``
+[Imie94b].  The simulation in :mod:`repro.index.client` is the ground
+truth; the bench validates these formulas against it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.index.tree import DispatchTree
+
+
+def index_size(num_data_buckets: int, fanout: int) -> int:
+    """Index buckets needed for ``num_data_buckets`` at ``fanout``."""
+    return DispatchTree.expected_node_count(num_data_buckets, fanout)
+
+
+def tree_depth(num_data_buckets: int, fanout: int) -> int:
+    """Levels in the dispatch tree (bottom inclusive)."""
+    if num_data_buckets < 1:
+        raise ConfigurationError("need at least one data bucket")
+    depth = 1
+    reach = fanout
+    while reach < num_data_buckets:
+        reach *= fanout
+        depth += 1
+    return depth
+
+
+def expected_access_time(
+    num_data_buckets: int, m: int, fanout: int
+) -> float:
+    """Expected probe-to-page latency under (1, m), in buckets."""
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    size = index_size(num_data_buckets, fanout)
+    cycle = m * size + num_data_buckets
+    return cycle / (2.0 * m) + cycle / 2.0 + 1.0
+
+
+def expected_tuning_time(num_data_buckets: int, m: int, fanout: int) -> float:
+    """Expected buckets listened to under (1, m)."""
+    # m does not appear: replication trades access time for nothing in
+    # tuning (every probe still reads probe + path + data).
+    return tree_depth(num_data_buckets, fanout) + 2.0
+
+
+def optimal_m(num_data_buckets: int, fanout: int) -> int:
+    """The access-time-minimising replication factor ``sqrt(D/I)``."""
+    size = index_size(num_data_buckets, fanout)
+    ideal = math.sqrt(num_data_buckets / size)
+    best = max(1, round(ideal))
+    # Integer neighbourhood check (the float optimum sits between two
+    # integers; pick the better one exactly).
+    candidates = {max(1, best - 1), best, best + 1}
+    return min(
+        candidates,
+        key=lambda m: expected_access_time(num_data_buckets, m, fanout),
+    )
+
+
+def no_index_expectations(num_data_buckets: int) -> Dict[str, float]:
+    """Expected access and tuning without an index (they coincide)."""
+    expectation = (num_data_buckets + 1) / 2.0
+    return {"access": expectation, "tuning": expectation}
+
+
+def one_m_expectations(
+    num_data_buckets: int, m: int, fanout: int
+) -> Dict[str, float]:
+    """Both (1, m) expectations plus the layout constants, for reports."""
+    return {
+        "access": expected_access_time(num_data_buckets, m, fanout),
+        "tuning": expected_tuning_time(num_data_buckets, m, fanout),
+        "index_size": float(index_size(num_data_buckets, fanout)),
+        "cycle": float(m * index_size(num_data_buckets, fanout) + num_data_buckets),
+    }

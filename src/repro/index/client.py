@@ -1,0 +1,170 @@
+"""The selective-tuning client protocol for indexed broadcasts.
+
+A probe for key ``k`` starting at bucket position ``t``:
+
+1. tune in and read the current bucket (1 bucket of tuning) — if by
+   luck it *is* the data bucket for ``k``, done;
+2. doze until the next index segment's root (pointer read in step 1);
+3. walk the dispatch tree: read an index bucket, pick the entry whose
+   key range covers ``k``, doze exactly to the target bucket — one
+   bucket of tuning per level;
+4. the final hop lands on the data bucket; read it (1 bucket).
+
+If no entry along the path covers ``k``, the broadcast does not carry
+the key: the client learns this after at most ``depth + 1`` tuned
+buckets instead of listening through a full fruitless cycle —
+selective tuning's second win.
+
+**Access time** is the completion instant of the data bucket minus the
+probe instant; **tuning time** counts buckets actually listened to.
+The energy story: a receiver in doze mode draws orders of magnitude
+less power than one actively listening, so tuning time is the battery
+budget while access time is the latency budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.index.onem import DATA, INDEX, IndexedBroadcast
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one client probe."""
+
+    key: int
+    found: bool
+    access_time: int
+    tuning_time: int
+    #: Cycle positions of every bucket the client listened to, in order.
+    tuned_positions: tuple
+
+    @property
+    def doze_time(self) -> int:
+        """Buckets spent dozing (access minus tuning)."""
+        return self.access_time - self.tuning_time
+
+
+class TuningClient:
+    """Executes selective-tuning probes against an indexed broadcast."""
+
+    def __init__(self, broadcast: IndexedBroadcast):
+        self.broadcast = broadcast
+
+    def probe(self, key: int, start: int) -> ProbeResult:
+        """Resolve ``key`` beginning at (cyclic) bucket position ``start``."""
+        if start < 0:
+            raise ConfigurationError(f"start position must be >= 0, got {start}")
+        broadcast = self.broadcast
+        cycle = broadcast.cycle_length
+
+        position = start
+        tuned: List[int] = []
+
+        # Step 1: read the bucket going by right now.
+        bucket = broadcast.bucket_at(position)
+        tuned.append(position % cycle)
+        if bucket.kind == DATA and bucket.key == key:
+            return ProbeResult(
+                key=key,
+                found=True,
+                access_time=1,
+                tuning_time=1,
+                tuned_positions=tuple(tuned),
+            )
+
+        # Step 2: doze to the next index root.
+        position += bucket.next_index_offset
+        bucket = broadcast.bucket_at(position)
+        tuned.append(position % cycle)
+
+        # Step 3: walk the tree.
+        while bucket.kind == INDEX:
+            offset = self._entry_offset(bucket, key)
+            if offset is None:
+                # The broadcast does not carry this key.
+                return ProbeResult(
+                    key=key,
+                    found=False,
+                    access_time=position + 1 - start,
+                    tuning_time=len(tuned),
+                    tuned_positions=tuple(tuned),
+                )
+            position += offset
+            bucket = broadcast.bucket_at(position)
+            tuned.append(position % cycle)
+
+        # Step 4: the data bucket.
+        assert bucket.kind == DATA and bucket.key == key, (
+            "index pointers must land on the requested data bucket"
+        )
+        return ProbeResult(
+            key=key,
+            found=True,
+            access_time=position + 1 - start,
+            tuning_time=len(tuned),
+            tuned_positions=tuple(tuned),
+        )
+
+    @staticmethod
+    def _entry_offset(bucket, key: int) -> Optional[int]:
+        for low, high, offset in bucket.entries:
+            if low <= key <= high:
+                return offset
+        return None
+
+    # -- aggregate measurement ------------------------------------------------
+    def measure(self, keys, starts) -> "ProbeStats":
+        """Run one probe per ``(key, start)`` pair and aggregate."""
+        access_total = 0
+        tuning_total = 0
+        count = 0
+        misses = 0
+        for key, start in zip(keys, starts):
+            result = self.probe(int(key), int(start))
+            access_total += result.access_time
+            tuning_total += result.tuning_time
+            misses += 0 if result.found else 1
+            count += 1
+        if count == 0:
+            raise ConfigurationError("measure() needs at least one probe")
+        return ProbeStats(
+            probes=count,
+            mean_access_time=access_total / count,
+            mean_tuning_time=tuning_total / count,
+            not_found=misses,
+        )
+
+
+@dataclass(frozen=True)
+class ProbeStats:
+    """Aggregate probe measurements."""
+
+    probes: int
+    mean_access_time: float
+    mean_tuning_time: float
+    not_found: int
+
+
+def flat_probe(num_data_buckets: int, target_position: int, start: int) -> ProbeResult:
+    """Reference protocol on an *unindexed* carousel: listen until found.
+
+    With self-identifying pages and no index, the client must stay tuned
+    from the probe instant until the page goes by, so tuning time equals
+    access time — the baseline the (1, m) organisation improves on.
+    """
+    if not 0 <= target_position < num_data_buckets:
+        raise ConfigurationError("target outside the carousel")
+    wait = (target_position - start) % num_data_buckets + 1
+    return ProbeResult(
+        key=target_position,
+        found=True,
+        access_time=wait,
+        tuning_time=wait,
+        tuned_positions=tuple(
+            (start + i) % num_data_buckets for i in range(wait)
+        ),
+    )

@@ -1,0 +1,203 @@
+"""The (1, m) index organisation [Imie94b].
+
+The broadcast cycle interleaves ``m`` copies of the full index with the
+data: ``[index][data/m] [index][data/m] ...``.  Every bucket carries the
+offset to the next index segment, so a client tuning in cold can read
+one bucket, doze to the index, and navigate from there.
+
+Offsets are *forward bucket distances* modulo the cycle: an index entry
+for a child says "wake up in ``k`` buckets".  Internal children point at
+index buckets later in the same segment; bottom-level entries point at
+the data bucket carrying the key (possibly wrapping into the next
+cycle, when the data segment already passed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.index.tree import DispatchTree, TreeNode
+
+#: Bucket kinds.
+INDEX = "index"
+DATA = "data"
+
+
+@dataclass
+class Bucket:
+    """One broadcast bucket: an index node or a data page.
+
+    Attributes
+    ----------
+    kind:
+        ``"index"`` or ``"data"``.
+    key:
+        The page key carried (data buckets only).
+    next_index_offset:
+        Forward distance (buckets) from this bucket to the next index
+        segment's root bucket.
+    entries:
+        Index buckets only: ``(low_key, high_key, forward_offset)``
+        per child.
+    """
+
+    kind: str
+    key: Optional[int] = None
+    next_index_offset: int = 0
+    entries: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+class IndexedBroadcast:
+    """A periodic (1, m) broadcast of index and data buckets."""
+
+    def __init__(
+        self,
+        buckets: Sequence[Bucket],
+        keys: Sequence[int],
+        m: int,
+        fanout: int,
+        index_size: int,
+        tree_depth: int,
+    ):
+        self.buckets = list(buckets)
+        self.keys = list(keys)
+        self.m = m
+        self.fanout = fanout
+        self.index_size = index_size
+        self.tree_depth = tree_depth
+
+    @property
+    def cycle_length(self) -> int:
+        """Buckets per broadcast cycle."""
+        return len(self.buckets)
+
+    @property
+    def num_data_buckets(self) -> int:
+        """Data buckets per cycle (>= distinct keys when pages repeat)."""
+        return sum(1 for bucket in self.buckets if bucket.kind == DATA)
+
+    def bucket_at(self, position: int) -> Bucket:
+        """The bucket broadcast at (cyclic) ``position``."""
+        return self.buckets[position % self.cycle_length]
+
+    def data_position(self, key: int) -> int:
+        """Cycle position of the data bucket carrying ``key``."""
+        for position, bucket in enumerate(self.buckets):
+            if bucket.kind == DATA and bucket.key == key:
+                return position
+        raise ConfigurationError(f"key {key} is not carried by this broadcast")
+
+    def index_root_positions(self) -> List[int]:
+        """Cycle positions of each index segment's root bucket."""
+        roots = []
+        position = 0
+        while position < len(self.buckets):
+            if self.buckets[position].kind == INDEX:
+                roots.append(position)
+                position += self.index_size
+            else:
+                position += 1
+        return roots
+
+
+def _forward_distance(source: int, target: int, cycle: int) -> int:
+    """Buckets from ``source`` forward to ``target`` (0 means same slot)."""
+    return (target - source) % cycle
+
+
+def build_one_m_broadcast(
+    keys: Sequence[int],
+    m: int,
+    fanout: int = 4,
+) -> IndexedBroadcast:
+    """Assemble the (1, m) cycle for ``keys`` (sorted page ids).
+
+    The data is split into ``m`` nearly-equal consecutive segments; a
+    full serialised index precedes each.  All pointer offsets are
+    resolved against the final cycle layout.
+    """
+    keys = list(keys)
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if m > len(keys):
+        raise ConfigurationError(
+            f"cannot split {len(keys)} data buckets into {m} segments"
+        )
+    tree = DispatchTree(keys, fanout)
+    nodes = tree.nodes_in_broadcast_order()
+    index_size = len(nodes)
+
+    # ------------------------------------------------------------------
+    # Pass 1: lay out bucket kinds and remember positions.
+    # ------------------------------------------------------------------
+    segment_size = -(-len(keys) // m)  # ceil division
+    layout: List[Tuple[str, object]] = []  # (kind, node | key)
+    node_positions_per_segment: List[Dict[int, int]] = []
+    data_positions: Dict[int, int] = {}
+    root_positions: List[int] = []
+    for segment in range(m):
+        root_positions.append(len(layout))
+        positions: Dict[int, int] = {}
+        for node_index, node in enumerate(nodes):
+            positions[node_index] = len(layout)
+            layout.append((INDEX, node))
+        node_positions_per_segment.append(positions)
+        for key in keys[segment * segment_size : (segment + 1) * segment_size]:
+            data_positions[key] = len(layout)
+            layout.append((DATA, key))
+    cycle = len(layout)
+
+    # ------------------------------------------------------------------
+    # Pass 2: resolve offsets.
+    # ------------------------------------------------------------------
+    node_number = {id(node): index for index, node in enumerate(nodes)}
+    buckets: List[Bucket] = []
+    segment = -1
+    for position, (kind, payload) in enumerate(layout):
+        if position in root_positions:
+            segment += 1
+        next_root = min(
+            (root for root in root_positions + [root_positions[0] + cycle]
+             if root > position),
+        )
+        next_index_offset = next_root - position
+        if kind == DATA:
+            buckets.append(
+                Bucket(
+                    kind=DATA,
+                    key=payload,  # type: ignore[arg-type]
+                    next_index_offset=next_index_offset,
+                )
+            )
+            continue
+        node: TreeNode = payload  # type: ignore[assignment]
+        entries: List[Tuple[int, int, int]] = []
+        for child_position, (low, high) in enumerate(zip(node.lows, node.highs)):
+            child = node.children[child_position]
+            if isinstance(child, TreeNode):
+                target = node_positions_per_segment[segment][
+                    node_number[id(child)]
+                ]
+            else:
+                target = data_positions[tree.keys[child]]
+            entries.append(
+                (low, high, _forward_distance(position, target, cycle))
+            )
+        buckets.append(
+            Bucket(
+                kind=INDEX,
+                next_index_offset=next_index_offset,
+                entries=entries,
+            )
+        )
+
+    return IndexedBroadcast(
+        buckets=buckets,
+        keys=keys,
+        m=m,
+        fanout=fanout,
+        index_size=index_size,
+        tree_depth=tree.depth,
+    )

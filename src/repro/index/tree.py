@@ -1,0 +1,144 @@
+"""A balanced n-ary dispatch tree over the keys of one broadcast cycle.
+
+The tree answers "which data bucket carries key k?" in ``depth`` probes.
+It is *logical*: the (1, m) layout (:mod:`repro.index.onem`) serialises
+it into index buckets and assigns broadcast offsets; the tree itself
+only knows key ranges and child structure.
+
+Keys are the sorted page ids carried by the cycle; leaves reference data
+bucket positions (0-based within the data sequence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class TreeNode:
+    """One dispatch node: key separators and children (nodes or leaves).
+
+    ``children[i]`` is responsible for keys in ``[lows[i], highs[i]]``.
+    Leaf children are integers — data bucket positions; internal
+    children are further :class:`TreeNode` objects.
+    """
+
+    lows: List[int] = field(default_factory=list)
+    highs: List[int] = field(default_factory=list)
+    children: List = field(default_factory=list)
+
+    @property
+    def is_bottom(self) -> bool:
+        """True when the children are data-bucket positions."""
+        return bool(self.children) and not isinstance(self.children[0], TreeNode)
+
+    def child_for(self, key: int) -> Optional[int]:
+        """Index of the child whose range covers ``key`` (None if absent)."""
+        for position, (low, high) in enumerate(zip(self.lows, self.highs)):
+            if low <= key <= high:
+                return position
+        return None
+
+
+class DispatchTree:
+    """Balanced n-ary tree over the sorted keys of a broadcast cycle."""
+
+    def __init__(self, keys: Sequence[int], fanout: int):
+        if fanout < 2:
+            raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+        keys = list(keys)
+        if not keys:
+            raise ConfigurationError("a dispatch tree needs at least one key")
+        if sorted(set(keys)) != keys:
+            raise ConfigurationError("keys must be strictly increasing")
+        self.fanout = fanout
+        self.keys = keys
+        self.root, self.depth, self.node_count = self._build(keys, fanout)
+
+    @staticmethod
+    def _build(keys: Sequence[int], fanout: int):
+        # Bottom level: one node per `fanout` data buckets.
+        level: List[TreeNode] = []
+        for start in range(0, len(keys), fanout):
+            node = TreeNode()
+            for position in range(start, min(start + fanout, len(keys))):
+                node.lows.append(keys[position])
+                node.highs.append(keys[position])
+                node.children.append(position)  # data bucket position
+            level.append(node)
+        depth = 1
+        count = len(level)
+        # Grow upward until a single root remains.
+        while len(level) > 1:
+            parents: List[TreeNode] = []
+            for start in range(0, len(level), fanout):
+                parent = TreeNode()
+                for child in level[start : start + fanout]:
+                    parent.lows.append(child.lows[0])
+                    parent.highs.append(child.highs[-1])
+                    parent.children.append(child)
+                parents.append(parent)
+            count += len(parents)
+            level = parents
+            depth += 1
+        return level[0], depth, count
+
+    def lookup_path(self, key: int) -> Optional[List[TreeNode]]:
+        """The node path (root..bottom) followed to resolve ``key``.
+
+        Returns None for keys the cycle does not carry.
+        """
+        path = [self.root]
+        node = self.root
+        while True:
+            position = node.child_for(key)
+            if position is None:
+                return None
+            child = node.children[position]
+            if not isinstance(child, TreeNode):
+                return path
+            path.append(child)
+            node = child
+
+    def data_position(self, key: int) -> Optional[int]:
+        """Data bucket position carrying ``key`` (None if absent)."""
+        path = self.lookup_path(key)
+        if path is None:
+            return None
+        bottom = path[-1]
+        position = bottom.child_for(key)
+        return None if position is None else bottom.children[position]
+
+    def nodes_in_broadcast_order(self) -> List[TreeNode]:
+        """All nodes, root first then depth-first — the serialised order.
+
+        Broadcasting parents before children means a client can always
+        doze *forward* from a parent to the child it needs.
+        """
+        ordered: List[TreeNode] = []
+
+        def visit(node: TreeNode) -> None:
+            ordered.append(node)
+            if not node.is_bottom:
+                for child in node.children:
+                    visit(child)
+
+        visit(self.root)
+        return ordered
+
+    @staticmethod
+    def expected_node_count(num_keys: int, fanout: int) -> int:
+        """Index buckets needed for ``num_keys`` leaves at ``fanout``.
+
+        ``sum_l ceil(num_keys / fanout^l)`` over the tree's levels.
+        """
+        count = 0
+        remaining = num_keys
+        while remaining > 1:
+            remaining = math.ceil(remaining / fanout)
+            count += remaining
+        return max(count, 1)

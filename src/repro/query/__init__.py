@@ -1,0 +1,33 @@
+"""Query processing over broadcast media (§7's final future-work item).
+
+"Finally, once the basic design parameters for broadcast disks of this
+kind are well-understood, work is needed to develop query processing
+strategies that would exploit this type of media."
+
+The defining property of a broadcast as a storage device is that the
+*server*, not the client, chooses the access order.  A query needing a
+set of pages should therefore harvest them **in arrival order** —
+grabbing each wanted page as it goes by — rather than requesting them
+one by one in key order as a pull-based executor would.
+
+* :mod:`~repro.query.engine` — the two strategies (`sequential`,
+  `opportunistic`) measured end-to-end, plus a cache-aware variant.
+* :mod:`~repro.query.analysis` — closed forms: on a flat disk a
+  k-page opportunistic scan completes in ``P * k/(k+1)`` expected time
+  versus ``~ k * P/2`` for sequential fetching — the gap grows linearly
+  with the query size.
+"""
+
+from repro.query.analysis import (
+    opportunistic_expected_makespan_flat,
+    sequential_expected_makespan_flat,
+)
+from repro.query.engine import QueryOutcome, fetch_opportunistic, fetch_sequential
+
+__all__ = [
+    "QueryOutcome",
+    "fetch_opportunistic",
+    "fetch_sequential",
+    "opportunistic_expected_makespan_flat",
+    "sequential_expected_makespan_flat",
+]

@@ -1,0 +1,48 @@
+"""Closed-form makespans for multi-page retrieval on a flat disk.
+
+Assumptions: a flat broadcast of period ``P``; the query's ``k`` wanted
+pages occupy positions that are (modelled as) independently uniform over
+the cycle; the query starts at a uniformly random instant.
+
+* **Opportunistic**: the makespan is the distance to the *last* wanted
+  arrival — the maximum of ``k`` i.i.d. Uniform(0, P] variables:
+  ``E = P * k / (k + 1)``.  Never more than one full cycle.
+* **Sequential**: each fetch waits an independent Uniform(0, P] distance
+  from wherever the previous one finished: ``E = k * P / 2``.
+
+The ratio ``(k+1)/2`` is the opportunistic speedup — linear in the
+query size.  For multidisk programs there is no clean closed form (the
+wanted pages live on different-speed disks); the engine measures it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def _check(num_pages: int, k: int) -> None:
+    if num_pages < 1:
+        raise ConfigurationError(f"num_pages must be >= 1, got {num_pages}")
+    if not 1 <= k <= num_pages:
+        raise ConfigurationError(
+            f"query size must be in [1, {num_pages}], got {k}"
+        )
+
+
+def opportunistic_expected_makespan_flat(num_pages: int, k: int) -> float:
+    """Expected makespan of an arrival-order harvest of ``k`` pages."""
+    _check(num_pages, k)
+    return num_pages * k / (k + 1.0)
+
+
+def sequential_expected_makespan_flat(num_pages: int, k: int) -> float:
+    """Expected makespan of one-at-a-time fetching of ``k`` pages."""
+    _check(num_pages, k)
+    return k * num_pages / 2.0
+
+
+def opportunistic_speedup_flat(k: int) -> float:
+    """Sequential/opportunistic makespan ratio: ``(k + 1) / 2``."""
+    if k < 1:
+        raise ConfigurationError(f"query size must be >= 1, got {k}")
+    return (k + 1.0) / 2.0

@@ -1,0 +1,12 @@
+"""Server-side components for the process-oriented engine.
+
+* :mod:`~repro.server.channel` — the shared broadcast medium: page
+  waiters, snoopers, and exact slot-completion delivery.
+* :mod:`~repro.server.server` — the broadcast server process that drives
+  the channel through the periodic program.
+"""
+
+from repro.server.channel import BroadcastChannel
+from repro.server.server import BroadcastServer
+
+__all__ = ["BroadcastChannel", "BroadcastServer"]

@@ -1,0 +1,115 @@
+"""The broadcast channel: a shared, contention-free delivery medium.
+
+Clients interact with the channel in two ways, mirroring the paper's
+client model:
+
+* :meth:`BroadcastChannel.wait_for` — block until the *next* completion
+  of a physical page ("the client monitors the broadcast and waits for
+  the item to arrive").  A request issued exactly at a completion
+  instant has missed that transmission and gets the following one.
+* :meth:`BroadcastChannel.snoop` — observe *every* page completion
+  (used by the prefetching extension, which opportunistically upgrades
+  its cache as pages go by).
+
+Deliveries are driven by :class:`~repro.server.server.BroadcastServer`,
+which asks the channel what the next *interesting* instant is, sleeps to
+it, and calls :meth:`deliver_at`.  Waiters are keyed by their exact due
+time (computed from the periodic schedule at registration), so delivery
+semantics are identical to the fast engine's bisection arithmetic — the
+property the engine cross-validation tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ScheduleError
+from repro.sim.kernel import Event, Simulator
+
+
+class BroadcastChannel:
+    """Waiter registry and delivery fan-out for one broadcast schedule."""
+
+    def __init__(self, sim: Simulator, schedule: BroadcastSchedule):
+        self.sim = sim
+        self.schedule = schedule
+        # (due_time, physical_page) -> events to fire with that arrival.
+        self._waiters: Dict[Tuple[float, int], List[Event]] = {}
+        self._snoopers: List[Callable[[float, int], None]] = []
+        self._demand_event: Optional[Event] = None
+        #: Pages delivered so far (for reporting/tests).
+        self.deliveries = 0
+
+    # -- client-facing API -----------------------------------------------------
+    def wait_for(self, physical_page: int) -> Event:
+        """Event firing at the next completion of ``physical_page``.
+
+        The event's value is the arrival time.
+        """
+        due = self.schedule.next_arrival(physical_page, self.sim.now)
+        event = self.sim.event()
+        self._waiters.setdefault((due, physical_page), []).append(event)
+        self._signal_demand()
+        return event
+
+    def snoop(self, callback: Callable[[float, int], None]) -> None:
+        """Invoke ``callback(time, physical_page)`` for every completion."""
+        self._snoopers.append(callback)
+        self._signal_demand()
+
+    def unsnoop(self, callback: Callable[[float, int], None]) -> None:
+        """Remove a snooper registered with :meth:`snoop`."""
+        self._snoopers.remove(callback)
+
+    # -- server-facing API -----------------------------------------------------
+    def has_demand(self) -> bool:
+        """True while anything requires the server to keep transmitting."""
+        return bool(self._waiters) or bool(self._snoopers)
+
+    def next_interesting_time(self, now: float) -> Optional[float]:
+        """The earliest instant at which a delivery matters, or None.
+
+        With snoopers attached every non-empty slot matters; otherwise
+        only the earliest waiter due time does.
+        """
+        if self._snoopers:
+            # Scan forward (bounded by one period) for the next slot that
+            # actually carries a page.
+            for probe in range(self.schedule.period + 1):
+                candidate = float(int(now) + probe) + 1.0
+                if candidate <= now:
+                    continue
+                if self.schedule.page_at(candidate - 0.5) is not None:
+                    return candidate
+            raise ScheduleError("schedule has no non-empty slots")  # pragma: no cover
+        if self._waiters:
+            return min(due for due, _page in self._waiters)
+        return None
+
+    def deliver_at(self, now: float) -> None:
+        """Fire the completion at instant ``now`` (a slot boundary).
+
+        The completing slot is the one covering ``[now-1, now)``.
+        Padding slots deliver nothing.
+        """
+        page = self.schedule.page_at(now - 0.5)
+        if page is None:
+            return
+        self.deliveries += 1
+        key = (now, page)
+        waiters = self._waiters.pop(key, ())
+        for event in waiters:
+            event.succeed(now)
+        for callback in list(self._snoopers):
+            callback(now, page)
+
+    def demand_event(self) -> Event:
+        """Event the server parks on while the channel is idle."""
+        if self._demand_event is None or self._demand_event.triggered:
+            self._demand_event = self.sim.event()
+        return self._demand_event
+
+    def _signal_demand(self) -> None:
+        if self._demand_event is not None and not self._demand_event.triggered:
+            self._demand_event.succeed()

@@ -1,0 +1,58 @@
+"""The broadcast server process.
+
+"A server continuously and repeatedly broadcasts data to the clients"
+(§1.2).  The :class:`BroadcastServer` walks the periodic program and
+hands each slot completion to the channel.  As an efficiency measure it
+sleeps through stretches nobody is listening to — the broadcast is still
+conceptually continuous; the simulation simply skips instants that can
+have no observable effect (no waiter, no snooper).
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import BroadcastSchedule
+from repro.server.channel import BroadcastChannel
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+class BroadcastServer:
+    """Drives a :class:`BroadcastChannel` through its schedule forever."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: BroadcastSchedule,
+        channel: BroadcastChannel,
+    ):
+        self.sim = sim
+        self.schedule = schedule
+        self.channel = channel
+        #: Slots actually transmitted (delivered to at least the channel).
+        self.slots_transmitted = 0
+        self.process: Process = sim.process(self._run())
+
+    def _run(self):
+        from repro.sim.process import AnyOf
+
+        sim = self.sim
+        channel = self.channel
+        while True:
+            if not channel.has_demand():
+                # Park until a client registers interest; the broadcast
+                # "continues" in virtual silence meanwhile.
+                yield channel.demand_event()
+                continue
+            target = channel.next_interesting_time(sim.now)
+            if target is None:  # pragma: no cover - demand implies a target
+                continue
+            if target > sim.now:
+                # Sleep to the target, but wake early if new demand
+                # registers (it may be due before the current target).
+                timer = sim.timeout(target - sim.now)
+                changed = channel.demand_event()
+                yield AnyOf(sim, [timer, changed])
+                if sim.now < target:
+                    continue  # demand changed: re-plan
+            channel.deliver_at(sim.now)
+            self.slots_transmitted += 1

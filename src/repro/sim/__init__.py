@@ -1,0 +1,44 @@
+"""Process-oriented discrete-event simulation kernel.
+
+This subpackage is the reproduction's substitute for CSIM [Schw86], the
+commercial C-based simulation library the paper used.  It provides:
+
+* :class:`~repro.sim.kernel.Simulator` — the virtual clock and event heap.
+* :class:`~repro.sim.kernel.Event` / :class:`~repro.sim.kernel.Timeout` —
+  one-shot occurrences that processes can wait on.
+* :class:`~repro.sim.process.Process` — generator-coroutine processes
+  (``yield`` an event to suspend until it fires), with interrupt support.
+* :class:`~repro.sim.resources.Resource` and
+  :class:`~repro.sim.resources.Store` — contention primitives used by the
+  multi-client extension.
+* :mod:`~repro.sim.rng` — named, seeded random streams so every experiment
+  is reproducible bit-for-bit.
+* :mod:`~repro.sim.stats` — online statistics accumulators with warm-up
+  trimming, used to implement the paper's steady-state measurement rule.
+
+Time is dimensionless; the broadcast-disk layers interpret one unit as one
+*broadcast unit* (the time to broadcast a single page), exactly as the
+paper's simulator does.
+"""
+
+from repro.sim.kernel import Event, Simulator, Timeout
+from repro.sim.process import AllOf, AnyOf, Interrupt, Process
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import Histogram, RunningStats, TimeWeightedStat, WindowedSeries
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "RunningStats",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "WindowedSeries",
+]

@@ -1,0 +1,167 @@
+"""The volatile-data engine: versioned caching with invalidation reports.
+
+A fast-engine variant where:
+
+* the server transmits the page content current at each slot's
+  completion — a fetched copy carries that instant's version;
+* a client cache hit serves the cached copy; the read is **stale** when
+  the live version has advanced past the fetched one;
+* optionally, the server emits an invalidation report every
+  ``report_interval`` broadcast units listing pages updated in the
+  window since the previous report, and the client discards any cached
+  copy it names.  Listening costs one broadcast unit of tuning per
+  report (accounted in the ``reports_heard`` counter); the response-time
+  cost is indirect — invalidated pages must be re-fetched.
+
+With reports on, a stale read can still occur within one report window
+(the copy aged between the update and the next report) — the same
+consistency granularity Datacycle's per-cycle semantics give, which is
+the paper's §7 "manageable" change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.base import CacheCounters, CachePolicy
+from repro.core.disks import DiskLayout
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ConfigurationError
+from repro.sim.stats import RunningStats
+from repro.updates.process import UpdateModel
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+
+@dataclass
+class VolatileOutcome:
+    """Measurements from one volatile-data run."""
+
+    response: RunningStats
+    counters: CacheCounters
+    measured_requests: int
+    stale_reads: int
+    invalidations_applied: int
+    reports_heard: int
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time over the measured phase."""
+        return self.response.mean
+
+    @property
+    def stale_fraction(self) -> float:
+        """Fraction of measured requests served stale from the cache."""
+        if self.measured_requests == 0:
+            return 0.0
+        return self.stale_reads / self.measured_requests
+
+
+class VolatileEngine:
+    """Request-stepping simulation over versioned broadcast data."""
+
+    def __init__(
+        self,
+        schedule: BroadcastSchedule,
+        mapping: LogicalPhysicalMapping,
+        layout: DiskLayout,
+        cache: CachePolicy,
+        updates: UpdateModel,
+        think_time: float = 2.0,
+        report_interval: Optional[float] = None,
+    ):
+        if think_time < 0:
+            raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
+        if report_interval is not None and report_interval <= 0:
+            raise ConfigurationError(
+                f"report_interval must be positive, got {report_interval}"
+            )
+        self.schedule = schedule
+        self.mapping = mapping
+        self.layout = layout
+        self.cache = cache
+        self.updates = updates
+        self.think_time = think_time
+        self.report_interval = report_interval
+
+    def run_trace(
+        self,
+        trace: RequestTrace,
+        warmup_requests: int = 0,
+    ) -> VolatileOutcome:
+        """Run the trace; the first ``warmup_requests`` are unmeasured."""
+        schedule = self.schedule
+        mapping = self.mapping
+        cache = self.cache
+        updates = self.updates
+        think = self.think_time
+        report_interval = self.report_interval
+        disk_of_physical = self.layout.disk_of_page
+
+        # Version each cached logical page was fetched at.
+        fetched_version: Dict[int, int] = {}
+
+        response = RunningStats()
+        counters = CacheCounters()
+        stale_reads = 0
+        invalidations = 0
+        reports_heard = 0
+        next_report = report_interval if report_interval is not None else None
+        last_report_time = 0.0
+
+        now = 0.0
+        for index in range(len(trace)):
+            page = trace[index]
+            now += think
+
+            # Catch up on invalidation reports that aired while thinking
+            # or waiting.  Each report covers updates since the previous
+            # report (window granularity = the report interval).
+            if next_report is not None:
+                while next_report <= now:
+                    reports_heard += 1
+                    for cached_page in list(cache.pages()):
+                        physical = mapping.to_physical(cached_page)
+                        if updates.updated_in(
+                            physical, last_report_time, next_report
+                        ):
+                            cache.discard(cached_page)
+                            fetched_version.pop(cached_page, None)
+                            invalidations += 1
+                    last_report_time = next_report
+                    next_report += report_interval
+
+            measuring = index >= warmup_requests
+            physical = mapping.to_physical(page)
+
+            if cache.lookup(page, now):
+                if measuring:
+                    response.add(0.0)
+                    counters.record_hit()
+                    if updates.version_at(physical, now) > fetched_version.get(
+                        page, 0
+                    ):
+                        stale_reads += 1
+                continue
+
+            arrival = schedule.next_arrival(physical, now)
+            wait = arrival - now
+            now = arrival
+            outside = cache.admit(page, now)
+            if outside != page:
+                fetched_version[page] = updates.version_at(physical, now)
+            if outside is not None and outside != page:
+                fetched_version.pop(outside, None)
+            if measuring:
+                response.add(wait)
+                counters.record_miss(disk_of_physical(physical))
+
+        return VolatileOutcome(
+            response=response,
+            counters=counters,
+            measured_requests=response.count,
+            stale_reads=stale_reads,
+            invalidations_applied=invalidations,
+            reports_heard=reports_heard,
+        )

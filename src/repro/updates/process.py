@@ -1,0 +1,137 @@
+"""Server-side update models: page versions over time.
+
+An update model answers two queries, both needed by the volatile
+engine:
+
+* :meth:`version_at` — how many updates has physical page ``p``
+  received by instant ``t``?  (The server transmits the version current
+  at a slot's completion; a cached copy is stale when the live version
+  has moved past the fetched one.)
+* :meth:`updated_in` — did page ``p`` change in the window ``(a, b]``?
+  (The content of an invalidation report covering that window.)
+
+Two models:
+
+* :class:`PeriodicUpdateModel` — page ``p`` updates every
+  ``interval(p)`` time units with a random phase.  Version queries are
+  O(1), so full-scale sweeps stay fast; the phase randomisation avoids
+  lock-step artifacts with the broadcast period.
+* :class:`PoissonUpdateModel` — updates arrive as a Poisson process of
+  rate ``rate(p)``; event times are drawn lazily per page and memoised.
+  Exact stochastic semantics at higher cost; used in tests to confirm
+  the periodic model's conclusions are not an artifact of determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class UpdateModel:
+    """Interface shared by the update models."""
+
+    def version_at(self, page: int, time: float) -> int:
+        """Version of ``page`` at instant ``time`` (0 = never updated)."""
+        raise NotImplementedError
+
+    def updated_in(self, page: int, start: float, stop: float) -> bool:
+        """True if ``page`` changed in the window ``(start, stop]``."""
+        return self.version_at(page, stop) > self.version_at(page, start)
+
+
+class PeriodicUpdateModel(UpdateModel):
+    """Deterministic per-page update period with a random phase."""
+
+    def __init__(
+        self,
+        interval: Callable[[int], float],
+        num_pages: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if num_pages < 1:
+            raise ConfigurationError(f"num_pages must be >= 1, got {num_pages}")
+        self.num_pages = num_pages
+        self._intervals = np.empty(num_pages, dtype=np.float64)
+        for page in range(num_pages):
+            value = float(interval(page))
+            if value <= 0 and not math.isinf(value):
+                raise ConfigurationError(
+                    f"update interval must be positive or inf, got {value} "
+                    f"for page {page}"
+                )
+            self._intervals[page] = value
+        phases = (
+            rng.random(num_pages) if rng is not None else np.zeros(num_pages)
+        )
+        self._phases = phases * np.where(
+            np.isfinite(self._intervals), self._intervals, 1.0
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        interval: float,
+        num_pages: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "PeriodicUpdateModel":
+        """Every page updates with the same period."""
+        return cls(lambda page: interval, num_pages, rng)
+
+    def version_at(self, page: int, time: float) -> int:
+        interval = self._intervals[page]
+        if not np.isfinite(interval):
+            return 0
+        if time < self._phases[page]:
+            return 0
+        return int((time - self._phases[page]) // interval) + 1
+
+    def updated_in(self, page: int, start: float, stop: float) -> bool:
+        return self.version_at(page, stop) > self.version_at(page, start)
+
+
+class PoissonUpdateModel(UpdateModel):
+    """Per-page Poisson update processes, lazily materialised."""
+
+    def __init__(
+        self,
+        rate: Callable[[int], float],
+        num_pages: int,
+        rng: np.random.Generator,
+        horizon: float = 1e7,
+    ):
+        if num_pages < 1:
+            raise ConfigurationError(f"num_pages must be >= 1, got {num_pages}")
+        self.num_pages = num_pages
+        self._rate = rate
+        self._rng = rng
+        self._horizon = horizon
+        self._events: Dict[int, np.ndarray] = {}
+
+    def _events_for(self, page: int) -> np.ndarray:
+        events = self._events.get(page)
+        if events is None:
+            rate = float(self._rate(page))
+            if rate < 0:
+                raise ConfigurationError(
+                    f"update rate must be >= 0, got {rate} for page {page}"
+                )
+            if rate == 0.0:
+                events = np.empty(0, dtype=np.float64)
+            else:
+                count = self._rng.poisson(rate * self._horizon)
+                events = np.sort(self._rng.uniform(0, self._horizon, count))
+            self._events[page] = events
+        return events
+
+    def version_at(self, page: int, time: float) -> int:
+        if time > self._horizon:
+            raise ConfigurationError(
+                f"time {time} beyond the model horizon {self._horizon}"
+            )
+        events = self._events_for(page)
+        return int(np.searchsorted(events, time, side="right"))

@@ -1,0 +1,35 @@
+"""Client workload modelling.
+
+* :mod:`~repro.workload.distributions` — access-probability distributions
+  over a logical page range (uniform, explicit, and the ABC base class).
+* :mod:`~repro.workload.zipf` — the paper's Zipf-over-regions
+  distribution (§4.1): Zipf(θ) across regions of ``RegionSize`` pages,
+  uniform within a region.
+* :mod:`~repro.workload.mapping` — the §4.2 logical→physical mapping:
+  identity, then an ``Offset`` circular shift, then per-page ``Noise``
+  swaps.  This is how a single simulated client stands in for a whole
+  population.
+* :mod:`~repro.workload.trace` — materialised request traces for replay
+  and for cross-validating the two simulation engines.
+"""
+
+from repro.workload.distributions import (
+    AccessDistribution,
+    ExplicitDistribution,
+    UniformDistribution,
+)
+from repro.workload.drift import DriftingZipfDistribution
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace, generate_trace
+from repro.workload.zipf import ZipfRegionDistribution
+
+__all__ = [
+    "AccessDistribution",
+    "DriftingZipfDistribution",
+    "ExplicitDistribution",
+    "LogicalPhysicalMapping",
+    "RequestTrace",
+    "UniformDistribution",
+    "ZipfRegionDistribution",
+    "generate_trace",
+]

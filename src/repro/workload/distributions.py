@@ -1,0 +1,100 @@
+"""Access-probability distributions over a logical page range.
+
+A distribution assigns each logical page ``0 .. access_range-1`` a
+probability of being requested; pages outside the range have probability
+zero (§4.1: "All pages outside of this range have a zero probability of
+access at the client").  Distributions expose both vectorised sampling
+(for the fast engine) and the dense probability array (for the idealised
+P/PIX policies, which the paper grants perfect knowledge).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class AccessDistribution(ABC):
+    """Probability distribution over logical pages ``0..access_range-1``."""
+
+    def __init__(self, access_range: int):
+        if access_range < 1:
+            raise ConfigurationError(
+                f"access_range must be >= 1, got {access_range}"
+            )
+        self.access_range = access_range
+
+    @abstractmethod
+    def probabilities(self) -> np.ndarray:
+        """Dense probability array of length ``access_range`` (sums to 1)."""
+
+    # -- derived helpers ------------------------------------------------------
+    def probability(self, page: int) -> float:
+        """Access probability of one logical page (0.0 outside the range)."""
+        if 0 <= page < self.access_range:
+            return float(self.probabilities()[page])
+        return 0.0
+
+    def probability_map(self) -> Dict[int, float]:
+        """``{page: probability}`` for pages with positive probability."""
+        dense = self.probabilities()
+        return {
+            page: float(p) for page, p in enumerate(dense) if p > 0.0
+        }
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. logical page requests.
+
+        Implemented by inverse-transform over the cached cumulative
+        distribution, so repeated calls are O(size log access_range).
+        """
+        cdf = self._cdf()
+        draws = rng.random(size)
+        return np.searchsorted(cdf, draws, side="right").astype(np.int64)
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Draw a single logical page request."""
+        return int(self.sample(rng, 1)[0])
+
+    def _cdf(self) -> np.ndarray:
+        cached = getattr(self, "_cdf_cache", None)
+        if cached is None:
+            cached = np.cumsum(self.probabilities())
+            # Guard against floating drift: force the final mass to 1.
+            cached[-1] = 1.0
+            self._cdf_cache = cached
+        return cached
+
+
+class UniformDistribution(AccessDistribution):
+    """Every page in the range equally likely."""
+
+    def probabilities(self) -> np.ndarray:
+        return np.full(self.access_range, 1.0 / self.access_range)
+
+
+class ExplicitDistribution(AccessDistribution):
+    """A distribution given as an explicit weight vector.
+
+    Weights are normalised; they need not sum to one.  Useful in tests
+    and for modelling measured client access histograms.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if weights.ndim != 1 or len(weights) < 1:
+            raise ConfigurationError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0):
+            raise ConfigurationError("weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ConfigurationError("weights must have positive total mass")
+        super().__init__(len(weights))
+        self._probabilities = weights / total
+
+    def probabilities(self) -> np.ndarray:
+        return self._probabilities

@@ -1,0 +1,139 @@
+"""Unit tests for the idealised P and PIX policies."""
+
+import pytest
+
+from repro.cache.base import PolicyContext
+from repro.cache.p import PPolicy
+from repro.cache.pix import PIXPolicy
+from repro.errors import ConfigurationError, PolicyError
+
+
+def make_context(probabilities, frequencies=None):
+    return PolicyContext(
+        probability=lambda page: probabilities.get(page, 0.0),
+        frequency=(
+            (lambda page: frequencies.get(page, 0.0)) if frequencies else None
+        ),
+        disk_of=lambda page: 0,
+        num_disks=1,
+    )
+
+
+class TestPPolicy:
+    def test_requires_probability_oracle(self):
+        with pytest.raises(ConfigurationError):
+            PPolicy(2, PolicyContext())
+
+    def test_fills_free_slots(self):
+        policy = PPolicy(2, make_context({0: 0.5, 1: 0.3}))
+        assert policy.admit(0, now=1.0) is None
+        assert policy.admit(1, now=2.0) is None
+        assert len(policy) == 2
+        assert policy.is_full
+
+    def test_evicts_lowest_probability(self):
+        policy = PPolicy(2, make_context({0: 0.5, 1: 0.1, 2: 0.3}))
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        evicted = policy.admit(2, 3.0)
+        assert evicted == 1
+        assert set(policy.pages()) == {0, 2}
+
+    def test_declines_page_colder_than_everything_resident(self):
+        policy = PPolicy(2, make_context({0: 0.5, 1: 0.3, 2: 0.01}))
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        rejected = policy.admit(2, 3.0)
+        assert rejected == 2
+        assert 2 not in policy
+        assert set(policy.pages()) == {0, 1}
+
+    def test_steady_state_holds_hottest_pages(self):
+        # §5.3: "a client using P will have the CacheSize hottest pages".
+        probabilities = {page: (10 - page) / 55 for page in range(10)}
+        policy = PPolicy(3, make_context(probabilities))
+        for round_ in range(3):
+            for page in range(9, -1, -1):
+                if page not in policy:
+                    policy.admit(page, float(round_ * 10 + page))
+        assert set(policy.pages()) == {0, 1, 2}
+
+    def test_lookup_hits_and_misses(self):
+        policy = PPolicy(2, make_context({0: 0.5}))
+        policy.admit(0, 1.0)
+        assert policy.lookup(0, 2.0)
+        assert not policy.lookup(5, 2.0)
+
+    def test_double_admit_raises(self):
+        policy = PPolicy(2, make_context({0: 0.5}))
+        policy.admit(0, 1.0)
+        with pytest.raises(PolicyError):
+            policy.admit(0, 2.0)
+
+    def test_readmission_after_eviction(self):
+        policy = PPolicy(1, make_context({0: 0.5, 1: 0.6}))
+        policy.admit(0, 1.0)
+        assert policy.admit(1, 2.0) == 0
+        assert policy.admit(0, 3.0) == 0  # colder than 1: declined
+        assert set(policy.pages()) == {1}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            PPolicy(0, make_context({0: 0.5}))
+
+    def test_tie_values_still_evict_exactly_one(self):
+        policy = PPolicy(2, make_context({0: 0.2, 1: 0.2, 2: 0.2}))
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        outside = policy.admit(2, 3.0)
+        assert len(policy) == 2
+        assert outside in {0, 1, 2}
+
+
+class TestPIXPolicy:
+    def test_requires_both_oracles(self):
+        with pytest.raises(ConfigurationError):
+            PIXPolicy(2, make_context({0: 0.5}))
+
+    def test_evicts_lowest_probability_over_frequency(self):
+        # The paper's §3 example: page A accessed 1% / broadcast 1% has a
+        # LOWER pix value than page B accessed 0.5% / broadcast 0.1%.
+        probabilities = {0: 0.01, 1: 0.005, 2: 0.004}
+        frequencies = {0: 0.01, 1: 0.001, 2: 0.001}
+        policy = PIXPolicy(2, make_context(probabilities, frequencies))
+        policy.admit(0, 1.0)  # pix = 1.0
+        policy.admit(1, 2.0)  # pix = 5.0
+        evicted = policy.admit(2, 3.0)  # pix = 4.0 beats page 0's 1.0
+        assert evicted == 0
+        assert set(policy.pages()) == {1, 2}
+
+    def test_declines_page_with_lowest_pix(self):
+        probabilities = {0: 0.5, 1: 0.3, 2: 0.2}
+        frequencies = {0: 0.1, 1: 0.1, 2: 1.0}  # page 2 broadcast constantly
+        policy = PIXPolicy(2, make_context(probabilities, frequencies))
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        rejected = policy.admit(2, 3.0)
+        assert rejected == 2
+        assert 2 not in policy
+
+    def test_never_broadcast_page_is_maximally_valuable(self):
+        probabilities = {0: 0.9, 1: 0.001}
+        frequencies = {0: 0.5, 1: 0.0}
+        policy = PIXPolicy(1, make_context(probabilities, frequencies))
+        policy.admit(1, 1.0)
+        # Page 0 is far hotter but re-acquirable; page 1 is irreplaceable.
+        rejected = policy.admit(0, 2.0)
+        assert rejected == 0
+        assert 1 in policy
+
+    def test_equal_frequencies_reduce_to_p(self):
+        # Paper footnote 6: on a flat disk P and PIX are identical.
+        probabilities = {0: 0.5, 1: 0.1, 2: 0.3}
+        frequencies = {page: 0.2 for page in range(3)}
+        pix = PIXPolicy(2, make_context(probabilities, frequencies))
+        p = PPolicy(2, make_context(probabilities))
+        for policy in (pix, p):
+            policy.admit(0, 1.0)
+            policy.admit(1, 2.0)
+        assert pix.admit(2, 3.0) == p.admit(2, 3.0) == 1

@@ -1,0 +1,236 @@
+"""Unit tests for LRU, LIX and L (repro.cache.lru / repro.cache.lix)."""
+
+import pytest
+
+from repro.cache.base import PolicyContext
+from repro.cache.lix import LPolicy, LIXPolicy
+from repro.cache.lru import LRUPolicy
+from repro.errors import ConfigurationError, PolicyError
+
+
+def lix_context(disk_of=None, frequency=None, num_disks=2, alpha=0.25):
+    return PolicyContext(
+        frequency=frequency or (lambda page: 1.0),
+        disk_of=disk_of or (lambda page: 0),
+        num_disks=num_disks,
+        lix_alpha=alpha,
+    )
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy(2)
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        assert policy.admit(2, 3.0) == 0
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUPolicy(2)
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        assert policy.lookup(0, 3.0)
+        assert policy.admit(2, 4.0) == 1  # 1 is now the LRU page
+
+    def test_always_admits_new_page(self):
+        policy = LRUPolicy(1)
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        assert 1 in policy
+        assert 0 not in policy
+
+    def test_miss_does_not_change_state(self):
+        policy = LRUPolicy(2)
+        policy.admit(0, 1.0)
+        assert not policy.lookup(9, 2.0)
+        assert len(policy) == 1
+
+    def test_double_admit_raises(self):
+        policy = LRUPolicy(2)
+        policy.admit(0, 1.0)
+        with pytest.raises(PolicyError):
+            policy.admit(0, 2.0)
+
+    def test_no_eviction_until_full(self):
+        policy = LRUPolicy(3)
+        assert policy.admit(0, 1.0) is None
+        assert policy.admit(1, 2.0) is None
+        assert policy.admit(2, 3.0) is None
+        assert policy.admit(3, 4.0) == 0
+
+
+class TestLIXChains:
+    def test_pages_enter_their_disks_chain(self):
+        policy = LIXPolicy(4, lix_context(disk_of=lambda page: page % 2))
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        policy.admit(2, 3.0)
+        assert policy.chain_pages(0) == [0, 2]
+        assert policy.chain_pages(1) == [1]
+
+    def test_hit_moves_page_to_top_of_its_chain(self):
+        policy = LIXPolicy(4, lix_context(disk_of=lambda page: 0, num_disks=1))
+        policy.admit(0, 1.0)
+        policy.admit(1, 2.0)
+        policy.lookup(0, 3.0)
+        assert policy.chain_pages(0) == [1, 0]
+
+    def test_chains_grow_and_shrink_dynamically(self):
+        # Figure 12: the victim's chain shrinks, the new page's grows.
+        policy = LIXPolicy(
+            2,
+            lix_context(
+                disk_of=lambda page: 0 if page < 10 else 1,
+                frequency=lambda page: 0.5 if page < 10 else 0.1,
+            ),
+        )
+        policy.admit(0, 1.0)   # disk 0 chain
+        policy.admit(10, 2.0)  # disk 1 chain
+        # Page 11 (disk 1, rare) should displace the never-hit page with
+        # the smaller estimate/frequency ratio.
+        policy.admit(11, 3.0)
+        sizes = (len(policy.chain_pages(0)), len(policy.chain_pages(1)))
+        assert sum(sizes) == 2
+
+    def test_estimator_update_rule(self):
+        alpha = 0.25
+        policy = LIXPolicy(2, lix_context(alpha=alpha, num_disks=1))
+        policy.admit(0, 0.0)
+        assert policy.estimate_of(0) == 0.0
+        policy.lookup(0, 4.0)
+        # p = alpha/(4-0) + (1-alpha)*0 = 0.0625
+        assert policy.estimate_of(0) == pytest.approx(alpha / 4.0)
+        policy.lookup(0, 6.0)
+        expected = alpha / 2.0 + (1 - alpha) * (alpha / 4.0)
+        assert policy.estimate_of(0) == pytest.approx(expected)
+
+    def test_eviction_considers_only_chain_bottoms(self):
+        policy = LIXPolicy(
+            4, lix_context(disk_of=lambda page: 0, num_disks=1)
+        )
+        for page, time in ((0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)):
+            policy.admit(page, time)
+        policy.lookup(0, 5.0)  # page 0 hot but at top matters not: moved up
+        evicted = policy.admit(9, 6.0)
+        assert evicted == 1  # bottom of the single chain after 0 moved up
+
+    def test_frequency_divides_the_estimate(self):
+        # Two never-hit pages, same age: the one on the frequent disk has
+        # the smaller lix value and is evicted first.
+        policy = LIXPolicy(
+            2,
+            lix_context(
+                disk_of=lambda page: page % 2,
+                frequency=lambda page: 1.0 if page == 0 else 0.01,
+            ),
+        )
+        policy.admit(0, 1.0)
+        policy.admit(1, 1.0)
+        evicted = policy.admit(5, 3.0)
+        assert evicted == 0
+
+    def test_aging_makes_stale_pages_colder(self):
+        # Same disk ordering corner: a long-untouched page loses to a
+        # recently admitted one even with equal committed estimates.
+        policy = LIXPolicy(
+            2, lix_context(disk_of=lambda page: page % 2, num_disks=2)
+        )
+        policy.admit(0, 0.0)    # disk 0, old
+        policy.admit(1, 99.0)   # disk 1, fresh
+        evicted = policy.admit(2, 100.0)  # goes to disk 0
+        assert evicted == 0
+
+    def test_requires_disk_oracle(self):
+        with pytest.raises(ConfigurationError):
+            LIXPolicy(2, PolicyContext(frequency=lambda page: 1.0))
+
+    def test_requires_frequency_oracle(self):
+        with pytest.raises(ConfigurationError):
+            LIXPolicy(2, PolicyContext(disk_of=lambda page: 0))
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            LIXPolicy(2, lix_context(alpha=0.0))
+        with pytest.raises(ConfigurationError):
+            LIXPolicy(2, lix_context(alpha=1.5))
+
+    def test_num_disks_validation(self):
+        with pytest.raises(ConfigurationError):
+            LIXPolicy(2, lix_context(num_disks=0))
+
+    def test_same_instant_rehit_does_not_divide_by_zero(self):
+        policy = LIXPolicy(2, lix_context(num_disks=1))
+        policy.admit(0, 1.0)
+        policy.lookup(0, 1.0)  # zero gap
+        assert policy.estimate_of(0) > 0.0
+
+
+class TestLIXReducesToLRUOnFlatDisk:
+    def test_single_chain_matches_lru_evictions(self):
+        # §5.5: "LIX reduces to LRU if the broadcast uses a single flat disk".
+        lix = LIXPolicy(3, lix_context(num_disks=1))
+        lru = LRUPolicy(3)
+        requests = [0, 1, 2, 0, 3, 1, 4, 2, 0, 5, 6, 1, 0, 7]
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            lix_hit = lix.lookup(page, time)
+            lru_hit = lru.lookup(page, time)
+            assert lix_hit == lru_hit
+            if not lix_hit:
+                assert lix.admit(page, time) == lru.admit(page, time)
+
+
+class TestLPolicy:
+    def test_ignores_frequency(self):
+        # Same setup as the LIX frequency test, but L must not use X:
+        # with equal ages the outcome is frequency-independent.
+        policy = LPolicy(
+            2,
+            lix_context(
+                disk_of=lambda page: page % 2,
+                frequency=lambda page: 1.0 if page == 0 else 0.0001,
+            ),
+        )
+        policy.admit(0, 0.0)
+        policy.admit(1, 50.0)
+        evicted = policy.admit(2, 100.0)
+        # Page 0 is older (smaller aged estimate): evicted despite the
+        # huge frequency difference that would have saved it under...
+        # no wait, frequency would have *doomed* it under LIX too; the
+        # point is L evicts on the estimate alone.
+        assert evicted == 0
+
+    def test_does_not_require_frequency_oracle(self):
+        policy = LPolicy(
+            2, PolicyContext(disk_of=lambda page: 0, num_disks=1)
+        )
+        policy.admit(0, 1.0)
+        assert 0 in policy
+
+    def test_l_and_lix_diverge_when_frequency_matters(self):
+        def build(cls):
+            return cls(
+                2,
+                lix_context(
+                    disk_of=lambda page: page % 2,
+                    frequency=lambda page: 1.0 if page % 2 == 0 else 0.001,
+                ),
+            )
+
+        lix, l_policy = build(LIXPolicy), build(LPolicy)
+        for policy in (lix, l_policy):
+            policy.admit(0, 0.0)    # frequent disk, older
+            policy.admit(1, 90.0)   # rare disk, fresher
+        # LIX: page 0's estimate is divided by 1.0, page 1's by 0.001 —
+        # page 0 has by far the smaller lix value.
+        assert lix.admit(2, 100.0) == 0
+        # L: compares raw aged estimates; page 0 (age 100) loses to page 1
+        # (age 10) as well here, so craft the reverse ordering:
+        l2 = build(LPolicy)
+        l2.admit(0, 90.0)   # frequent disk, fresher
+        l2.admit(1, 0.0)    # rare disk, older
+        assert l2.admit(2, 100.0) == 1  # L evicts the older page...
+        lix2 = build(LIXPolicy)
+        lix2.admit(0, 90.0)
+        lix2.admit(1, 0.0)
+        assert lix2.admit(2, 100.0) == 0  # ...but LIX still dumps the cheap one

@@ -1,0 +1,77 @@
+"""Tests for the analytic cached-client model (cached_p_expected_delay)."""
+
+import pytest
+
+from repro.core.analysis import cached_p_expected_delay, multidisk_expected_delay
+from repro.core.disks import DiskLayout
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.workload.zipf import ZipfRegionDistribution
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout.from_delta((50, 200, 250), delta=3)
+
+
+@pytest.fixture
+def probabilities():
+    return ZipfRegionDistribution(100, 10, 0.95).probability_map()
+
+
+class TestCachedPExpectedDelay:
+    def test_no_cache_reduces_to_plain_model(self, layout, probabilities):
+        assert cached_p_expected_delay(
+            layout, probabilities, cache_size=1
+        ) == pytest.approx(multidisk_expected_delay(layout, probabilities))
+
+    def test_caching_everything_gives_zero_delay(self, layout, probabilities):
+        assert cached_p_expected_delay(
+            layout, probabilities, cache_size=100
+        ) == 0.0
+
+    def test_larger_cache_never_hurts(self, layout, probabilities):
+        delays = [
+            cached_p_expected_delay(layout, probabilities, size, offset=size)
+            for size in (1, 10, 25, 50)
+        ]
+        # Offset grows with the cache; the paper's arrangement only wins
+        # when the cached pages are exactly the offset ones, and delay
+        # must fall as more of the range is cached.
+        assert all(b <= a + 1e-9 for a, b in zip(delays, delays[1:]))
+
+    def test_offset_equals_cache_is_best_with_p(self, layout, probabilities):
+        # §4.2/§5.3: with an idealised P cache the best broadcast shifts
+        # exactly the cached pages to the slow disk.
+        at_cache = cached_p_expected_delay(
+            layout, probabilities, cache_size=50, offset=50
+        )
+        for offset in (0, 20, 80):
+            assert at_cache <= cached_p_expected_delay(
+                layout, probabilities, cache_size=50, offset=offset
+            ) + 1e-9
+
+    def test_negative_cache_rejected(self, layout, probabilities):
+        with pytest.raises(ConfigurationError):
+            cached_p_expected_delay(layout, probabilities, cache_size=-1)
+
+    def test_predicts_simulation_at_zero_noise(self):
+        layout = DiskLayout.from_delta((500, 2000, 2500), delta=3)
+        probabilities = ZipfRegionDistribution(1000, 50, 0.95).probability_map()
+        analytic = cached_p_expected_delay(
+            layout, probabilities, cache_size=500, offset=500
+        )
+        config = ExperimentConfig(
+            disk_sizes=(500, 2000, 2500),
+            delta=3,
+            cache_size=500,
+            policy="P",
+            offset=500,
+            num_requests=6_000,
+            seed=42,
+        )
+        measured = run_experiment(config).mean_response_time
+        # Within 12%: the simulation's think-time phase correlation is
+        # the only unmodelled effect.
+        assert measured == pytest.approx(analytic, rel=0.12)

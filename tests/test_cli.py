@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (repro.experiments.cli)."""
+
+import pytest
+
+from repro.experiments.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_disk_sizes_parsing(self):
+        args = build_parser().parse_args(["run", "--disks", "10,20,30"])
+        assert args.disks == (10, 20, 30)
+
+    def test_bad_disk_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--disks", "10,x"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "CLOCK"])
+
+
+class TestPoliciesCommand:
+    def test_lists_all_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("P", "PIX", "LRU", "L", "LIX"):
+            assert name in out
+
+
+class TestInspectCommand:
+    def test_reports_program_properties(self, capsys):
+        code = main(["inspect", "--disks", "2,4,8", "--delta", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "period" in out
+        assert "disk 1" in out and "disk 3" in out
+        assert "inter-arrival" in out
+
+    def test_flat_layout(self, capsys):
+        assert main(["inspect", "--disks", "10", "--delta", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "period        : 10" in out
+
+
+class TestRunCommand:
+    def test_runs_small_experiment(self, capsys):
+        code = main([
+            "run",
+            "--disks", "50,200,250",
+            "--delta", "3",
+            "--cache", "50",
+            "--policy", "LIX",
+            "--noise", "0.3",
+            "--offset", "50",
+            "--requests", "400",
+            "--access-range", "100",
+            "--region-size", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "response=" in out
+        assert "access locations" in out
+
+    def test_configuration_error_becomes_exit_code(self, capsys):
+        # access range larger than the database.
+        code = main([
+            "run", "--disks", "10", "--access-range", "1000",
+            "--requests", "10",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFiguresCommand:
+    def test_unknown_artifact(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown artifacts" in capsys.readouterr().err
+
+    def test_table1(self, capsys):
+        assert main(["figures", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "1.75" in out
+
+    def test_scaled_figure_with_csv(self, capsys, tmp_path):
+        code = main([
+            "figures", "fig11",
+            "--requests", "200",
+            "--csv-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "fig11.csv").exists()
+
+    def test_registry_covers_every_paper_artifact(self):
+        for required in (
+            "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig13", "fig14", "fig15",
+        ):
+            assert required in ARTIFACTS

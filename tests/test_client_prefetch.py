@@ -1,0 +1,134 @@
+"""Tests for the PT prefetching extension (repro.client.prefetch)."""
+
+import pytest
+
+from repro.client.prefetch import PrefetchEngine, pt_value
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace, generate_trace
+
+
+def build_engine(variant="steady", cache=4, layout=None, probabilities=None):
+    layout = layout or DiskLayout((2, 6), (3, 1))
+    schedule = multidisk_program(layout)
+    mapping = LogicalPhysicalMapping(layout)
+    probabilities = probabilities or {
+        page: (8 - page) / 36.0 for page in range(8)
+    }
+    return PrefetchEngine(
+        schedule=schedule,
+        mapping=mapping,
+        layout=layout,
+        probability=lambda page: probabilities.get(page, 0.0),
+        cache_capacity=cache,
+        think_time=2.0,
+        variant=variant,
+    )
+
+
+class TestPtValue:
+    def test_value_is_probability_times_wait(self):
+        layout = DiskLayout((2, 6), (3, 1))
+        schedule = multidisk_program(layout)
+        wait = schedule.next_arrival(0, 0.0) - 0.0
+        assert pt_value(0.5, schedule, 0, 0.0) == pytest.approx(0.5 * wait)
+
+    def test_zero_probability_is_worthless(self):
+        layout = DiskLayout((2, 6), (3, 1))
+        schedule = multidisk_program(layout)
+        assert pt_value(0.0, schedule, 0, 0.0) == 0.0
+
+
+class TestPrefetchEngine:
+    def test_variant_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_engine(variant="psychic")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_engine(cache=0)
+
+    def test_cache_fills_with_valuable_pages_while_thinking(self):
+        engine = build_engine(cache=4)
+        # A trace of one request; by its service time several pages have
+        # gone by and been prefetched.
+        outcome = engine.run_trace(RequestTrace.from_pages([7]))
+        assert len(engine.resident_pages) >= 2
+
+    def test_prefetched_page_is_a_hit(self):
+        engine = build_engine(cache=8)
+        # First request forces waiting through the broadcast; page 0 is
+        # broadcast constantly and will be prefetched; the second request
+        # for it must then be a hit.
+        outcome = engine.run_trace(
+            RequestTrace.from_pages([7, 0]),
+            collect_responses=True,
+        )
+        assert outcome.samples[1] == 0.0
+
+    def test_swap_rule_prefers_valuable_pages(self):
+        # Cache of 1: the single slot should end up holding the page with
+        # the highest steady value among those broadcast.
+        engine = build_engine(cache=1)
+        engine.run_trace(RequestTrace.from_pages([7, 7, 7]))
+        resident = engine.resident_pages[0]
+        values = {
+            page: engine._steady(page) for page in range(8)
+        }
+        assert values[resident] == max(values.values())
+
+    def test_dynamic_variant_runs(self):
+        engine = build_engine(variant="dynamic", cache=3)
+        outcome = engine.run_trace(RequestTrace.from_pages([7, 3, 5]))
+        assert outcome.measured_requests == 3
+
+    def test_warmup_requests_excluded_from_measurement(self):
+        engine = build_engine(cache=4)
+        outcome = engine.run_trace(
+            RequestTrace.from_pages([7, 6, 5, 4]), warmup_requests=2
+        )
+        assert outcome.measured_requests == 2
+
+
+class TestPrefetchBeatsDemand:
+    def test_prefetch_improves_on_demand_lix(self):
+        """The §7 conjecture: opportunistic prefetching helps."""
+        config = ExperimentConfig(
+            disk_sizes=(50, 200, 250),
+            delta=3,
+            cache_size=50,
+            policy="LIX",
+            offset=50,
+            noise=0.30,
+            access_range=100,
+            region_size=10,
+            num_requests=1_500,
+            seed=29,
+        )
+        demand = run_experiment(config)
+
+        layout = config.build_layout()
+        schedule = config.build_schedule(layout)
+        streams = config.build_streams()
+        mapping = config.build_mapping(layout, streams)
+        distribution = config.build_distribution()
+        probabilities = distribution.probabilities()
+        engine = PrefetchEngine(
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            probability=lambda page: (
+                float(probabilities[page]) if page < len(probabilities) else 0.0
+            ),
+            cache_capacity=config.cache_size,
+            think_time=config.think_time,
+        )
+        trace = generate_trace(
+            distribution, config.num_requests, streams.stream("requests")
+        )
+        prefetch = engine.run_trace(trace, warmup_requests=200)
+        assert prefetch.response.mean < demand.mean_response_time

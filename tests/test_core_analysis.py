@@ -1,0 +1,180 @@
+"""Unit tests for the closed-form analysis (repro.core.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    bus_stop_penalty,
+    expected_delay,
+    flat_expected_delay,
+    multidisk_expected_delay,
+    per_page_expected_delay,
+    program_comparison,
+    sqrt_rule_lower_bound,
+    sqrt_rule_shares,
+    table1_rows,
+)
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program, paper_example_programs
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ConfigurationError
+
+
+class TestTable1:
+    """The paper's Table 1, row by row, to printed precision."""
+
+    @pytest.fixture
+    def rows(self):
+        return {mix: delays for mix, delays in table1_rows()}
+
+    def test_flat_is_always_one_and_a_half(self, rows):
+        for delays in rows.values():
+            assert delays["flat"] == pytest.approx(1.50)
+
+    def test_uniform_row(self, rows):
+        delays = rows[(1 / 3, 1 / 3, 1 / 3)]
+        assert delays["skewed"] == pytest.approx(1.75)
+        assert delays["multidisk"] == pytest.approx(5.0 / 3.0)
+
+    def test_half_quarter_quarter_row(self, rows):
+        delays = rows[(0.50, 0.25, 0.25)]
+        assert delays["skewed"] == pytest.approx(1.625)
+        assert delays["multidisk"] == pytest.approx(1.50)
+
+    def test_three_quarters_row(self, rows):
+        delays = rows[(0.75, 0.125, 0.125)]
+        assert delays["skewed"] == pytest.approx(1.4375)
+        assert delays["multidisk"] == pytest.approx(1.25)
+
+    def test_ninety_percent_row(self, rows):
+        delays = rows[(0.90, 0.05, 0.05)]
+        assert delays["skewed"] == pytest.approx(1.325)
+        assert delays["multidisk"] == pytest.approx(1.10)
+
+    def test_degenerate_row(self, rows):
+        delays = rows[(1.00, 0.00, 0.00)]
+        assert delays["skewed"] == pytest.approx(1.25)
+        assert delays["multidisk"] == pytest.approx(1.00)
+
+    def test_flat_wins_at_uniform_access(self, rows):
+        # Paper point 1: with uniform probabilities the flat disk is best.
+        delays = rows[(1 / 3, 1 / 3, 1 / 3)]
+        assert delays["flat"] < delays["skewed"]
+        assert delays["flat"] < delays["multidisk"]
+
+    def test_multidisk_always_beats_skewed(self, rows):
+        # Paper point 3: the Bus Stop Paradox.
+        for delays in rows.values():
+            assert delays["multidisk"] < delays["skewed"]
+
+    def test_nonflat_wins_under_skew(self, rows):
+        # Paper point 2: skewed access favours non-flat programs.
+        delays = rows[(0.90, 0.05, 0.05)]
+        assert delays["multidisk"] < delays["flat"]
+
+
+class TestFlatDelay:
+    def test_paper_scale(self):
+        assert flat_expected_delay(5000) == 2500.0
+
+    def test_single_page(self):
+        assert flat_expected_delay(1) == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            flat_expected_delay(0)
+
+
+class TestMultidiskAnalytic:
+    def test_matches_schedule_computation(self):
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        probabilities = {page: 1 / 14 for page in range(14)}
+        analytic = multidisk_expected_delay(layout, probabilities)
+        program = multidisk_program(layout)
+        assert analytic == pytest.approx(
+            program.expected_delay_under(probabilities)
+        )
+
+    def test_matches_schedule_with_padding(self):
+        layout = DiskLayout((1, 3), (2, 1))  # has one padding slot
+        probabilities = {0: 0.7, 1: 0.1, 2: 0.1, 3: 0.1}
+        analytic = multidisk_expected_delay(layout, probabilities)
+        program = multidisk_program(layout)
+        assert analytic == pytest.approx(
+            program.expected_delay_under(probabilities)
+        )
+
+    def test_ignores_zero_probability_pages(self):
+        layout = DiskLayout((1, 1), (2, 1))
+        assert multidisk_expected_delay(layout, {0: 1.0, 1: 0.0}) == (
+            multidisk_expected_delay(layout, {0: 1.0})
+        )
+
+
+class TestBusStopPenalty:
+    def test_zero_for_fixed_gaps(self):
+        program = BroadcastSchedule([0, 1, 0, 2])
+        assert bus_stop_penalty(program, 0) == pytest.approx(0.0)
+
+    def test_positive_for_clustered_gaps(self):
+        program = BroadcastSchedule([0, 0, 1, 2])
+        assert bus_stop_penalty(program, 0) > 0.0
+
+    def test_value_for_paper_example(self):
+        program = BroadcastSchedule([0, 0, 1, 2])
+        # Actual 1.25 vs floor 4/(2*2)=1.0.
+        assert bus_stop_penalty(program, 0) == pytest.approx(0.25)
+
+
+class TestSqrtRule:
+    def test_shares_proportional_to_sqrt(self):
+        shares = sqrt_rule_shares({0: 0.64, 1: 0.16, 2: 0.16, 3: 0.04})
+        assert shares[0] / shares[1] == pytest.approx(2.0)
+        assert shares[1] / shares[3] == pytest.approx(2.0)
+
+    def test_shares_sum_to_one(self):
+        shares = sqrt_rule_shares({0: 0.5, 1: 0.3, 2: 0.2})
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_uniform_bound_equals_flat(self):
+        # With n equally likely pages the bound is n/2: flat is optimal.
+        n = 10
+        probabilities = {page: 1.0 / n for page in range(n)}
+        assert sqrt_rule_lower_bound(probabilities) == pytest.approx(n / 2)
+
+    def test_bound_below_any_actual_program(self):
+        probabilities = {0: 0.5, 1: 0.25, 2: 0.25}
+        bound = sqrt_rule_lower_bound(probabilities)
+        for program in paper_example_programs().values():
+            assert bound <= expected_delay(program, probabilities) + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sqrt_rule_shares({})
+
+
+class TestProgramComparison:
+    def test_ordering_under_skew(self, rng):
+        layout = DiskLayout.from_delta((2, 8), delta=3)
+        probabilities = {page: (0.8 / 2 if page < 2 else 0.2 / 8) for page in range(10)}
+        comparison = program_comparison(
+            layout, probabilities, rng=rng, random_trials=12
+        )
+        assert comparison["multidisk"] < comparison["skewed"]
+        assert comparison["multidisk"] < comparison["random"]
+        assert comparison["multidisk"] < comparison["flat"]
+
+    def test_without_rng_no_random_entry(self):
+        layout = DiskLayout.from_delta((2, 8), delta=1)
+        probabilities = {page: 0.1 for page in range(10)}
+        comparison = program_comparison(layout, probabilities)
+        assert "random" not in comparison
+
+    def test_per_page_expected_delay(self):
+        program = BroadcastSchedule([0, 1, 0, 2])
+        delays = per_page_expected_delay(program)
+        assert delays == {
+            0: pytest.approx(1.0),
+            1: pytest.approx(2.0),
+            2: pytest.approx(2.0),
+        }

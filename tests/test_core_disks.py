@@ -1,0 +1,137 @@
+"""Unit tests for DiskLayout (repro.core.disks)."""
+
+import pytest
+
+from repro.core.disks import DiskLayout
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic_layout(self):
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        assert layout.num_disks == 3
+        assert layout.total_pages == 14
+
+    def test_sizes_and_freqs_are_coerced_to_int_tuples(self):
+        layout = DiskLayout([2.0, 4.0], [3.0, 1.0])
+        assert layout.sizes == (2, 4)
+        assert layout.rel_freqs == (3, 1)
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskLayout((), ())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskLayout((2, 4), (1,))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskLayout((2, 0), (2, 1))
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskLayout((2, 4), (1, 0))
+
+    def test_increasing_frequencies_rejected(self):
+        # A later (colder) disk must not spin faster than an earlier one.
+        with pytest.raises(ConfigurationError):
+            DiskLayout((2, 4), (1, 2))
+
+    def test_equal_frequencies_allowed(self):
+        layout = DiskLayout((2, 4), (1, 1))
+        assert layout.is_flat
+
+
+class TestDeltaRule:
+    def test_delta_zero_is_flat(self):
+        layout = DiskLayout.from_delta((10, 20, 30), delta=0)
+        assert layout.rel_freqs == (1, 1, 1)
+        assert layout.is_flat
+
+    def test_three_disk_delta_one_gives_3_2_1(self):
+        # Paper §4.2: "for a 3-disk broadcast, when delta=1, disk 1 spins
+        # three times as fast as disk 3, while disk 2 spins twice as fast".
+        layout = DiskLayout.from_delta((1, 1, 1), delta=1)
+        assert layout.rel_freqs == (3, 2, 1)
+
+    def test_three_disk_delta_three_gives_7_4_1(self):
+        # Paper §4.2: "when delta=3, the relative speeds are 7, 4, and 1".
+        layout = DiskLayout.from_delta((1, 1, 1), delta=3)
+        assert layout.rel_freqs == (7, 4, 1)
+
+    def test_two_disk_delta_rule(self):
+        layout = DiskLayout.from_delta((5, 5), delta=4)
+        assert layout.rel_freqs == (5, 1)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskLayout.from_delta((1, 1), delta=-1)
+
+    def test_flat_constructor(self):
+        layout = DiskLayout.flat(100)
+        assert layout.num_disks == 1
+        assert layout.total_pages == 100
+        assert layout.is_flat
+
+
+class TestPageMapping:
+    def test_disk_ranges_are_contiguous(self):
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        assert layout.disk_ranges() == ((0, 2), (2, 6), (6, 14))
+
+    def test_disk_of_page_boundaries(self):
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        assert layout.disk_of_page(0) == 0
+        assert layout.disk_of_page(1) == 0
+        assert layout.disk_of_page(2) == 1
+        assert layout.disk_of_page(5) == 1
+        assert layout.disk_of_page(6) == 2
+        assert layout.disk_of_page(13) == 2
+
+    def test_disk_of_page_out_of_range(self):
+        layout = DiskLayout((2, 4), (2, 1))
+        with pytest.raises(ConfigurationError):
+            layout.disk_of_page(6)
+        with pytest.raises(ConfigurationError):
+            layout.disk_of_page(-1)
+
+    def test_pages_on_disk(self):
+        layout = DiskLayout((2, 4), (2, 1))
+        assert list(layout.pages_on_disk(0)) == [0, 1]
+        assert list(layout.pages_on_disk(1)) == [2, 3, 4, 5]
+
+    def test_every_page_on_exactly_one_disk(self):
+        layout = DiskLayout((3, 5, 7), (5, 3, 1))
+        seen = []
+        for disk in range(layout.num_disks):
+            seen.extend(layout.pages_on_disk(disk))
+        assert seen == list(range(layout.total_pages))
+
+
+class TestDerived:
+    def test_bandwidth_shares_sum_to_one(self):
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        assert sum(layout.bandwidth_shares()) == pytest.approx(1.0)
+
+    def test_bandwidth_shares_values(self):
+        layout = DiskLayout((2, 4), (3, 1))
+        # weights 6 and 4 -> shares 0.6, 0.4
+        assert layout.bandwidth_shares() == pytest.approx((0.6, 0.4))
+
+    def test_iteration_yields_size_freq_pairs(self):
+        layout = DiskLayout((2, 4), (3, 1))
+        assert list(layout) == [(2, 3), (4, 1)]
+
+    def test_describe(self):
+        layout = DiskLayout((500, 4500), (4, 1))
+        assert layout.describe() == "<500@4, 4500@1>"
+
+    def test_frozen(self):
+        layout = DiskLayout((2, 4), (2, 1))
+        with pytest.raises(AttributeError):
+            layout.sizes = (1, 1)
+
+    def test_equality_and_hash(self):
+        assert DiskLayout((2, 4), (2, 1)) == DiskLayout((2, 4), (2, 1))
+        assert hash(DiskLayout((2, 4), (2, 1))) == hash(DiskLayout((2, 4), (2, 1)))

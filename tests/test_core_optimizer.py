@@ -1,0 +1,143 @@
+"""Unit tests for the broadcast-shaping optimiser (repro.core.optimizer)."""
+
+import pytest
+
+from repro.core.analysis import multidisk_expected_delay
+from repro.core.disks import DiskLayout
+from repro.core.optimizer import (
+    ShapingResult,
+    compare_presets,
+    greedy_layout,
+    optimize_layout,
+    search_frequencies,
+)
+from repro.errors import ConfigurationError
+
+
+def skewed_probabilities(total=100, hot=10, hot_mass=0.9):
+    """``hot`` pages share ``hot_mass``; the rest share the remainder."""
+    probabilities = {}
+    for page in range(hot):
+        probabilities[page] = hot_mass / hot
+    for page in range(hot, total):
+        probabilities[page] = (1.0 - hot_mass) / (total - hot)
+    return probabilities
+
+
+class TestOptimizeLayout:
+    def test_beats_flat_for_skewed_access(self):
+        probabilities = skewed_probabilities()
+        result = optimize_layout(probabilities, total_pages=100, max_disks=2)
+        flat = multidisk_expected_delay(
+            DiskLayout.flat(100), probabilities
+        )
+        assert result.expected_delay < flat
+
+    def test_flat_is_optimal_for_uniform_access(self):
+        probabilities = {page: 0.01 for page in range(100)}
+        result = optimize_layout(probabilities, total_pages=100, max_disks=2)
+        # Uniform access: nothing beats the flat broadcast (Table 1 point 1).
+        assert result.expected_delay == pytest.approx(50.0)
+        assert result.layout.is_flat or result.delta == 0
+
+    def test_cuts_land_on_probability_plateau_edges(self):
+        probabilities = skewed_probabilities(total=100, hot=10)
+        result = optimize_layout(probabilities, total_pages=100, max_disks=2)
+        if result.layout.num_disks == 2:
+            assert result.layout.sizes[0] == 10
+
+    def test_respects_max_disks(self):
+        probabilities = skewed_probabilities()
+        result = optimize_layout(probabilities, total_pages=100, max_disks=1)
+        assert result.layout.num_disks == 1
+
+    def test_result_reports_evaluation_count(self):
+        probabilities = skewed_probabilities()
+        result = optimize_layout(probabilities, total_pages=100, max_disks=2)
+        assert result.evaluated >= 1
+
+    def test_optimality_gap_at_least_one(self):
+        probabilities = skewed_probabilities()
+        result = optimize_layout(probabilities, total_pages=100, max_disks=3)
+        assert result.optimality_gap >= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            optimize_layout({0: 1.0}, total_pages=0)
+        with pytest.raises(ConfigurationError):
+            optimize_layout({0: 1.0}, total_pages=10, max_disks=0)
+        with pytest.raises(ConfigurationError):
+            optimize_layout({50: 1.0}, total_pages=10)
+
+    def test_more_disks_never_hurt(self):
+        probabilities = skewed_probabilities(total=60, hot=6)
+        two = optimize_layout(probabilities, total_pages=60, max_disks=2)
+        three = optimize_layout(probabilities, total_pages=60, max_disks=3)
+        assert three.expected_delay <= two.expected_delay + 1e-9
+
+
+class TestGreedyLayout:
+    def test_close_to_exhaustive(self):
+        probabilities = skewed_probabilities(total=100, hot=10)
+        exhaustive = optimize_layout(probabilities, total_pages=100, max_disks=2)
+        greedy = greedy_layout(probabilities, total_pages=100, num_disks=2)
+        assert greedy.expected_delay <= exhaustive.expected_delay * 1.25
+
+    def test_needs_two_disks(self):
+        with pytest.raises(ConfigurationError):
+            greedy_layout({0: 1.0}, total_pages=10, num_disks=1)
+
+    def test_needs_enough_cut_candidates(self):
+        with pytest.raises(ConfigurationError):
+            greedy_layout(
+                {page: 0.1 for page in range(10)},
+                total_pages=10,
+                num_disks=3,
+                cut_candidates=[5],
+            )
+
+
+class TestSearchFrequencies:
+    def test_finds_nontrivial_ratio(self):
+        probabilities = skewed_probabilities(total=20, hot=4, hot_mass=0.8)
+        result = search_frequencies((4, 16), probabilities, max_frequency=6)
+        assert result.layout.rel_freqs[0] > result.layout.rel_freqs[-1]
+
+    def test_never_worse_than_flat_vector(self):
+        probabilities = skewed_probabilities(total=20, hot=4)
+        result = search_frequencies((4, 16), probabilities, max_frequency=6)
+        flat = multidisk_expected_delay(DiskLayout((4, 16), (1, 1)), probabilities)
+        assert result.expected_delay <= flat + 1e-9
+
+    def test_delta_is_none_for_direct_search(self):
+        probabilities = skewed_probabilities(total=20, hot=4)
+        result = search_frequencies((4, 16), probabilities, max_frequency=4)
+        assert result.delta is None
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            search_frequencies((), {0: 1.0})
+
+
+class TestComparePresets:
+    def test_returns_delay_per_preset(self):
+        probabilities = skewed_probabilities()
+        presets = {
+            "flat": DiskLayout.flat(100),
+            "split": DiskLayout.from_delta((10, 90), 3),
+        }
+        delays = compare_presets(presets, probabilities)
+        assert set(delays) == {"flat", "split"}
+        assert delays["split"] < delays["flat"]
+
+
+class TestShapingResult:
+    def test_gap_with_zero_bound(self):
+        result = ShapingResult(
+            layout=DiskLayout.flat(10),
+            delta=0,
+            expected_delay=5.0,
+            lower_bound=0.0,
+            evaluated=1,
+        )
+        assert result.optimality_gap == float("inf")

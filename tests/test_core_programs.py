@@ -1,0 +1,185 @@
+"""Unit tests for the program generators (repro.core.programs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import EMPTY_SLOT
+from repro.core.disks import DiskLayout
+from repro.core.programs import (
+    clustered_skewed_program,
+    flat_program,
+    multidisk_program,
+    paper_example_programs,
+    random_allocation_program,
+    schedule_for,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFlatProgram:
+    def test_each_page_once(self):
+        program = flat_program(5)
+        assert list(program.slots) == [0, 1, 2, 3, 4]
+
+    def test_flat_expected_delay_is_half_period(self):
+        program = flat_program(10)
+        for page in range(10):
+            assert program.expected_delay(page) == pytest.approx(5.0)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flat_program(0)
+
+
+class TestMultidiskProgram:
+    def test_figure3_program(self):
+        layout = DiskLayout((1, 2, 4), (4, 2, 1))
+        program = multidisk_program(layout)
+        assert list(program.slots) == [0, 1, 3, 0, 2, 4, 0, 1, 5, 0, 2, 6]
+
+    def test_every_page_has_fixed_interarrival(self):
+        layout = DiskLayout((3, 5, 11), (6, 3, 1))
+        program = multidisk_program(layout)
+        for page in range(layout.total_pages):
+            assert program.has_fixed_interarrival(page), page
+
+    def test_interarrival_equals_period_over_rel_freq(self):
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        program = multidisk_program(layout)
+        for disk in range(layout.num_disks):
+            for page in layout.pages_on_disk(disk):
+                gaps = program.gaps(page)
+                assert gaps[0] == program.period // layout.rel_freqs[disk]
+
+    def test_broadcast_counts_proportional_to_rel_freq(self):
+        layout = DiskLayout((2, 3), (3, 1))
+        program = multidisk_program(layout)
+        assert program.broadcasts_per_period(0) == 3
+        assert program.broadcasts_per_period(2) == 1
+
+    def test_flat_layout_gives_flat_timing(self):
+        layout = DiskLayout.from_delta((3, 3), delta=0)
+        program = multidisk_program(layout)
+        for page in range(6):
+            assert program.broadcasts_per_period(page) == 1
+
+    def test_default_label_mentions_layout(self):
+        program = multidisk_program(DiskLayout((1, 2), (2, 1)))
+        assert "multidisk" in program.label
+
+
+class TestSkewedProgram:
+    def test_copies_are_clustered(self):
+        program = clustered_skewed_program({0: 2, 1: 1, 2: 1})
+        assert list(program.slots) == [0, 0, 1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            clustered_skewed_program({})
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            clustered_skewed_program({0: 0})
+
+
+class TestRandomProgram:
+    def test_contains_every_positive_share_page(self, rng):
+        program = random_allocation_program({0: 2.0, 1: 1.0, 2: 1.0}, 64, rng)
+        assert program.pages == [0, 1, 2]
+
+    def test_respects_length(self, rng):
+        program = random_allocation_program({0: 1.0, 1: 1.0}, 32, rng)
+        assert program.period == 32
+
+    def test_shares_reflected_in_counts(self, rng):
+        program = random_allocation_program({0: 3.0, 1: 1.0}, 4096, rng)
+        ratio = program.broadcasts_per_period(0) / program.broadcasts_per_period(1)
+        assert ratio == pytest.approx(3.0, rel=0.2)
+
+    def test_zero_share_pages_excluded(self, rng):
+        program = random_allocation_program({0: 1.0, 1: 0.0}, 16, rng)
+        assert 1 not in program
+
+    def test_length_too_small_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_allocation_program({0: 1.0, 1: 1.0, 2: 1.0}, 2, rng)
+
+    def test_no_positive_share_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_allocation_program({0: 0.0}, 8, rng)
+
+    def test_deterministic_given_rng_state(self):
+        a = random_allocation_program(
+            {0: 1.0, 1: 1.0}, 32, np.random.default_rng(5)
+        )
+        b = random_allocation_program(
+            {0: 1.0, 1: 1.0}, 32, np.random.default_rng(5)
+        )
+        assert a.slots == b.slots
+
+
+class TestPaperExamples:
+    def test_figure2_programs(self):
+        programs = paper_example_programs()
+        assert list(programs["flat"].slots) == [0, 1, 2]
+        assert list(programs["skewed"].slots) == [0, 0, 1, 2]
+        assert list(programs["multidisk"].slots) == [0, 1, 0, 2]
+
+    def test_multidisk_beats_skewed_for_page_a(self):
+        programs = paper_example_programs()
+        assert (
+            programs["multidisk"].expected_delay(0)
+            < programs["skewed"].expected_delay(0)
+        )
+
+
+class TestScheduleFor:
+    def test_multidisk_kind(self):
+        layout = DiskLayout((1, 2), (2, 1))
+        program = schedule_for(layout, kind="multidisk")
+        assert program.broadcasts_per_period(0) == 2
+
+    def test_flat_kind_ignores_frequencies(self):
+        layout = DiskLayout((1, 2), (2, 1))
+        program = schedule_for(layout, kind="flat")
+        assert program.period == 3
+        assert program.broadcasts_per_period(0) == 1
+
+    def test_skewed_kind_uses_rel_freqs(self):
+        layout = DiskLayout((1, 2), (2, 1))
+        program = schedule_for(layout, kind="skewed")
+        assert program.broadcasts_per_period(0) == 2
+        assert not program.has_fixed_interarrival(0)
+
+    def test_random_kind_requires_rng(self):
+        layout = DiskLayout((1, 2), (2, 1))
+        with pytest.raises(ConfigurationError):
+            schedule_for(layout, kind="random")
+
+    def test_random_kind(self, rng):
+        layout = DiskLayout((1, 2), (2, 1))
+        program = schedule_for(layout, kind="random", rng=rng)
+        assert program.num_pages == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_for(DiskLayout((1,), (1,)), kind="mystery")
+
+
+class TestBandwidthExhaustion:
+    def test_padding_is_small_at_paper_scale(self):
+        # §2.2: unused slots should be a small fraction of the broadcast.
+        for sizes in ((500, 4500), (900, 4100), (300, 1200, 3500)):
+            for delta in range(1, 8):
+                layout = DiskLayout.from_delta(sizes, delta)
+                program = multidisk_program(layout)
+                assert program.empty_slots / program.period < 0.02, (
+                    sizes,
+                    delta,
+                )
+
+    def test_padding_slots_marked_empty(self):
+        layout = DiskLayout((1, 3), (2, 1))
+        program = multidisk_program(layout)
+        assert EMPTY_SLOT not in program.pages
+        assert program.empty_slots == 1

@@ -1,0 +1,79 @@
+"""Integration: the fast engine and the process engine must agree.
+
+The strongest correctness check in the suite: both engines consume the
+same pre-drawn trace through the same policy and must produce identical
+response times for every single request, across policies and parameter
+corners (noise, offset, padding slots, flat and skewed layouts).
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def small_config(**overrides):
+    base = dict(
+        disk_sizes=(50, 200, 250),
+        delta=3,
+        cache_size=50,
+        policy="LIX",
+        noise=0.0,
+        offset=0,
+        access_range=100,
+        region_size=10,
+        num_requests=400,
+        seed=11,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def assert_engines_agree(config):
+    fast = run_experiment(config, engine="fast", collect_responses=True)
+    process = run_experiment(config, engine="process", collect_responses=True)
+    assert fast.samples == process.samples
+    assert fast.hit_rate == process.hit_rate
+    assert fast.access_locations == process.access_locations
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("policy", ["LRU", "L", "LIX", "P", "PIX", "2Q"])
+    def test_policies(self, policy):
+        assert_engines_agree(small_config(policy=policy))
+
+    def test_no_cache(self):
+        assert_engines_agree(small_config(cache_size=1, policy="LRU"))
+
+    def test_with_noise_and_offset(self):
+        assert_engines_agree(small_config(noise=0.45, offset=50, seed=23))
+
+    def test_flat_broadcast(self):
+        assert_engines_agree(small_config(delta=0))
+
+    def test_layout_with_padding_slots(self):
+        # 3 pages on a 2x disk forces a padded chunk.
+        assert_engines_agree(
+            small_config(
+                disk_sizes=(3, 7),
+                delta=1,
+                access_range=10,
+                region_size=2,
+                cache_size=3,
+                offset=0,
+            )
+        )
+
+    def test_zero_think_time(self):
+        assert_engines_agree(small_config(think_time=0.0))
+
+    def test_fractional_think_time(self):
+        assert_engines_agree(small_config(think_time=1.7))
+
+    def test_high_delta(self):
+        assert_engines_agree(small_config(delta=7))
+
+    def test_two_disk_layout(self):
+        assert_engines_agree(
+            small_config(disk_sizes=(90, 410), delta=4, offset=50)
+        )

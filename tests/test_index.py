@@ -1,0 +1,261 @@
+"""Tests for the indexing-on-air subsystem (repro.index)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index.analysis import (
+    expected_access_time,
+    expected_tuning_time,
+    index_size,
+    no_index_expectations,
+    one_m_expectations,
+    optimal_m,
+    tree_depth,
+)
+from repro.index.client import TuningClient, flat_probe
+from repro.index.onem import DATA, INDEX, build_one_m_broadcast
+from repro.index.tree import DispatchTree
+
+
+class TestDispatchTree:
+    def test_single_key(self):
+        tree = DispatchTree([7], fanout=2)
+        assert tree.depth == 1
+        assert tree.data_position(7) == 0
+
+    def test_lookup_positions(self):
+        keys = [0, 2, 4, 6, 8, 10]
+        tree = DispatchTree(keys, fanout=2)
+        for position, key in enumerate(keys):
+            assert tree.data_position(key) == position
+
+    def test_absent_keys(self):
+        tree = DispatchTree([0, 2, 4], fanout=2)
+        assert tree.data_position(3) is None
+        assert tree.data_position(99) is None
+
+    def test_depth_grows_logarithmically(self):
+        assert DispatchTree(list(range(8)), fanout=2).depth == 3
+        assert DispatchTree(list(range(9)), fanout=2).depth == 4
+        assert DispatchTree(list(range(64)), fanout=8).depth == 2
+
+    def test_node_count_matches_formula(self):
+        for num_keys in (1, 5, 16, 57, 100):
+            for fanout in (2, 4, 8):
+                tree = DispatchTree(list(range(num_keys)), fanout)
+                assert tree.node_count == DispatchTree.expected_node_count(
+                    num_keys, fanout
+                ), (num_keys, fanout)
+
+    def test_broadcast_order_is_parent_first(self):
+        tree = DispatchTree(list(range(16)), fanout=2)
+        ordered = tree.nodes_in_broadcast_order()
+        assert ordered[0] is tree.root
+        assert len(ordered) == tree.node_count
+
+    def test_unsorted_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DispatchTree([3, 1, 2], fanout=2)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DispatchTree([1, 1, 2], fanout=2)
+
+    def test_fanout_validation(self):
+        with pytest.raises(ConfigurationError):
+            DispatchTree([1, 2], fanout=1)
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DispatchTree([], fanout=2)
+
+
+class TestOneMBroadcast:
+    def test_cycle_length(self):
+        broadcast = build_one_m_broadcast(list(range(20)), m=2, fanout=4)
+        assert broadcast.cycle_length == 2 * broadcast.index_size + 20
+
+    def test_every_key_broadcast_once(self):
+        keys = list(range(0, 30, 3))
+        broadcast = build_one_m_broadcast(keys, m=2, fanout=3)
+        data_keys = [
+            bucket.key for bucket in broadcast.buckets if bucket.kind == DATA
+        ]
+        assert sorted(data_keys) == keys
+
+    def test_m_index_segments(self):
+        broadcast = build_one_m_broadcast(list(range(24)), m=3, fanout=4)
+        assert len(broadcast.index_root_positions()) == 3
+
+    def test_next_index_offsets_point_at_roots(self):
+        broadcast = build_one_m_broadcast(list(range(24)), m=3, fanout=4)
+        roots = set(broadcast.index_root_positions())
+        cycle = broadcast.cycle_length
+        for position, bucket in enumerate(broadcast.buckets):
+            target = (position + bucket.next_index_offset) % cycle
+            assert target in roots, position
+            assert bucket.next_index_offset > 0
+
+    def test_index_entries_bounded_by_fanout(self):
+        broadcast = build_one_m_broadcast(list(range(50)), m=2, fanout=4)
+        for bucket in broadcast.buckets:
+            if bucket.kind == INDEX:
+                assert 1 <= len(bucket.entries) <= 4
+
+    def test_m_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_one_m_broadcast([1, 2, 3], m=0)
+        with pytest.raises(ConfigurationError):
+            build_one_m_broadcast([1, 2, 3], m=4)
+
+    def test_data_position_unknown_key(self):
+        broadcast = build_one_m_broadcast([0, 2], m=1, fanout=2)
+        with pytest.raises(ConfigurationError):
+            broadcast.data_position(1)
+
+
+class TestTuningClient:
+    @pytest.fixture
+    def broadcast(self):
+        return build_one_m_broadcast(list(range(0, 60, 2)), m=3, fanout=4)
+
+    def test_probe_finds_every_key_from_every_start(self, broadcast):
+        client = TuningClient(broadcast)
+        for key in broadcast.keys[::5]:
+            for start in range(0, broadcast.cycle_length, 7):
+                result = client.probe(key, start)
+                assert result.found, (key, start)
+                data = broadcast.bucket_at(start + result.access_time - 1)
+                assert data.kind == DATA and data.key == key
+
+    def test_access_time_positive_and_bounded(self, broadcast):
+        client = TuningClient(broadcast)
+        for key in broadcast.keys[::7]:
+            result = client.probe(key, 5)
+            assert 1 <= result.access_time <= 2 * broadcast.cycle_length
+
+    def test_tuning_is_constant_small(self, broadcast):
+        client = TuningClient(broadcast)
+        tunings = {
+            client.probe(key, start).tuning_time
+            for key in broadcast.keys[::4]
+            for start in (0, 11, 37)
+        }
+        # probe + depth + data, with a -1 lucky-hit case possible.
+        assert max(tunings) <= broadcast.tree_depth + 2
+        assert min(tunings) >= 1
+
+    def test_lucky_hit_costs_one_bucket(self, broadcast):
+        key = broadcast.keys[0]
+        position = broadcast.data_position(key)
+        result = TuningClient(broadcast).probe(key, position)
+        assert result.access_time == 1
+        assert result.tuning_time == 1
+
+    def test_absent_key_reported_quickly(self, broadcast):
+        result = TuningClient(broadcast).probe(1, 0)  # odd keys absent
+        assert not result.found
+        assert result.tuning_time <= broadcast.tree_depth + 1
+
+    def test_doze_time(self, broadcast):
+        result = TuningClient(broadcast).probe(broadcast.keys[-1], 0)
+        assert result.doze_time == result.access_time - result.tuning_time
+        assert result.doze_time >= 0
+
+    def test_negative_start_rejected(self, broadcast):
+        with pytest.raises(ConfigurationError):
+            TuningClient(broadcast).probe(0, -1)
+
+    def test_measure_aggregates(self, broadcast):
+        client = TuningClient(broadcast)
+        stats = client.measure([0, 2, 4], [1, 2, 3])
+        assert stats.probes == 3
+        assert stats.not_found == 0
+        assert stats.mean_tuning_time <= broadcast.tree_depth + 2
+
+    def test_measure_empty_rejected(self, broadcast):
+        with pytest.raises(ConfigurationError):
+            TuningClient(broadcast).measure([], [])
+
+
+class TestFlatProbe:
+    def test_tuning_equals_access(self):
+        result = flat_probe(10, target_position=7, start=2)
+        assert result.access_time == result.tuning_time == 6
+
+    def test_wraps_around(self):
+        result = flat_probe(10, target_position=1, start=8)
+        assert result.access_time == 4
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            flat_probe(10, target_position=10, start=0)
+
+
+class TestAnalysis:
+    def test_index_size_formula(self):
+        assert index_size(64, 8) == 8 + 1  # 8 bottom nodes + root
+        assert index_size(1, 4) == 1
+
+    def test_tree_depth(self):
+        assert tree_depth(64, 8) == 2
+        assert tree_depth(65, 8) == 3
+        assert tree_depth(4, 8) == 1
+
+    def test_tuning_independent_of_m(self):
+        assert expected_tuning_time(1000, 1, 8) == expected_tuning_time(
+            1000, 8, 8
+        )
+
+    def test_access_has_interior_minimum(self):
+        values = [expected_access_time(1000, m, 8) for m in range(1, 20)]
+        best = values.index(min(values)) + 1
+        assert 1 < best < 19
+
+    def test_optimal_m_matches_sweep(self):
+        best = optimal_m(1000, 8)
+        sweep = min(
+            range(1, 40), key=lambda m: expected_access_time(1000, m, 8)
+        )
+        assert best == sweep
+
+    def test_no_index_expectations(self):
+        expectations = no_index_expectations(999)
+        assert expectations["access"] == expectations["tuning"] == 500.0
+
+    def test_analysis_matches_simulation(self, rng):
+        keys = list(range(0, 800, 2))  # 400 data buckets
+        m = 3
+        fanout = 8
+        broadcast = build_one_m_broadcast(keys, m=m, fanout=fanout)
+        client = TuningClient(broadcast)
+        starts = rng.integers(0, broadcast.cycle_length, size=1500)
+        targets = rng.choice(keys, size=1500)
+        stats = client.measure(targets, starts)
+        expectations = one_m_expectations(len(keys), m, fanout)
+        # Access: the closed form ignores the passed-this-cycle wrap
+        # bias, so allow ~12%.
+        assert stats.mean_access_time == pytest.approx(
+            expectations["access"], rel=0.12
+        )
+        assert stats.mean_tuning_time == pytest.approx(
+            expectations["tuning"], abs=0.5
+        )
+
+    def test_m_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_access_time(100, 0, 4)
+
+    def test_selective_tuning_headline(self, rng):
+        """The subsystem's reason to exist: ~100x less listening for a
+        modest access-time overhead versus the unindexed carousel."""
+        keys = list(range(500))
+        broadcast = build_one_m_broadcast(keys, m=optimal_m(500, 8), fanout=8)
+        client = TuningClient(broadcast)
+        starts = rng.integers(0, broadcast.cycle_length, size=800)
+        targets = rng.choice(keys, size=800)
+        indexed = client.measure(targets, starts)
+        flat = no_index_expectations(500)
+        assert indexed.mean_tuning_time < flat["tuning"] / 25
+        assert indexed.mean_access_time < flat["access"] * 3

@@ -1,0 +1,124 @@
+"""Tests for indexing the multidisk broadcast (repro.index.integrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.disks import DiskLayout
+from repro.core.programs import flat_program, multidisk_program
+from repro.errors import ConfigurationError
+from repro.index.client import TuningClient
+from repro.index.integrate import index_schedule
+from repro.index.onem import DATA, INDEX, build_one_m_broadcast
+from repro.workload.zipf import ZipfRegionDistribution
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout.from_delta((4, 8, 12), delta=2)
+
+
+@pytest.fixture
+def multidisk(layout):
+    return multidisk_program(layout)
+
+
+class TestConstruction:
+    def test_data_slots_preserve_program_order(self, multidisk):
+        indexed = index_schedule(multidisk, m=2, fanout=4)
+        data_sequence = [
+            bucket.key for bucket in indexed.buckets if bucket.kind == DATA
+        ]
+        program_sequence = [page for page in multidisk.slots if page >= 0]
+        assert data_sequence == program_sequence
+
+    def test_hot_pages_repeat_in_cycle(self, layout, multidisk):
+        indexed = index_schedule(multidisk, m=2, fanout=4)
+        hot = 0  # page 0 sits on the fastest disk
+        occurrences = sum(
+            1
+            for bucket in indexed.buckets
+            if bucket.kind == DATA and bucket.key == hot
+        )
+        assert occurrences == layout.rel_freqs[0]
+
+    def test_m_index_segments(self, multidisk):
+        indexed = index_schedule(multidisk, m=3, fanout=4)
+        assert len(indexed.index_root_positions()) == 3
+
+    def test_padding_slots_dropped(self):
+        layout = DiskLayout((1, 3), (2, 1))  # produces one padding slot
+        program = multidisk_program(layout)
+        indexed = index_schedule(program, m=1, fanout=2)
+        data_count = sum(
+            1 for bucket in indexed.buckets if bucket.kind == DATA
+        )
+        assert data_count == len(program.slots) - program.empty_slots
+
+    def test_matches_flat_builder_on_flat_program(self):
+        # On a flat carousel the generalised builder must agree with the
+        # dedicated (1, m) builder bucket-for-bucket.
+        program = flat_program(12)
+        general = index_schedule(program, m=2, fanout=3)
+        dedicated = build_one_m_broadcast(list(range(12)), m=2, fanout=3)
+        assert len(general.buckets) == len(dedicated.buckets)
+        for ours, theirs in zip(general.buckets, dedicated.buckets):
+            assert ours.kind == theirs.kind
+            assert ours.key == theirs.key
+            assert ours.next_index_offset == theirs.next_index_offset
+            assert ours.entries == theirs.entries
+
+    def test_validation(self, multidisk):
+        with pytest.raises(ConfigurationError):
+            index_schedule(multidisk, m=0)
+        with pytest.raises(ConfigurationError):
+            index_schedule(multidisk, m=10_000)
+
+
+class TestProbing:
+    def test_every_key_resolvable_from_every_start(self, multidisk):
+        indexed = index_schedule(multidisk, m=2, fanout=4)
+        client = TuningClient(indexed)
+        for key in indexed.keys:
+            for start in range(0, indexed.cycle_length, 5):
+                result = client.probe(key, start)
+                assert result.found, (key, start)
+                landing = indexed.bucket_at(start + result.access_time - 1)
+                assert landing.kind == DATA and landing.key == key
+
+    def test_tuning_stays_small(self, multidisk):
+        indexed = index_schedule(multidisk, m=2, fanout=4)
+        client = TuningClient(indexed)
+        for key in indexed.keys[::3]:
+            result = client.probe(key, 1)
+            assert result.tuning_time <= indexed.tree_depth + 2
+
+    def test_hot_keys_wait_less_than_cold_keys(self, layout, multidisk):
+        indexed = index_schedule(multidisk, m=4, fanout=4)
+        client = TuningClient(indexed)
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, indexed.cycle_length, size=400)
+        hot = client.measure([0] * 400, starts)
+        cold = client.measure([layout.total_pages - 1] * 400, starts)
+        assert hot.mean_access_time < cold.mean_access_time
+
+
+class TestIntegrationWin:
+    def test_multidisk_index_beats_flat_index_under_skew(self):
+        """The §7 integration payoff: same tuning, better access."""
+        layout = DiskLayout.from_delta((50, 200, 250), delta=4)
+        multi = index_schedule(multidisk_program(layout), m=8, fanout=8)
+        flat = index_schedule(flat_program(500), m=3, fanout=8)
+        rng = np.random.default_rng(3)
+        distribution = ZipfRegionDistribution(100, 10, 0.95)
+        targets = distribution.sample(rng, 2500)
+
+        flat_stats = TuningClient(flat).measure(
+            targets, rng.integers(0, flat.cycle_length, size=2500)
+        )
+        multi_stats = TuningClient(multi).measure(
+            targets, rng.integers(0, multi.cycle_length, size=2500)
+        )
+        assert multi_stats.mean_access_time < flat_stats.mean_access_time
+        assert multi_stats.mean_tuning_time == pytest.approx(
+            flat_stats.mean_tuning_time, abs=0.5
+        )

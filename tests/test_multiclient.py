@@ -1,0 +1,104 @@
+"""Tests for the multi-client process simulation (extension).
+
+The broadcast's headline property: serving N clients costs the server
+nothing — every client sees the same timing it would see alone, because
+there is no contention on a broadcast medium.
+"""
+
+import pytest
+
+from repro.cache.base import PolicyContext
+from repro.cache.lru import LRUPolicy
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.experiments.simengine import ClientSpec, ProcessEngine, run_clients
+from repro.errors import SimulationError
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+
+def make_spec(layout, trace, offset=0, cache=2, name="client"):
+    return ClientSpec(
+        mapping=LogicalPhysicalMapping(layout, offset=offset),
+        cache=LRUPolicy(cache, PolicyContext()),
+        trace=trace,
+        think_time=2.0,
+        warmup_requests=0,
+        collect_responses=True,
+        name=name,
+    )
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout((2, 6), (3, 1))
+
+
+class TestMultiClient:
+    def test_reports_in_spec_order(self, layout):
+        schedule = multidisk_program(layout)
+        reports = run_clients(
+            schedule,
+            layout,
+            [
+                make_spec(layout, RequestTrace.from_pages([0, 1]), name="a"),
+                make_spec(layout, RequestTrace.from_pages([7, 6]), name="b"),
+            ],
+        )
+        assert len(reports) == 2
+        assert reports[0].response.count == 2
+
+    def test_broadcast_scales_to_many_clients_for_free(self, layout):
+        # A client alone and the same client among 8 others must measure
+        # identical response times: broadcast has no contention.
+        schedule = multidisk_program(layout)
+        trace = RequestTrace.from_pages([7, 3, 0, 5, 7, 2])
+
+        alone = run_clients(
+            schedule, layout, [make_spec(layout, trace)]
+        )[0]
+
+        crowd_specs = [make_spec(layout, trace, name="target")]
+        for index in range(8):
+            other_trace = RequestTrace.from_pages(
+                [(index + j) % 8 for j in range(6)]
+            )
+            crowd_specs.append(
+                make_spec(layout, other_trace, name=f"other{index}")
+            )
+        crowded = run_clients(schedule, layout, crowd_specs)[0]
+
+        assert alone.samples == crowded.samples
+
+    def test_clients_with_different_offsets_see_different_costs(self, layout):
+        # A client whose hot pages were pushed to the slow disk (offset)
+        # waits longer for them than an aligned client.
+        schedule = multidisk_program(layout)
+        trace = RequestTrace.from_pages([0] * 30)
+        aligned, shifted = run_clients(
+            schedule,
+            layout,
+            [
+                make_spec(layout, trace, offset=0, cache=1),
+                make_spec(layout, trace, offset=2, cache=1),
+            ],
+        )
+        assert aligned.response.mean < shifted.response.mean
+
+    def test_engine_requires_clients(self, layout):
+        engine = ProcessEngine(multidisk_program(layout), layout)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_heterogeneous_cache_sizes(self, layout):
+        schedule = multidisk_program(layout)
+        trace = RequestTrace.from_pages([0, 1, 0, 1, 0, 1, 0, 1])
+        small, large = run_clients(
+            schedule,
+            layout,
+            [
+                make_spec(layout, trace, cache=1),
+                make_spec(layout, trace, cache=4),
+            ],
+        )
+        assert large.counters.hit_rate > small.counters.hit_rate

@@ -1,0 +1,222 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+Each experiment of §5 is re-run on a 1/10th-scale configuration (database
+500 pages, access range 100, cache 50) that preserves the paper's
+proportions.  The assertions encode the *shape* of the published figures
+— who wins, whether curves cross the flat baseline, where sensitivity
+lies — which is the reproduction criterion for a simulation paper.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+# 1/10th-scale analogues of the paper's presets (same proportions).
+MINI = {
+    "D1": (50, 450),
+    "D2": (90, 410),
+    "D3": (250, 250),
+    "D4": (30, 120, 350),
+    "D5": (50, 200, 250),
+}
+MINI_FLAT_DELAY = 250.0  # half the 500-page database
+REQUESTS = 4_000
+
+
+def mini_config(preset="D5", **overrides):
+    base = dict(
+        disk_sizes=MINI[preset],
+        delta=0,
+        cache_size=1,
+        policy="LRU",
+        noise=0.0,
+        offset=0,
+        access_range=100,
+        region_size=5,
+        num_requests=REQUESTS,
+        seed=17,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def response(config):
+    return run_experiment(config).mean_response_time
+
+
+class TestExperiment1NoCacheNoNoise:
+    """Figure 5's claims."""
+
+    def test_flat_disk_response_is_half_database(self):
+        assert response(mini_config(delta=0)) == pytest.approx(
+            MINI_FLAT_DELAY, rel=0.06
+        )
+
+    @pytest.mark.parametrize("preset", sorted(MINI))
+    def test_every_configuration_beats_flat_at_moderate_delta(self, preset):
+        assert response(mini_config(preset, delta=3)) < MINI_FLAT_DELAY
+
+    def test_d4_is_best_configuration_at_high_delta(self):
+        responses = {
+            preset: response(mini_config(preset, delta=7))
+            for preset in sorted(MINI)
+        }
+        assert min(responses, key=responses.get) == "D4"
+
+    def test_d4_reaches_about_a_third_of_flat(self):
+        # Paper: "At a delta of 7, its response time is only one-third of
+        # the flat-disk response time."
+        ratio = response(mini_config("D4", delta=7)) / MINI_FLAT_DELAY
+        assert 0.2 < ratio < 0.45
+
+    def test_d3_is_worst_two_disk_configuration(self):
+        at_delta = {
+            preset: response(mini_config(preset, delta=4))
+            for preset in ("D1", "D2", "D3")
+        }
+        assert at_delta["D3"] > at_delta["D1"]
+        assert at_delta["D3"] > at_delta["D2"]
+
+    def test_d5_beats_its_two_disk_counterpart_d3(self):
+        # "D5 ... performs better than its two-disk counterpart [D3]."
+        assert response(mini_config("D5", delta=4)) < response(
+            mini_config("D3", delta=4)
+        )
+
+    def test_response_improves_from_flat_with_delta(self):
+        flat = response(mini_config("D5", delta=0))
+        skewed = response(mini_config("D5", delta=4))
+        assert skewed < flat
+
+
+class TestExperiment2NoiseNoCache:
+    """Figures 6 and 7: noise erodes the multi-disk win."""
+
+    def test_noise_degrades_performance(self):
+        quiet = response(mini_config("D3", delta=4, seed=3))
+        noisy = response(mini_config("D3", delta=4, noise=0.75, seed=3))
+        assert noisy > quiet
+
+    def test_high_noise_high_delta_can_lose_to_flat(self):
+        # Figure 6: D3's 75%-noise curve crosses above the flat disk.
+        noisy = response(mini_config("D3", delta=7, noise=0.75, seed=3))
+        assert noisy > MINI_FLAT_DELAY * 0.95
+
+    def test_three_disk_d5_also_degrades_with_noise(self):
+        quiet = response(mini_config("D5", delta=4, seed=3))
+        noisy = response(mini_config("D5", delta=4, noise=0.75, seed=3))
+        assert noisy > quiet
+
+
+class TestExperiment3PCachingAndNoise:
+    """Figure 8: a P cache helps absolutely but amplifies noise sensitivity."""
+
+    def cached(self, **overrides):
+        return mini_config(
+            "D5", cache_size=50, policy="P", offset=50, **overrides
+        )
+
+    def test_cache_improves_absolute_performance(self):
+        without = response(mini_config("D5", delta=3))
+        with_cache = response(self.cached(delta=3))
+        assert with_cache < without
+
+    def test_noise_still_hurts_with_p(self):
+        quiet = response(self.cached(delta=3))
+        noisy = response(self.cached(delta=3, noise=0.75))
+        assert noisy > quiet
+
+    def test_p_high_noise_crosses_flat_at_higher_delta(self):
+        # Figure 8: "when delta > 2, the higher degrees of noise have
+        # multi-disk performance worse than the flat disk performance".
+        flat_with_cache = response(self.cached(delta=0))
+        noisy_skewed = response(self.cached(delta=5, noise=0.75))
+        assert noisy_skewed > flat_with_cache
+
+
+class TestExperiment4PIX:
+    """Figures 9-11: cost-based replacement shields against noise."""
+
+    def cached(self, policy, **overrides):
+        return mini_config(
+            "D5", cache_size=50, policy=policy, offset=50, **overrides
+        )
+
+    def test_pix_beats_p_under_noise(self):
+        for noise in (0.3, 0.6):
+            assert response(self.cached("PIX", delta=3, noise=noise)) < response(
+                self.cached("P", delta=3, noise=noise)
+            )
+
+    def test_pix_stays_below_flat_across_noise(self):
+        # Figure 9: PIX better than flat for all noise/delta studied.
+        flat_with_cache = response(self.cached("PIX", delta=0))
+        for noise in (0.15, 0.45, 0.75):
+            assert response(self.cached("PIX", delta=3, noise=noise)) < (
+                flat_with_cache * 1.05
+            )
+
+    def test_p_and_pix_identical_on_flat_disk(self):
+        # Footnote 6: at delta=0 all frequencies are equal.
+        assert response(self.cached("P", delta=0, noise=0.3)) == (
+            response(self.cached("PIX", delta=0, noise=0.3))
+        )
+
+    def test_figure11_tradeoff(self):
+        # PIX has a lower hit rate than P yet fewer slowest-disk accesses.
+        p = run_experiment(self.cached("P", delta=3, noise=0.3))
+        pix = run_experiment(self.cached("PIX", delta=3, noise=0.3))
+        assert pix.hit_rate <= p.hit_rate
+        assert (
+            pix.access_locations["disk3"] < p.access_locations["disk3"]
+        )
+        assert pix.mean_response_time < p.mean_response_time
+
+
+class TestExperiment5ImplementablePolicies:
+    """Figures 13-15: LIX approximates PIX; LRU/L lag."""
+
+    def cached(self, policy, **overrides):
+        overrides.setdefault("noise", 0.30)
+        return mini_config(
+            "D5", cache_size=50, policy=policy, offset=50, **overrides
+        )
+
+    def test_ordering_lix_l_lru(self):
+        lix = response(self.cached("LIX", delta=3))
+        l_resp = response(self.cached("L", delta=3))
+        lru = response(self.cached("LRU", delta=3))
+        assert lix < l_resp < lru
+
+    def test_lix_close_to_pix_ideal(self):
+        lix = response(self.cached("LIX", delta=3))
+        pix = response(self.cached("PIX", delta=3))
+        assert pix <= lix < pix * 2.5
+
+    def test_lix_beats_l_and_lru_across_noise(self):
+        # Figure 15.
+        for noise in (0.0, 0.45, 0.75):
+            lix = response(self.cached("LIX", delta=3, noise=noise))
+            l_resp = response(self.cached("L", delta=3, noise=noise))
+            lru = response(self.cached("LRU", delta=3, noise=noise))
+            assert lix < l_resp
+            assert lix < lru
+
+    def test_lru_degrades_with_delta(self):
+        # Figure 13: "LRU performs worst and consistently degrades as
+        # delta is increased."
+        assert response(self.cached("LRU", delta=7)) > response(
+            self.cached("LRU", delta=1)
+        )
+
+    def test_figure14_lix_avoids_slowest_disk(self):
+        lix = run_experiment(self.cached("LIX", delta=3))
+        lru = run_experiment(self.cached("LRU", delta=3))
+        l_run = run_experiment(self.cached("L", delta=3))
+        assert (
+            lix.access_locations["disk3"] < lru.access_locations["disk3"]
+        )
+        assert (
+            lix.access_locations["disk3"] < l_run.access_locations["disk3"]
+        )

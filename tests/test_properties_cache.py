@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for cache policy invariants.
+
+Checked for every policy over arbitrary request strings:
+
+* capacity is never exceeded;
+* a page reported resident by ``lookup`` really is served (hits after
+  admits are consistent);
+* ``admit`` returns exactly the page that ended up outside the cache;
+* the resident set only changes through admits.
+
+Plus policy-specific laws: P's steady-state contents are the hottest
+pages seen; PIX with uniform frequency equals P decision-for-decision;
+LIX on one flat disk equals LRU decision-for-decision.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import PolicyContext
+from repro.cache.lix import LPolicy, LIXPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.lruk import LRUKPolicy
+from repro.cache.p import PPolicy
+from repro.cache.pix import PIXPolicy
+from repro.cache.twoq import TwoQPolicy
+
+PAGE_COUNT = 24
+
+
+def full_context(num_disks=3):
+    """A context with every oracle, over PAGE_COUNT synthetic pages."""
+    return PolicyContext(
+        probability=lambda page: (PAGE_COUNT - page) / 300.0,
+        frequency=lambda page: 0.05 + 0.01 * (page % 5),
+        disk_of=lambda page: page % num_disks,
+        num_disks=num_disks,
+    )
+
+
+POLICY_FACTORIES = {
+    "P": lambda cap: PPolicy(cap, full_context()),
+    "PIX": lambda cap: PIXPolicy(cap, full_context()),
+    "LRU": lambda cap: LRUPolicy(cap, full_context()),
+    "L": lambda cap: LPolicy(cap, full_context()),
+    "LIX": lambda cap: LIXPolicy(cap, full_context()),
+    "LRU-K": lambda cap: LRUKPolicy(cap, full_context(), k=2),
+    "2Q": lambda cap: TwoQPolicy(cap, full_context()),
+}
+
+requests_strategy = st.lists(
+    st.integers(min_value=0, max_value=PAGE_COUNT - 1),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestUniversalInvariants:
+    @given(
+        st.sampled_from(sorted(POLICY_FACTORIES)),
+        st.integers(min_value=1, max_value=12),
+        requests_strategy,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_capacity_never_exceeded(self, name, capacity, requests):
+        policy = POLICY_FACTORIES[name](capacity)
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            if not policy.lookup(page, time):
+                policy.admit(page, time)
+            assert len(policy) <= capacity
+
+    @given(
+        st.sampled_from(sorted(POLICY_FACTORIES)),
+        st.integers(min_value=1, max_value=12),
+        requests_strategy,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_admit_accounts_for_every_page(self, name, capacity, requests):
+        # After each miss, the page is resident unless admit returned it,
+        # and any victim is really gone.
+        policy = POLICY_FACTORIES[name](capacity)
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            if policy.lookup(page, time):
+                assert page in policy
+            else:
+                outside = policy.admit(page, time)
+                if outside == page:
+                    assert page not in policy
+                else:
+                    assert page in policy
+                    if outside is not None:
+                        assert outside not in policy
+
+    @given(
+        st.sampled_from(sorted(POLICY_FACTORIES)),
+        requests_strategy,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_repeat_request_is_always_a_hit_for_admitting_policies(
+        self, name, requests
+    ):
+        # With capacity >= pages, everything fits: once seen, always hit.
+        policy = POLICY_FACTORIES[name](PAGE_COUNT)
+        time = 0.0
+        seen = set()
+        for page in requests:
+            time += 2.0
+            hit = policy.lookup(page, time)
+            if page in seen:
+                assert hit, (name, page)
+            if not hit:
+                policy.admit(page, time)
+                seen.add(page)
+
+    @given(
+        st.sampled_from(sorted(POLICY_FACTORIES)),
+        st.integers(min_value=1, max_value=8),
+        requests_strategy,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pages_iterates_exactly_the_residents(self, name, capacity, requests):
+        policy = POLICY_FACTORIES[name](capacity)
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            if not policy.lookup(page, time):
+                policy.admit(page, time)
+        resident = list(policy.pages())
+        assert len(resident) == len(policy)
+        for page in resident:
+            assert page in policy
+
+
+class TestPolicyLaws:
+    @given(requests_strategy, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_p_holds_hottest_pages_seen(self, requests, capacity):
+        policy = PPolicy(capacity, full_context())
+        time = 0.0
+        seen = set()
+        for page in requests:
+            time += 2.0
+            if not policy.lookup(page, time):
+                policy.admit(page, time)
+            seen.add(page)
+        # P keeps the highest-probability subset of everything offered.
+        hottest = sorted(seen)[: capacity]  # page order = hotness order
+        assert set(policy.pages()) == set(hottest[: len(policy)])
+
+    @given(requests_strategy, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_pix_equals_p_under_uniform_frequency(self, requests, capacity):
+        context_p = PolicyContext(
+            probability=lambda page: (PAGE_COUNT - page) / 300.0
+        )
+        context_pix = PolicyContext(
+            probability=lambda page: (PAGE_COUNT - page) / 300.0,
+            frequency=lambda page: 0.125,
+        )
+        p = PPolicy(capacity, context_p)
+        pix = PIXPolicy(capacity, context_pix)
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            hit_p = p.lookup(page, time)
+            hit_pix = pix.lookup(page, time)
+            assert hit_p == hit_pix
+            if not hit_p:
+                assert p.admit(page, time) == pix.admit(page, time)
+
+    @given(requests_strategy, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_lix_equals_lru_on_flat_single_disk(self, requests, capacity):
+        context = PolicyContext(
+            frequency=lambda page: 0.125,
+            disk_of=lambda page: 0,
+            num_disks=1,
+        )
+        lix = LIXPolicy(capacity, context)
+        lru = LRUPolicy(capacity)
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            hit_lix = lix.lookup(page, time)
+            hit_lru = lru.lookup(page, time)
+            assert hit_lix == hit_lru
+            if not hit_lix:
+                assert lix.admit(page, time) == lru.admit(page, time)
+
+    @given(requests_strategy, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_l_equals_lix_under_uniform_frequency(self, requests, capacity):
+        def build(cls):
+            return cls(
+                capacity,
+                PolicyContext(
+                    frequency=lambda page: 0.25,
+                    disk_of=lambda page: page % 3,
+                    num_disks=3,
+                ),
+            )
+
+        lix, l_policy = build(LIXPolicy), build(LPolicy)
+        time = 0.0
+        for page in requests:
+            time += 2.0
+            hit_a = lix.lookup(page, time)
+            hit_b = l_policy.lookup(page, time)
+            assert hit_a == hit_b
+            if not hit_a:
+                assert lix.admit(page, time) == l_policy.admit(page, time)

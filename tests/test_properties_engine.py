@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the fast engine's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import PolicyContext
+from repro.cache.registry import make_policy
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.experiments.engine import FastEngine
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+POLICY_NAMES = ("LRU", "LIX", "PIX", "P", "2Q")
+
+
+@st.composite
+def engine_scenarios(draw):
+    """A random small engine wiring plus a request trace."""
+    num_disks = draw(st.integers(min_value=1, max_value=3))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=10),
+            min_size=num_disks,
+            max_size=num_disks,
+        )
+    )
+    delta = draw(st.integers(min_value=0, max_value=4))
+    layout = DiskLayout.from_delta(sizes, delta)
+    total = layout.total_pages
+
+    offset = draw(st.integers(min_value=0, max_value=total))
+    capacity = draw(st.integers(min_value=1, max_value=max(1, total // 2)))
+    think = draw(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+    )
+    policy_name = draw(st.sampled_from(POLICY_NAMES))
+    requests = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=total - 1),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    return layout, offset, capacity, think, policy_name, requests
+
+
+def build_engine(layout, offset, capacity, think, policy_name):
+    schedule = multidisk_program(layout)
+    mapping = LogicalPhysicalMapping(layout, offset=offset)
+    total = layout.total_pages
+    context = PolicyContext(
+        probability=lambda page: (total - page) / (total * total),
+        frequency=lambda page: schedule.frequency(mapping.to_physical(page)),
+        disk_of=lambda page: layout.disk_of_page(mapping.to_physical(page)),
+        num_disks=layout.num_disks,
+    )
+    cache = make_policy(policy_name, capacity, context)
+    return FastEngine(schedule, mapping, layout, cache, think), schedule, mapping
+
+
+class TestEngineInvariants:
+    @given(engine_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_responses_bounded_by_worst_gap(self, scenario):
+        layout, offset, capacity, think, policy_name, requests = scenario
+        engine, schedule, mapping = build_engine(
+            layout, offset, capacity, think, policy_name
+        )
+        outcome = engine.run_trace(
+            RequestTrace.from_pages(requests),
+            warmup_requests=0,
+            collect_responses=True,
+        )
+        worst = max(
+            schedule.worst_case_delay(mapping.to_physical(page))
+            for page in set(requests)
+        )
+        for sample in outcome.samples:
+            assert 0.0 <= sample <= worst + 1.0
+
+    @given(engine_scenarios())
+    @settings(max_examples=100, deadline=None)
+    def test_accounting_is_complete(self, scenario):
+        layout, offset, capacity, think, policy_name, requests = scenario
+        engine, _schedule, _mapping = build_engine(
+            layout, offset, capacity, think, policy_name
+        )
+        outcome = engine.run_trace(
+            RequestTrace.from_pages(requests), warmup_requests=0
+        )
+        counters = outcome.counters
+        assert counters.hits + counters.misses == len(requests)
+        assert outcome.measured_requests == len(requests)
+        assert 0.0 <= counters.hit_rate <= 1.0
+        assert sum(counters.per_disk_misses.values()) == counters.misses
+
+    @given(engine_scenarios())
+    @settings(max_examples=100, deadline=None)
+    def test_clock_is_monotone_and_consistent(self, scenario):
+        layout, offset, capacity, think, policy_name, requests = scenario
+        engine, _schedule, _mapping = build_engine(
+            layout, offset, capacity, think, policy_name
+        )
+        outcome = engine.run_trace(
+            RequestTrace.from_pages(requests),
+            warmup_requests=0,
+            collect_responses=True,
+        )
+        # Final clock = total think time + total waiting time.
+        expected = think * len(requests) + sum(outcome.samples)
+        assert abs(engine.now - expected) < 1e-6
+
+    @given(engine_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_determinism(self, scenario):
+        layout, offset, capacity, think, policy_name, requests = scenario
+        trace = RequestTrace.from_pages(requests)
+        first, _s, _m = build_engine(
+            layout, offset, capacity, think, policy_name
+        )
+        second, _s2, _m2 = build_engine(
+            layout, offset, capacity, think, policy_name
+        )
+        a = first.run_trace(trace, warmup_requests=0, collect_responses=True)
+        b = second.run_trace(trace, warmup_requests=0, collect_responses=True)
+        assert a.samples == b.samples
+
+    @given(engine_scenarios(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=80, deadline=None)
+    def test_warmup_only_shrinks_measurement(self, scenario, warmup):
+        layout, offset, capacity, think, policy_name, requests = scenario
+        engine, _schedule, _mapping = build_engine(
+            layout, offset, capacity, think, policy_name
+        )
+        outcome = engine.run_trace(
+            RequestTrace.from_pages(requests), warmup_requests=warmup
+        )
+        expected_measured = max(0, len(requests) - min(warmup, len(requests)))
+        assert outcome.measured_requests == expected_measured
+        assert outcome.warmup_requests == min(warmup, len(requests))

@@ -1,0 +1,153 @@
+"""Property tests (hypothesis) for the extension engines' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.prefetch import PrefetchEngine
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.query.engine import fetch_opportunistic, fetch_sequential
+from repro.updates.engine import VolatileEngine
+from repro.updates.process import PeriodicUpdateModel
+from repro.cache.base import PolicyContext
+from repro.cache.lru import LRUPolicy
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+
+@st.composite
+def small_worlds(draw):
+    """A random small broadcast world and a request string over it."""
+    sizes = draw(
+        st.lists(st.integers(min_value=2, max_value=8), min_size=1, max_size=3)
+    )
+    delta = draw(st.integers(min_value=0, max_value=3))
+    layout = DiskLayout.from_delta(sizes, delta)
+    total = layout.total_pages
+    requests = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=total - 1),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return layout, requests
+
+
+class TestPrefetchProperties:
+    @given(small_worlds(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_and_response_bounds(self, world, capacity):
+        layout, requests = world
+        schedule = multidisk_program(layout)
+        mapping = LogicalPhysicalMapping(layout)
+        total = layout.total_pages
+        engine = PrefetchEngine(
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            probability=lambda page: (total - page) / (total * total),
+            cache_capacity=capacity,
+            think_time=1.5,
+        )
+        outcome = engine.run_trace(RequestTrace.from_pages(requests))
+        assert len(engine.resident_pages) <= capacity
+        assert outcome.response.minimum >= 0.0 or outcome.response.count == 0
+        worst = max(
+            schedule.worst_case_delay(mapping.to_physical(page))
+            for page in set(requests)
+        )
+        if outcome.response.count:
+            assert outcome.response.maximum <= worst + 1.0
+
+    @given(small_worlds())
+    @settings(max_examples=60, deadline=None)
+    def test_accounting(self, world):
+        layout, requests = world
+        schedule = multidisk_program(layout)
+        mapping = LogicalPhysicalMapping(layout)
+        total = layout.total_pages
+        engine = PrefetchEngine(
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            probability=lambda page: (total - page) / (total * total),
+            cache_capacity=3,
+            think_time=2.0,
+        )
+        outcome = engine.run_trace(RequestTrace.from_pages(requests))
+        counters = outcome.counters
+        assert counters.hits + counters.misses == len(requests)
+
+
+class TestVolatileProperties:
+    @given(
+        small_worlds(),
+        st.floats(min_value=5.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stale_reads_bounded_by_hits(self, world, interval):
+        layout, requests = world
+        schedule = multidisk_program(layout)
+        mapping = LogicalPhysicalMapping(layout)
+        import numpy as np
+
+        engine = VolatileEngine(
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            cache=LRUPolicy(3, PolicyContext()),
+            updates=PeriodicUpdateModel.uniform(
+                interval, layout.total_pages, rng=np.random.default_rng(1)
+            ),
+            think_time=2.0,
+        )
+        outcome = engine.run_trace(RequestTrace.from_pages(requests))
+        assert outcome.stale_reads <= outcome.counters.hits
+        assert 0.0 <= outcome.stale_fraction <= 1.0
+
+    @given(small_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_reports_never_increase_staleness(self, world):
+        import numpy as np
+
+        layout, requests = world
+        schedule = multidisk_program(layout)
+        mapping = LogicalPhysicalMapping(layout)
+        outcomes = []
+        for report_interval in (None, 10.0):
+            engine = VolatileEngine(
+                schedule=schedule,
+                mapping=mapping,
+                layout=layout,
+                cache=LRUPolicy(3, PolicyContext()),
+                updates=PeriodicUpdateModel.uniform(
+                    40.0, layout.total_pages, rng=np.random.default_rng(1)
+                ),
+                think_time=2.0,
+                report_interval=report_interval,
+            )
+            outcomes.append(
+                engine.run_trace(RequestTrace.from_pages(requests))
+            )
+        without, with_reports = outcomes
+        assert with_reports.stale_reads <= without.stale_reads + 1
+
+
+class TestQueryProperties:
+    @given(small_worlds())
+    @settings(max_examples=80, deadline=None)
+    def test_opportunistic_dominates_sequential(self, world):
+        layout, requests = world
+        schedule = multidisk_program(layout)
+        mapping = LogicalPhysicalMapping(layout)
+        pages = list(dict.fromkeys(requests))[:6]
+        seq = fetch_sequential(schedule, mapping, pages, start=0.7)
+        opp = fetch_opportunistic(schedule, mapping, pages, start=0.7)
+        assert opp.makespan <= seq.makespan + 1e-9
+        # Both collect exactly the requested distinct pages.
+        assert sorted(p for _t, p in opp.completions) == sorted(pages)
+        assert sorted(p for _t, p in seq.completions) == sorted(pages)
+        # Opportunistic completions are time-ordered.
+        times = [t for t, _p in opp.completions]
+        assert times == sorted(times)

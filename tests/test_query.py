@@ -1,0 +1,184 @@
+"""Tests for broadcast-aware query processing (repro.query)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import PolicyContext
+from repro.cache.lru import LRUPolicy
+from repro.core.disks import DiskLayout
+from repro.core.programs import flat_program, multidisk_program
+from repro.errors import ConfigurationError
+from repro.query.analysis import (
+    opportunistic_expected_makespan_flat,
+    opportunistic_speedup_flat,
+    sequential_expected_makespan_flat,
+)
+from repro.query.engine import fetch_opportunistic, fetch_sequential
+from repro.workload.mapping import LogicalPhysicalMapping
+
+
+@pytest.fixture
+def flat():
+    layout = DiskLayout.flat(20)
+    return flat_program(20), LogicalPhysicalMapping(layout)
+
+
+class TestSequential:
+    def test_single_page(self, flat):
+        schedule, mapping = flat
+        outcome = fetch_sequential(schedule, mapping, [4], start=0.0)
+        assert outcome.makespan == 5.0  # slot 4 completes at 5
+        assert outcome.pages_from_broadcast == 1
+
+    def test_order_matters(self, flat):
+        schedule, mapping = flat
+        # Fetch 10 then 5: 5 has just passed, costs nearly a full cycle.
+        forward = fetch_sequential(schedule, mapping, [5, 10], start=0.0)
+        backward = fetch_sequential(schedule, mapping, [10, 5], start=0.0)
+        assert forward.makespan == 11.0
+        assert backward.makespan == 26.0
+
+    def test_duplicates_deduped(self, flat):
+        schedule, mapping = flat
+        outcome = fetch_sequential(schedule, mapping, [3, 3, 3], start=0.0)
+        assert outcome.pages == 1
+
+    def test_empty_query_rejected(self, flat):
+        schedule, mapping = flat
+        with pytest.raises(ConfigurationError):
+            fetch_sequential(schedule, mapping, [], start=0.0)
+
+    def test_completions_in_request_order(self, flat):
+        schedule, mapping = flat
+        outcome = fetch_sequential(schedule, mapping, [7, 2, 12], start=0.0)
+        assert [page for _t, page in outcome.completions] == [7, 2, 12]
+
+
+class TestOpportunistic:
+    def test_harvests_in_arrival_order(self, flat):
+        schedule, mapping = flat
+        outcome = fetch_opportunistic(
+            schedule, mapping, [12, 2, 7], start=0.0
+        )
+        assert [page for _t, page in outcome.completions] == [2, 7, 12]
+        assert outcome.makespan == 13.0
+
+    def test_never_exceeds_one_cycle_on_flat(self, flat):
+        schedule, mapping = flat
+        rng = np.random.default_rng(4)
+        for _trial in range(30):
+            pages = rng.choice(20, size=6, replace=False)
+            start = float(rng.uniform(0, 20))
+            outcome = fetch_opportunistic(schedule, mapping, pages, start)
+            assert outcome.makespan <= schedule.period + 1.0
+
+    def test_beats_or_matches_sequential_everywhere(self, flat):
+        schedule, mapping = flat
+        rng = np.random.default_rng(4)
+        for _trial in range(40):
+            pages = rng.choice(20, size=5, replace=False).tolist()
+            start = float(rng.uniform(0, 20))
+            opp = fetch_opportunistic(schedule, mapping, pages, start)
+            seq = fetch_sequential(schedule, mapping, pages, start)
+            assert opp.makespan <= seq.makespan + 1e-9
+
+    def test_matches_flat_closed_form(self, flat):
+        schedule, mapping = flat
+        rng = np.random.default_rng(4)
+        k = 4
+        makespans = []
+        for _trial in range(3000):
+            pages = rng.choice(20, size=k, replace=False)
+            start = float(rng.uniform(0, 20))
+            makespans.append(
+                fetch_opportunistic(schedule, mapping, pages, start).makespan
+            )
+        expected = opportunistic_expected_makespan_flat(20, k)
+        assert np.mean(makespans) == pytest.approx(expected, rel=0.05)
+
+    def test_sequential_matches_flat_closed_form(self, flat):
+        schedule, mapping = flat
+        rng = np.random.default_rng(4)
+        k = 4
+        makespans = []
+        for _trial in range(3000):
+            pages = rng.choice(20, size=k, replace=False)
+            start = float(rng.uniform(0, 20))
+            makespans.append(
+                fetch_sequential(schedule, mapping, pages, start).makespan
+            )
+        expected = sequential_expected_makespan_flat(20, k)
+        assert np.mean(makespans) == pytest.approx(expected, rel=0.05)
+
+
+class TestWithCache:
+    def test_cached_pages_cost_nothing(self, flat):
+        schedule, mapping = flat
+        cache = LRUPolicy(4, PolicyContext())
+        cache.admit(7, 0.0)
+        outcome = fetch_opportunistic(
+            schedule, mapping, [7, 2], start=0.0, cache=cache
+        )
+        assert outcome.cache_hits == 1
+        assert outcome.pages_from_broadcast == 1
+        assert outcome.makespan == 3.0  # only page 2 needed the channel
+
+    def test_fetched_pages_enter_cache(self, flat):
+        schedule, mapping = flat
+        cache = LRUPolicy(4, PolicyContext())
+        fetch_sequential(schedule, mapping, [5], start=0.0, cache=cache)
+        assert 5 in cache
+
+    def test_second_query_benefits(self, flat):
+        schedule, mapping = flat
+        cache = LRUPolicy(4, PolicyContext())
+        first = fetch_opportunistic(
+            schedule, mapping, [3, 9], start=0.0, cache=cache
+        )
+        second = fetch_opportunistic(
+            schedule, mapping, [3, 9], start=first.makespan, cache=cache
+        )
+        assert second.makespan == 0.0
+        assert second.cache_hits == 2
+
+
+class TestOnMultidisk:
+    def test_hot_sets_complete_faster_than_cold_sets(self):
+        layout = DiskLayout.from_delta((5, 10, 25), delta=3)
+        schedule = multidisk_program(layout)
+        mapping = LogicalPhysicalMapping(layout)
+        rng = np.random.default_rng(9)
+        hot = []
+        cold = []
+        for _trial in range(300):
+            start = float(rng.uniform(0, schedule.period))
+            hot.append(
+                fetch_opportunistic(
+                    schedule, mapping, [0, 1, 2], start
+                ).makespan
+            )
+            cold.append(
+                fetch_opportunistic(
+                    schedule, mapping, [37, 38, 39], start
+                ).makespan
+            )
+        assert np.mean(hot) < np.mean(cold)
+
+
+class TestAnalysis:
+    def test_speedup_formula(self):
+        assert opportunistic_speedup_flat(1) == 1.0
+        assert opportunistic_speedup_flat(9) == 5.0
+        expected_ratio = (
+            sequential_expected_makespan_flat(100, 9)
+            / opportunistic_expected_makespan_flat(100, 9)
+        )
+        assert expected_ratio == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            opportunistic_expected_makespan_flat(10, 0)
+        with pytest.raises(ConfigurationError):
+            sequential_expected_makespan_flat(10, 11)
+        with pytest.raises(ConfigurationError):
+            opportunistic_speedup_flat(0)

@@ -1,0 +1,107 @@
+"""Tests for the waiting-time distribution queries (CDF/quantiles).
+
+Beyond the mean, the Bus Stop Paradox is a statement about the *shape*
+of the wait distribution: clustered programs have heavier tails for the
+same bandwidth.  These tests pin the closed-form CDF/quantile against
+brute-force phase enumeration and Monte-Carlo sampling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import BroadcastSchedule
+from repro.errors import ScheduleError
+
+
+class TestDelayCdf:
+    def test_flat_program_uniform_wait(self):
+        schedule = BroadcastSchedule([0, 1, 2, 3])
+        # Single gap of 4: W ~ Uniform(0, 4].
+        assert schedule.delay_cdf(0, 0.0) == 0.0
+        assert schedule.delay_cdf(0, 2.0) == pytest.approx(0.5)
+        assert schedule.delay_cdf(0, 4.0) == pytest.approx(1.0)
+        assert schedule.delay_cdf(0, 99.0) == 1.0
+
+    def test_negative_wait(self):
+        schedule = BroadcastSchedule([0, 1])
+        assert schedule.delay_cdf(0, -1.0) == 0.0
+
+    def test_two_gap_program(self):
+        # A at slots 0,1 of period 4: gaps 1 and 3.
+        schedule = BroadcastSchedule([0, 0, 1, 2])
+        # P(W <= 1) = (min(1,1)+min(1,3))/4 = 0.5
+        assert schedule.delay_cdf(0, 1.0) == pytest.approx(0.5)
+        # P(W <= 2) = (1 + 2)/4 = 0.75
+        assert schedule.delay_cdf(0, 2.0) == pytest.approx(0.75)
+
+    def test_cdf_monotone(self):
+        schedule = BroadcastSchedule([0, 3, 0, 1, 2, 3, 0, 1])
+        waits = np.linspace(0, 8, 33)
+        values = [schedule.delay_cdf(0, w) for w in waits]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_cdf_against_monte_carlo(self, rng):
+        schedule = BroadcastSchedule([0, 1, 0, 2, 3, 0, 1, 2])
+        times = rng.uniform(0, schedule.period, size=20_000)
+        waits = np.array([schedule.wait_time(0, t) for t in times])
+        for threshold in (0.5, 1.0, 2.0, 3.0):
+            empirical = float(np.mean(waits <= threshold))
+            assert schedule.delay_cdf(0, threshold) == pytest.approx(
+                empirical, abs=0.02
+            )
+
+
+class TestDelayQuantile:
+    def test_flat_median(self):
+        schedule = BroadcastSchedule([0, 1, 2, 3])
+        assert schedule.delay_quantile(0, 0.5) == pytest.approx(2.0)
+
+    def test_extremes(self):
+        schedule = BroadcastSchedule([0, 0, 1, 2])
+        assert schedule.delay_quantile(0, 0.0) == 0.0
+        assert schedule.delay_quantile(0, 1.0) == pytest.approx(3.0)  # max gap
+
+    def test_invalid_fraction(self):
+        schedule = BroadcastSchedule([0, 1])
+        with pytest.raises(ScheduleError):
+            schedule.delay_quantile(0, 1.5)
+
+    def test_quantile_inverts_cdf(self):
+        schedule = BroadcastSchedule([0, 3, 0, 1, 2, 3, 0, 1])
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            wait = schedule.delay_quantile(0, fraction)
+            assert schedule.delay_cdf(0, wait) == pytest.approx(fraction)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=40),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_quantile_cdf_round_trip_property(self, slots, fraction):
+        schedule = BroadcastSchedule(slots)
+        page = schedule.pages[0]
+        wait = schedule.delay_quantile(page, fraction)
+        assert abs(schedule.delay_cdf(page, wait) - fraction) < 1e-9
+
+    def test_worst_case(self):
+        schedule = BroadcastSchedule([0, 0, 1, 2])
+        assert schedule.worst_case_delay(0) == 3.0
+        assert schedule.worst_case_delay(1) == 4.0
+
+
+class TestBusStopTails:
+    def test_clustered_program_has_heavier_tail(self):
+        multidisk = BroadcastSchedule([0, 1, 0, 2])
+        clustered = BroadcastSchedule([0, 0, 1, 2])
+        # Same bandwidth for page 0 in both; clustered waits longer at
+        # the 90th percentile and in the worst case.
+        assert clustered.delay_quantile(0, 0.9) > multidisk.delay_quantile(0, 0.9)
+        assert clustered.worst_case_delay(0) > multidisk.worst_case_delay(0)
+
+    def test_fixed_gaps_have_linear_cdf(self):
+        schedule = BroadcastSchedule([0, 1, 0, 2])
+        # W ~ Uniform(0, 2]: CDF is exactly w/2.
+        for wait in (0.4, 1.0, 1.6):
+            assert schedule.delay_cdf(0, wait) == pytest.approx(wait / 2.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the broadcast channel and server processes."""
+
+import pytest
+
+from repro.core.schedule import BroadcastSchedule
+from repro.server.channel import BroadcastChannel
+from repro.server.server import BroadcastServer
+from repro.sim.kernel import Simulator
+
+
+def make_system(slots):
+    sim = Simulator()
+    schedule = BroadcastSchedule(slots)
+    channel = BroadcastChannel(sim, schedule)
+    server = BroadcastServer(sim, schedule, channel)
+    return sim, schedule, channel, server
+
+
+class TestWaitFor:
+    def test_waiter_woken_at_completion(self):
+        sim, _schedule, channel, _server = make_system([0, 1, 2])
+        event = channel.wait_for(1)
+        sim.run_until_event(event)
+        assert sim.now == 2.0
+        assert event.value == 2.0
+
+    def test_request_exactly_at_completion_gets_next_cycle(self):
+        sim, _schedule, channel, _server = make_system([0, 1, 2])
+        first = channel.wait_for(0)
+        sim.run_until_event(first)
+        assert sim.now == 1.0
+        second = channel.wait_for(0)
+        sim.run_until_event(second)
+        assert sim.now == 4.0
+
+    def test_multiple_waiters_same_page(self):
+        sim, _schedule, channel, _server = make_system([0, 1])
+        events = [channel.wait_for(0) for _ in range(3)]
+        sim.run(until=2.0)
+        assert all(event.processed for event in events)
+        assert {event.value for event in events} == {1.0}
+
+    def test_waiters_for_different_pages(self):
+        sim, _schedule, channel, _server = make_system([0, 1, 2])
+        event_2 = channel.wait_for(2)
+        event_0 = channel.wait_for(0)
+        sim.run(until=5.0)
+        assert event_0.value == 1.0
+        assert event_2.value == 3.0
+
+    def test_late_registration_of_earlier_due_time(self):
+        # Server is already sleeping toward a later waiter when a new
+        # waiter with an earlier due time registers: it must re-plan.
+        sim, _schedule, channel, _server = make_system([0, 1, 2, 3])
+        late = channel.wait_for(3)  # due 4.0
+        early_holder = []
+
+        def register_early():
+            early_holder.append(channel.wait_for(1))  # due 2.0
+
+        sim.schedule(1.5, register_early)
+        sim.run(until=6.0)
+        assert early_holder[0].value == 2.0
+        assert late.value == 4.0
+
+
+class TestServerEfficiency:
+    def test_server_skips_unobserved_slots(self):
+        sim, _schedule, channel, server = make_system(list(range(100)))
+        event = channel.wait_for(99)
+        sim.run_until_event(event)
+        # Jumped straight to slot 99's completion: one delivery.
+        assert server.slots_transmitted <= 2
+
+    def test_server_parks_when_idle(self):
+        sim, _schedule, channel, server = make_system([0, 1])
+        event = channel.wait_for(0)
+        sim.run_until_event(event)
+        transmitted = server.slots_transmitted
+        sim.run(until=1000.0)  # no demand: nothing else transmitted
+        assert server.slots_transmitted == transmitted
+
+
+class TestSnooping:
+    def test_snooper_sees_every_page(self):
+        sim, _schedule, channel, _server = make_system([5, 7, 9])
+        seen = []
+        channel.snoop(lambda time, page: seen.append((time, page)))
+        sim.run(until=3.0)
+        assert seen == [(1.0, 5), (2.0, 7), (3.0, 9)]
+
+    def test_snooper_and_waiter_coexist(self):
+        sim, _schedule, channel, _server = make_system([5, 7])
+        seen = []
+        channel.snoop(lambda time, page: seen.append(page))
+        event = channel.wait_for(7)
+        sim.run_until_event(event)
+        assert seen == [5, 7]
+
+    def test_unsnoop_stops_deliveries(self):
+        sim, _schedule, channel, server = make_system([5, 7])
+        seen = []
+        callback = lambda time, page: seen.append(page)  # noqa: E731
+        channel.snoop(callback)
+        sim.run(until=1.0)
+        channel.unsnoop(callback)
+        sim.run(until=10.0)
+        assert seen == [5]
+
+    def test_snooper_skips_padding_slots(self):
+        from repro.core.chunks import EMPTY_SLOT
+
+        sim, _schedule, channel, _server = make_system([5, EMPTY_SLOT, 9])
+        seen = []
+        channel.snoop(lambda time, page: seen.append(page))
+        sim.run(until=3.0)
+        assert seen == [5, 9]
+
+    def test_deliveries_counted(self):
+        sim, _schedule, channel, _server = make_system([0, 1])
+        channel.snoop(lambda time, page: None)
+        sim.run(until=4.0)
+        assert channel.deliveries == 4

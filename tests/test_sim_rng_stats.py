@@ -1,0 +1,173 @@
+"""Unit tests for the RNG streams and statistics accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import Histogram, RunningStats, WindowedSeries
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_values(self):
+        a = RandomStreams(7).stream("requests").random(5)
+        b = RandomStreams(7).stream("requests").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(7).stream("requests").random(5)
+        b = RandomStreams(8).stream("requests").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("requests").random(5)
+        b = streams.stream("noise").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_stream_values_independent_of_request_order(self):
+        one = RandomStreams(7)
+        one.stream("a")
+        values_one = one.stream("b").random(3)
+        two = RandomStreams(7)
+        values_two = two.stream("b").random(3)  # never asked for "a"
+        assert np.array_equal(values_one, values_two)
+
+    def test_getitem_alias(self):
+        streams = RandomStreams(7)
+        assert streams["x"] is streams.stream("x")
+
+    def test_fork_changes_values(self):
+        base = RandomStreams(7)
+        fork = base.fork(1)
+        assert not np.array_equal(
+            base.stream("x").random(3), fork.stream("x").random(3)
+        )
+
+
+class TestRunningStats:
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_mean_matches_numpy(self, rng):
+        values = rng.normal(10, 3, size=500)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+
+    def test_variance_matches_numpy(self, rng):
+        values = rng.normal(10, 3, size=500)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_min_max(self):
+        stats = RunningStats()
+        stats.extend([3.0, -1.0, 7.0])
+        assert stats.minimum == -1.0
+        assert stats.maximum == 7.0
+
+    def test_stderr(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        expected = math.sqrt(np.var([1, 2, 3, 4], ddof=1) / 4)
+        assert stats.stderr == pytest.approx(expected)
+
+    def test_merge_equals_combined(self, rng):
+        left_values = rng.normal(0, 1, 200)
+        right_values = rng.normal(5, 2, 300)
+        left, right, combined = RunningStats(), RunningStats(), RunningStats()
+        left.extend(left_values)
+        right.extend(right_values)
+        combined.extend(np.concatenate([left_values, right_values]))
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        merged = stats.merge(RunningStats())
+        assert merged.mean == pytest.approx(1.5)
+
+
+class TestWindowedSeries:
+    def test_tail_bounded_by_window(self):
+        series = WindowedSeries(window=4)
+        for value in range(10):
+            series.add(float(value))
+        assert series.tail == [6.0, 7.0, 8.0, 9.0]
+
+    def test_not_converged_until_window_full(self):
+        series = WindowedSeries(window=8)
+        for value in [5.0] * 7:
+            series.add(value)
+        assert not series.is_converged()
+
+    def test_converged_on_stable_signal(self):
+        series = WindowedSeries(window=8)
+        for value in [5.0] * 8:
+            series.add(value)
+        assert series.is_converged()
+
+    def test_not_converged_on_trend(self):
+        series = WindowedSeries(window=8)
+        for value in range(8):
+            series.add(float(value * 100))
+        assert not series.is_converged()
+
+    def test_percentile(self):
+        series = WindowedSeries(window=10)
+        for value in range(10):
+            series.add(float(value))
+        assert series.tail_percentile(0.0) == 0.0
+        assert series.tail_percentile(1.0) == 9.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(window=4).tail_percentile(0.5)
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(window=1)
+
+
+class TestHistogram:
+    def test_binning(self):
+        histogram = Histogram(0.0, 10.0, bins=5)
+        for value in (0.5, 2.5, 2.6, 9.9):
+            histogram.add(value)
+        assert histogram.counts == [1, 2, 0, 0, 1]
+
+    def test_overflow_underflow(self):
+        histogram = Histogram(0.0, 10.0, bins=2)
+        histogram.add(-1.0)
+        histogram.add(10.0)
+        histogram.add(100.0)
+        assert histogram.underflow == 1
+        assert histogram.overflow == 2
+        assert histogram.total == 3
+
+    def test_edges(self):
+        histogram = Histogram(0.0, 4.0, bins=2)
+        assert histogram.edges() == [(0.0, 2.0), (2.0, 4.0)]
+
+    def test_nonempty(self):
+        histogram = Histogram(0.0, 4.0, bins=2)
+        histogram.add(3.0)
+        assert histogram.nonempty() == [(2.0, 4.0, 1)]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 10.0, bins=0)
+        with pytest.raises(ValueError):
+            Histogram(5.0, 5.0, bins=3)

@@ -1,0 +1,171 @@
+"""Tests for the volatile-data extension (repro.updates)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import PolicyContext
+from repro.cache.lru import LRUPolicy
+from repro.core.disks import DiskLayout
+from repro.core.programs import flat_program, multidisk_program
+from repro.errors import ConfigurationError
+from repro.updates.engine import VolatileEngine
+from repro.updates.process import PeriodicUpdateModel, PoissonUpdateModel
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace
+
+
+class TestPeriodicUpdateModel:
+    def test_version_advances_every_interval(self):
+        model = PeriodicUpdateModel.uniform(10.0, num_pages=3)
+        assert model.version_at(0, 5.0) == 1  # phase 0: update at t=0
+        assert model.version_at(0, 10.0) == 2
+        assert model.version_at(0, 95.0) == 10
+
+    def test_infinite_interval_never_updates(self):
+        model = PeriodicUpdateModel(
+            lambda page: float("inf"), num_pages=2
+        )
+        assert model.version_at(0, 1e6) == 0
+
+    def test_phase_randomisation(self, rng):
+        model = PeriodicUpdateModel.uniform(100.0, num_pages=50, rng=rng)
+        first_versions = {model.version_at(page, 50.0) for page in range(50)}
+        # With random phases some pages have updated by t=50, others not.
+        assert first_versions == {0, 1}
+
+    def test_updated_in_window(self):
+        model = PeriodicUpdateModel.uniform(10.0, num_pages=1)
+        assert model.updated_in(0, 1.0, 11.0)
+        assert not model.updated_in(0, 1.0, 9.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicUpdateModel.uniform(0.0, num_pages=2)
+        with pytest.raises(ConfigurationError):
+            PeriodicUpdateModel.uniform(5.0, num_pages=0)
+
+    def test_version_monotone(self, rng):
+        model = PeriodicUpdateModel.uniform(7.0, num_pages=4, rng=rng)
+        times = np.linspace(0, 100, 53)
+        for page in range(4):
+            versions = [model.version_at(page, t) for t in times]
+            assert versions == sorted(versions)
+
+
+class TestPoissonUpdateModel:
+    def test_rate_zero_never_updates(self, rng):
+        model = PoissonUpdateModel(lambda page: 0.0, 2, rng)
+        assert model.version_at(0, 1e6) == 0
+
+    def test_expected_count(self, rng):
+        model = PoissonUpdateModel(lambda page: 0.01, 200, rng, horizon=1e5)
+        counts = [model.version_at(page, 1e5) for page in range(200)]
+        assert np.mean(counts) == pytest.approx(0.01 * 1e5, rel=0.05)
+
+    def test_version_monotone(self, rng):
+        model = PoissonUpdateModel(lambda page: 0.05, 1, rng, horizon=1e4)
+        times = np.linspace(0, 1e4, 97)
+        versions = [model.version_at(0, t) for t in times]
+        assert versions == sorted(versions)
+
+    def test_beyond_horizon_rejected(self, rng):
+        model = PoissonUpdateModel(lambda page: 0.1, 1, rng, horizon=100.0)
+        with pytest.raises(ConfigurationError):
+            model.version_at(0, 200.0)
+
+    def test_negative_rate_rejected(self, rng):
+        model = PoissonUpdateModel(lambda page: -1.0, 1, rng)
+        with pytest.raises(ConfigurationError):
+            model.version_at(0, 1.0)
+
+
+def build_engine(
+    update_interval=50.0,
+    report_interval=None,
+    num_pages=20,
+    cache_capacity=5,
+    rng=None,
+):
+    layout = DiskLayout.flat(num_pages)
+    schedule = flat_program(num_pages)
+    mapping = LogicalPhysicalMapping(layout)
+    cache = LRUPolicy(cache_capacity, PolicyContext())
+    updates = PeriodicUpdateModel.uniform(update_interval, num_pages, rng=rng)
+    return VolatileEngine(
+        schedule=schedule,
+        mapping=mapping,
+        layout=layout,
+        cache=cache,
+        updates=updates,
+        think_time=2.0,
+        report_interval=report_interval,
+    )
+
+
+class TestVolatileEngine:
+    def test_static_data_never_stale(self):
+        engine = build_engine(update_interval=float("inf"))
+        trace = RequestTrace.from_pages([1, 2, 1, 2, 1, 2] * 10)
+        outcome = engine.run_trace(trace)
+        assert outcome.stale_reads == 0
+        assert outcome.stale_fraction == 0.0
+
+    def test_volatile_data_served_stale_without_reports(self, rng):
+        engine = build_engine(update_interval=10.0, rng=rng)
+        trace = RequestTrace.from_pages([1] * 200)
+        outcome = engine.run_trace(trace)
+        # Page 1 is hit from cache essentially forever while being
+        # updated every 10 units: most hits are stale.
+        assert outcome.stale_fraction > 0.5
+        assert outcome.invalidations_applied == 0
+
+    def test_reports_bound_staleness(self, rng):
+        without = build_engine(update_interval=25.0, rng=rng)
+        trace = RequestTrace.from_pages([1, 2, 3] * 120)
+        outcome_without = without.run_trace(trace)
+
+        with_reports = build_engine(
+            update_interval=25.0, report_interval=20.0,
+            rng=np.random.default_rng(1234),  # same phases as `rng` fixture
+        )
+        outcome_with = with_reports.run_trace(trace)
+        assert outcome_with.stale_fraction < outcome_without.stale_fraction
+        assert outcome_with.invalidations_applied > 0
+        assert outcome_with.reports_heard > 0
+
+    def test_invalidation_causes_refetch(self, rng):
+        engine = build_engine(
+            update_interval=10.0, report_interval=10.0, rng=rng
+        )
+        trace = RequestTrace.from_pages([1] * 100)
+        outcome = engine.run_trace(trace)
+        # Repeated requests for one page would be 99 hits on static
+        # data; invalidations force periodic re-fetches.
+        assert outcome.counters.misses > 1
+
+    def test_hit_rate_cost_of_reports(self, rng):
+        quiet = build_engine(update_interval=30.0, rng=rng)
+        noisy = build_engine(
+            update_interval=30.0, report_interval=15.0,
+            rng=np.random.default_rng(1234),
+        )
+        trace = RequestTrace.from_pages(list(range(5)) * 60)
+        hit_without = quiet.run_trace(trace).counters.hit_rate
+        hit_with = noisy.run_trace(trace).counters.hit_rate
+        assert hit_with <= hit_without
+
+    def test_warmup_excluded(self):
+        engine = build_engine(update_interval=float("inf"))
+        trace = RequestTrace.from_pages([1, 2, 3, 4])
+        outcome = engine.run_trace(trace, warmup_requests=2)
+        assert outcome.measured_requests == 2
+
+    def test_report_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_engine(report_interval=0.0)
+
+    def test_stale_fraction_empty(self):
+        engine = build_engine(update_interval=float("inf"))
+        trace = RequestTrace.from_pages([1])
+        outcome = engine.run_trace(trace, warmup_requests=1)
+        assert outcome.stale_fraction == 0.0

@@ -1,0 +1,155 @@
+"""Volatile-data engine on multidisk broadcasts with cost-based caches.
+
+The basic volatile tests use a flat carousel and LRU; these exercise the
+engine on the paper's actual configuration shape — multidisk program,
+Offset, LIX/PIX caches — and check the interactions the volatility bench
+relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.updates.engine import VolatileEngine
+from repro.updates.process import PeriodicUpdateModel, PoissonUpdateModel
+from repro.workload.trace import generate_trace
+
+
+def build(policy="LIX", update_interval=1e9, report_interval=None, seed=7):
+    config = ExperimentConfig(
+        disk_sizes=(50, 200, 250),
+        delta=3,
+        cache_size=50,
+        policy=policy,
+        offset=50,
+        access_range=100,
+        region_size=10,
+        num_requests=1_200,
+        seed=seed,
+    )
+    layout = config.build_layout()
+    schedule = config.build_schedule(layout)
+    streams = config.build_streams()
+    mapping = config.build_mapping(layout, streams)
+    distribution = config.build_distribution()
+    cache = config.build_policy(schedule, mapping, distribution, layout)
+    updates = PeriodicUpdateModel.uniform(
+        update_interval, layout.total_pages, rng=streams.stream("updates")
+    )
+    engine = VolatileEngine(
+        schedule=schedule,
+        mapping=mapping,
+        layout=layout,
+        cache=cache,
+        updates=updates,
+        think_time=config.think_time,
+        report_interval=report_interval,
+    )
+    trace = generate_trace(
+        distribution, 2_400, streams.stream("requests")
+    )
+    return engine, trace
+
+
+class TestVolatileOnMultidisk:
+    @pytest.mark.parametrize("policy", ["LRU", "LIX", "PIX", "P"])
+    def test_static_matches_plain_engine(self, policy):
+        # With no updates the volatile engine must agree with the plain
+        # fast engine request-for-request (same wiring, same trace).
+        from repro.experiments.engine import FastEngine
+
+        engine, trace = build(policy=policy)
+        outcome = engine.run_trace(trace, warmup_requests=1_200)
+
+        config = ExperimentConfig(
+            disk_sizes=(50, 200, 250),
+            delta=3,
+            cache_size=50,
+            policy=policy,
+            offset=50,
+            access_range=100,
+            region_size=10,
+            num_requests=1_200,
+            seed=7,
+        )
+        layout = config.build_layout()
+        schedule = config.build_schedule(layout)
+        streams = config.build_streams()
+        mapping = config.build_mapping(layout, streams)
+        distribution = config.build_distribution()
+        cache = config.build_policy(schedule, mapping, distribution, layout)
+        plain = FastEngine(
+            schedule, mapping, layout, cache, config.think_time
+        )
+        trace2 = generate_trace(distribution, 2_400, streams.stream("requests"))
+        reference = plain.run_trace(trace2, warmup_requests=1_200)
+        assert outcome.mean_response_time == pytest.approx(
+            reference.response.mean
+        )
+        assert outcome.counters.hit_rate == reference.counters.hit_rate
+
+    def test_staleness_grows_with_volatility(self):
+        fractions = []
+        for interval in (2e6, 2e5, 2e4):
+            engine, trace = build(update_interval=interval)
+            outcome = engine.run_trace(trace, warmup_requests=600)
+            fractions.append(outcome.stale_fraction)
+        assert fractions[0] <= fractions[1] <= fractions[2] + 0.02
+        assert fractions[-1] > fractions[0]
+
+    def test_reports_cut_staleness_on_multidisk(self):
+        engine, trace = build(update_interval=5e4)
+        baseline = engine.run_trace(trace, warmup_requests=600)
+        engine2, trace2 = build(update_interval=5e4, report_interval=500.0)
+        reported = engine2.run_trace(trace2, warmup_requests=600)
+        assert reported.stale_fraction < baseline.stale_fraction
+        assert reported.invalidations_applied > 0
+
+    def test_reports_cost_latency(self):
+        engine, trace = build(update_interval=5e4)
+        baseline = engine.run_trace(trace, warmup_requests=600)
+        engine2, trace2 = build(update_interval=5e4, report_interval=500.0)
+        reported = engine2.run_trace(trace2, warmup_requests=600)
+        assert reported.mean_response_time >= baseline.mean_response_time
+
+    def test_poisson_model_agrees_qualitatively(self):
+        # Same staleness trend under the stochastic update model.
+        config = ExperimentConfig(
+            disk_sizes=(50, 200, 250),
+            delta=3,
+            cache_size=50,
+            policy="LIX",
+            offset=50,
+            access_range=100,
+            region_size=10,
+            num_requests=1_200,
+            seed=7,
+        )
+        layout = config.build_layout()
+        schedule = config.build_schedule(layout)
+        streams = config.build_streams()
+        mapping = config.build_mapping(layout, streams)
+        distribution = config.build_distribution()
+        fractions = []
+        for rate in (1e-7, 1e-5):
+            cache = config.build_policy(schedule, mapping, distribution, layout)
+            updates = PoissonUpdateModel(
+                lambda page: rate,
+                layout.total_pages,
+                rng=np.random.default_rng(5),
+                horizon=1e8,
+            )
+            engine = VolatileEngine(
+                schedule=schedule,
+                mapping=mapping,
+                layout=layout,
+                cache=cache,
+                updates=updates,
+                think_time=config.think_time,
+            )
+            trace = generate_trace(
+                distribution, 2_400, streams.stream(f"requests-{rate}")
+            )
+            outcome = engine.run_trace(trace, warmup_requests=600)
+            fractions.append(outcome.stale_fraction)
+        assert fractions[1] > fractions[0]

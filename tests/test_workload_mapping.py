@@ -1,0 +1,172 @@
+"""Unit tests for the Offset/Noise logical→physical mapping (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.errors import ConfigurationError
+from repro.workload.mapping import LogicalPhysicalMapping
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout((2, 4, 8), (4, 2, 1))
+
+
+class TestIdentity:
+    def test_identity_without_offset_or_noise(self, layout):
+        mapping = LogicalPhysicalMapping(layout)
+        for page in range(layout.total_pages):
+            assert mapping.to_physical(page) == page
+            assert mapping.to_logical(page) == page
+
+    def test_hottest_pages_on_fastest_disk(self, layout):
+        mapping = LogicalPhysicalMapping(layout)
+        assert mapping.disk_of_logical(0) == 0
+        assert mapping.disk_of_logical(1) == 0
+        assert mapping.disk_of_logical(2) == 1
+
+
+class TestOffset:
+    def test_offset_is_circular_shift(self, layout):
+        mapping = LogicalPhysicalMapping(layout, offset=3)
+        total = layout.total_pages
+        for page in range(total):
+            assert mapping.to_physical(page) == (page - 3) % total
+
+    def test_offset_pushes_hottest_to_slowest_disk_tail(self, layout):
+        # Figure 4: the K hottest logical pages end up at the end of the
+        # slowest disk.
+        mapping = LogicalPhysicalMapping(layout, offset=2)
+        total = layout.total_pages
+        assert mapping.to_physical(0) == total - 2
+        assert mapping.to_physical(1) == total - 1
+        assert mapping.disk_of_logical(0) == layout.num_disks - 1
+
+    def test_offset_brings_colder_pages_forward(self, layout):
+        mapping = LogicalPhysicalMapping(layout, offset=2)
+        # Logical pages 2,3 now occupy the fastest disk.
+        assert mapping.disk_of_logical(2) == 0
+        assert mapping.disk_of_logical(3) == 0
+
+    def test_mapping_is_a_bijection(self, layout):
+        mapping = LogicalPhysicalMapping(layout, offset=5)
+        physicals = {mapping.to_physical(p) for p in range(layout.total_pages)}
+        assert physicals == set(range(layout.total_pages))
+
+    def test_inverse_consistency(self, layout):
+        mapping = LogicalPhysicalMapping(layout, offset=5)
+        for page in range(layout.total_pages):
+            assert mapping.to_logical(mapping.to_physical(page)) == page
+
+    def test_offset_bounds(self, layout):
+        with pytest.raises(ConfigurationError):
+            LogicalPhysicalMapping(layout, offset=-1)
+        with pytest.raises(ConfigurationError):
+            LogicalPhysicalMapping(layout, offset=layout.total_pages + 1)
+
+    def test_full_offset_wraps_to_identity(self, layout):
+        mapping = LogicalPhysicalMapping(layout, offset=layout.total_pages)
+        assert mapping.to_physical(0) == 0
+
+
+class TestNoise:
+    def test_noise_requires_rng(self, layout):
+        with pytest.raises(ConfigurationError):
+            LogicalPhysicalMapping(layout, noise=0.5)
+
+    def test_noise_bounds(self, layout, rng):
+        with pytest.raises(ConfigurationError):
+            LogicalPhysicalMapping(layout, noise=1.5, rng=rng)
+
+    def test_zero_noise_leaves_identity(self, layout, rng):
+        mapping = LogicalPhysicalMapping(layout, noise=0.0, rng=rng)
+        assert all(
+            mapping.to_physical(p) == p for p in range(layout.total_pages)
+        )
+
+    def test_noisy_mapping_is_still_a_bijection(self, layout, rng):
+        mapping = LogicalPhysicalMapping(layout, noise=0.7, rng=rng)
+        physicals = {mapping.to_physical(p) for p in range(layout.total_pages)}
+        assert physicals == set(range(layout.total_pages))
+
+    def test_inverse_consistency_with_noise(self, layout, rng):
+        mapping = LogicalPhysicalMapping(layout, noise=0.7, rng=rng)
+        for page in range(layout.total_pages):
+            assert mapping.to_logical(mapping.to_physical(page)) == page
+
+    def test_displaced_fraction_bounded_by_noise(self):
+        # Noise is an upper bound on disagreement (paper footnote 3);
+        # statistically the displaced fraction stays below ~2x noise
+        # even counting pages dragged along by swaps.
+        layout = DiskLayout((100, 200, 300), (4, 2, 1))
+        rng = np.random.default_rng(3)
+        mapping = LogicalPhysicalMapping(layout, noise=0.15, rng=rng)
+        displaced = mapping.displaced_fraction()
+        assert 0.0 < displaced < 0.35
+
+    def test_noise_one_scrambles_most_pages(self):
+        layout = DiskLayout((100, 200, 300), (4, 2, 1))
+        rng = np.random.default_rng(3)
+        mapping = LogicalPhysicalMapping(layout, noise=1.0, rng=rng)
+        assert mapping.displaced_fraction() > 0.4
+
+    def test_determinism_under_same_rng_seed(self):
+        layout = DiskLayout((10, 20), (2, 1))
+        a = LogicalPhysicalMapping(layout, noise=0.5, rng=np.random.default_rng(9))
+        b = LogicalPhysicalMapping(layout, noise=0.5, rng=np.random.default_rng(9))
+        assert np.array_equal(a.physical_array(), b.physical_array())
+
+    def test_physical_array_read_only(self, layout, rng):
+        mapping = LogicalPhysicalMapping(layout, noise=0.3, rng=rng)
+        with pytest.raises(ValueError):
+            mapping.physical_array()[0] = 99
+
+    def test_noise_scope_limits_the_coin(self):
+        # With the coin scoped to the first 4 logical pages, any page
+        # outside that range may move only by being chosen as a victim —
+        # at most one victim per coin-selected page.
+        layout = DiskLayout((100, 200, 300), (4, 2, 1))
+        rng = np.random.default_rng(3)
+        mapping = LogicalPhysicalMapping(
+            layout, noise=1.0, rng=rng, noise_scope=4
+        )
+        moved = sum(
+            1
+            for page in range(layout.total_pages)
+            if mapping.to_physical(page) != page
+        )
+        assert moved <= 2 * 4
+
+    def test_noise_scope_validation(self, layout, rng):
+        with pytest.raises(ConfigurationError):
+            LogicalPhysicalMapping(
+                layout, noise=0.5, rng=rng, noise_scope=0
+            )
+        with pytest.raises(ConfigurationError):
+            LogicalPhysicalMapping(
+                layout, noise=0.5, rng=rng,
+                noise_scope=layout.total_pages + 1,
+            )
+
+    def test_default_scope_is_whole_database(self, layout, rng):
+        mapping = LogicalPhysicalMapping(layout, noise=0.5, rng=rng)
+        assert mapping.noise_scope == layout.total_pages
+
+
+class TestFrequencyMap:
+    def test_frequencies_follow_disks(self, layout):
+        mapping = LogicalPhysicalMapping(layout)
+        schedule = multidisk_program(layout)
+        frequencies = mapping.frequency_map(schedule, access_range=6)
+        # Pages 0,1 on disk 0 (rel freq 4); 2..5 on disk 1 (rel freq 2).
+        assert frequencies[0] == pytest.approx(4 / schedule.period)
+        assert frequencies[2] == pytest.approx(2 / schedule.period)
+
+    def test_offset_changes_frequencies(self, layout):
+        mapping = LogicalPhysicalMapping(layout, offset=2)
+        schedule = multidisk_program(layout)
+        frequencies = mapping.frequency_map(schedule, access_range=2)
+        # The two hottest logical pages now ride the slowest disk.
+        assert frequencies[0] == pytest.approx(1 / schedule.period)

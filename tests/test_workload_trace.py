@@ -1,0 +1,74 @@
+"""Unit tests for request traces (repro.workload.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import ExplicitDistribution
+from repro.workload.trace import RequestTrace, generate_trace
+
+
+class TestRequestTrace:
+    def test_basic_properties(self):
+        trace = RequestTrace.from_pages([3, 1, 3, 2])
+        assert len(trace) == 4
+        assert trace[0] == 3
+        assert list(trace) == [3, 1, 3, 2]
+        assert trace.distinct_pages == 3
+
+    def test_frequencies(self):
+        trace = RequestTrace.from_pages([3, 1, 3, 2])
+        assert trace.frequencies()[3] == 2
+
+    def test_empirical_probability(self):
+        trace = RequestTrace.from_pages([0, 0, 1, 1])
+        assert trace.empirical_probability(0) == 0.5
+        assert trace.empirical_probability(9) == 0.0
+
+    def test_split(self):
+        trace = RequestTrace.from_pages([0, 1, 2, 3])
+        warm, measured = trace.split(1)
+        assert list(warm) == [0]
+        assert list(measured) == [1, 2, 3]
+
+    def test_split_bounds(self):
+        trace = RequestTrace.from_pages([0, 1])
+        with pytest.raises(ConfigurationError):
+            trace.split(0)
+        with pytest.raises(ConfigurationError):
+            trace.split(2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace.from_pages([])
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace.from_pages([0, -1])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestGenerateTrace:
+    def test_length(self, rng):
+        distribution = ExplicitDistribution([0.5, 0.5])
+        trace = generate_trace(distribution, 100, rng)
+        assert len(trace) == 100
+
+    def test_only_supported_pages(self, rng):
+        distribution = ExplicitDistribution([0.0, 1.0, 0.0])
+        trace = generate_trace(distribution, 50, rng)
+        assert set(trace) == {1}
+
+    def test_deterministic_for_seeded_rng(self):
+        distribution = ExplicitDistribution([0.3, 0.7])
+        a = generate_trace(distribution, 50, np.random.default_rng(4))
+        b = generate_trace(distribution, 50, np.random.default_rng(4))
+        assert np.array_equal(a.pages, b.pages)
+
+    def test_zero_requests_rejected(self, rng):
+        distribution = ExplicitDistribution([1.0])
+        with pytest.raises(ConfigurationError):
+            generate_trace(distribution, 0, rng)
