@@ -18,6 +18,14 @@ Run with::
 from __future__ import annotations
 
 import os
+import sys
+from pathlib import Path
+
+# Make `pytest benchmarks/` work from the repo root without an
+# installed package or a PYTHONPATH=src prefix (src-layout bootstrap).
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 import pytest
 

@@ -489,8 +489,7 @@ def bus_stop_paradox(
     fixed-inter-arrival multidisk program beats both the clustered
     skewed program and the randomised program.
     """
-    import numpy as np
-
+    from repro.sim.rng import RandomStreams
     from repro.workload.zipf import ZipfRegionDistribution
 
     # Δ=1 keeps the cold majority cheap enough that the multidisk program
@@ -500,7 +499,7 @@ def bus_stop_paradox(
         access_range=100, region_size=10, theta=1.20
     )
     probabilities = distribution.probability_map()
-    rng = np.random.default_rng(seed)
+    rng = RandomStreams(seed).stream("figures.bus_stop_paradox")
     comparison = program_comparison(
         layout, probabilities, rng=rng, random_trials=random_trials
     )
@@ -705,8 +704,6 @@ def indexing_tradeoff(
     metrics (simulated), with the no-index carousel as baseline and the
     analytic model alongside.
     """
-    import numpy as np
-
     from repro.index.analysis import (
         no_index_expectations,
         one_m_expectations,
@@ -715,8 +712,10 @@ def indexing_tradeoff(
     from repro.index.client import TuningClient
     from repro.index.onem import build_one_m_broadcast
 
+    from repro.sim.rng import RandomStreams
+
     keys = list(range(num_data_buckets))
-    rng = np.random.default_rng(seed)
+    rng = RandomStreams(seed).stream("figures.indexing_tradeoff")
     access_sim, tuning_sim, access_analytic = [], [], []
     for m in ms:
         broadcast = build_one_m_broadcast(keys, m=m, fanout=fanout)
@@ -847,11 +846,10 @@ def indexed_multidisk_study(
     tuning (the tree depth), substantially lower access for the skewed
     workload — the broadcast-disk effect survives the index detour.
     """
-    import numpy as np
-
     from repro.core.programs import flat_program, multidisk_program
     from repro.index.client import TuningClient
     from repro.index.integrate import index_schedule
+    from repro.sim.rng import RandomStreams
     from repro.workload.zipf import ZipfRegionDistribution
 
     layout = DiskLayout.from_delta((50, 200, 250), delta=4)
@@ -862,7 +860,7 @@ def indexed_multidisk_study(
         ),
     }
     distribution = ZipfRegionDistribution(100, 10, 0.95)
-    rng = np.random.default_rng(seed)
+    rng = RandomStreams(seed).stream("figures.indexed_multidisk_study")
     targets = distribution.sample(rng, probes)
 
     names = list(variants)
@@ -991,17 +989,16 @@ def query_study(
     speedup over sequential grows as (k+1)/2 on the flat disk, matching
     the closed form.
     """
-    import numpy as np
-
     from repro.core.programs import flat_program
     from repro.query.analysis import opportunistic_expected_makespan_flat
+    from repro.sim.rng import RandomStreams
     from repro.query.engine import fetch_opportunistic, fetch_sequential
     from repro.workload.mapping import LogicalPhysicalMapping
 
     layout = DiskLayout.flat(num_pages)
     schedule = flat_program(num_pages)
     mapping = LogicalPhysicalMapping(layout)
-    rng = np.random.default_rng(seed)
+    rng = RandomStreams(seed).stream("figures.query_study")
 
     sequential, opportunistic, analytic = [], [], []
     for k in query_sizes:

@@ -1,0 +1,158 @@
+"""Linter configuration: defaults plus the ``[tool.reprolint]`` table.
+
+The configuration answers three questions:
+
+* which rules are enabled (``enabled``);
+* where the *scoped* determinism rules apply (``scope`` — the
+  simulator source tree; test code may legitimately compare exact
+  analytic floats or build throwaway generators);
+* which files are allowlisted per rule (``allow`` — e.g. the seeded
+  stream factory itself is the one place allowed to touch
+  ``numpy.random``).
+
+``tomllib`` ships with Python 3.11+; on older interpreters the loader
+degrades gracefully to the built-in defaults rather than crashing,
+because this environment is offline and no third-party TOML parser can
+be installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+#: Files every configuration excludes from collection.
+ALWAYS_EXCLUDE = ("__pycache__", ".egg-info")
+
+#: Built-in allowlists, mirrored by the shipped ``pyproject.toml`` so
+#: behaviour is identical whether or not a config file is found.
+DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
+    # run_experiment reports real elapsed wall time *alongside* the
+    # simulated clock; it never feeds wall time back into the model.
+    "RL001": ("src/repro/experiments/runner.py",),
+    # The seeded stream factory is the single sanctioned gateway to
+    # numpy's generators.
+    "RL002": ("src/repro/sim/rng.py",),
+}
+
+#: Scope of the determinism rules when no config says otherwise.
+DEFAULT_SCOPE = "src/repro"
+
+
+def _split_parts(pattern: str) -> Tuple[str, ...]:
+    return tuple(p for p in pattern.replace("\\", "/").split("/") if p)
+
+
+def path_matches(path: str, pattern: str) -> bool:
+    """True if ``path`` ends with the path components of ``pattern``.
+
+    Matching on trailing components keeps allowlists working no matter
+    which directory the linter is invoked from (absolute paths, ``src``
+    vs ``./src``, etc.).
+    """
+    path_parts = _split_parts(path)
+    pattern_parts = _split_parts(pattern)
+    if not pattern_parts or len(pattern_parts) > len(path_parts):
+        return False
+    return path_parts[-len(pattern_parts):] == pattern_parts
+
+
+def path_in_scope(path: str, scope: str) -> bool:
+    """True if ``path`` lies under the ``scope`` component sequence.
+
+    An empty scope means "everywhere" (useful for fixture tests).
+    """
+    if not scope:
+        return True
+    path_parts = _split_parts(path)
+    scope_parts = _split_parts(scope)
+    span = len(scope_parts)
+    return any(
+        path_parts[i : i + span] == scope_parts
+        for i in range(len(path_parts) - span + 1)
+    )
+
+
+@dataclass
+class LintConfig:
+    """Effective linter settings after merging defaults and pyproject."""
+
+    enabled: Optional[Tuple[str, ...]] = None  # None → all registered rules
+    scope: str = DEFAULT_SCOPE
+    allow: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+    exclude: Tuple[str, ...] = ()
+
+    def is_enabled(self, code: str) -> bool:
+        return self.enabled is None or code in self.enabled
+
+    def is_allowed(self, code: str, path: str) -> bool:
+        """True if ``path`` is allowlisted for rule ``code``."""
+        return any(
+            path_matches(path, pattern)
+            for pattern in self.allow.get(code, ())
+        )
+
+    def is_excluded(self, path: str) -> bool:
+        candidates = ALWAYS_EXCLUDE + self.exclude
+        posix = path.replace("\\", "/")
+        return any(token in posix for token in candidates)
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Walk upward from ``start`` (default: cwd) to find pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for directory in (here, *here.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(
+    start: Optional[Path] = None,
+    pyproject: Optional[Path] = None,
+) -> LintConfig:
+    """Build a :class:`LintConfig` from ``[tool.reprolint]`` if present.
+
+    ``pyproject`` names an explicit file; otherwise the nearest
+    ``pyproject.toml`` above ``start`` is used.  Missing file, missing
+    table, or a missing TOML parser all yield the defaults.
+    """
+    config = LintConfig()
+    source = pyproject if pyproject is not None else find_pyproject(start)
+    if source is None or tomllib is None or not Path(source).is_file():
+        return config
+    try:
+        with open(source, "rb") as handle:
+            document = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError):
+        return config
+    table = document.get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        return config
+
+    enabled = table.get("enabled")
+    if isinstance(enabled, Sequence) and not isinstance(enabled, str):
+        config.enabled = tuple(str(code).upper() for code in enabled)
+    scope = table.get("scope")
+    if isinstance(scope, str):
+        config.scope = scope
+    exclude = table.get("exclude")
+    if isinstance(exclude, Sequence) and not isinstance(exclude, str):
+        config.exclude = tuple(str(token) for token in exclude)
+    allow = table.get("allow")
+    if isinstance(allow, dict):
+        merged = dict(DEFAULT_ALLOW)
+        for code, patterns in allow.items():
+            if isinstance(patterns, Sequence) and not isinstance(patterns, str):
+                merged[str(code).upper()] = tuple(str(p) for p in patterns)
+        config.allow = merged
+    return config

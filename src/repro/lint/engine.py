@@ -1,0 +1,253 @@
+"""The single-pass lint engine.
+
+Each file is read and parsed exactly once.  One walk over the AST
+dispatches every node to the registered rules interested in that node
+type; a per-file import table lets rules resolve dotted call targets
+(``_time.perf_counter`` → ``time.perf_counter``) without a second
+pass.  Cross-module rules then run over the full set of parsed
+modules.  Finally ``# repro: noqa[CODE]`` comments filter the
+collected diagnostics by line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig, path_in_scope
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, file_rules, project_rules
+
+#: ``# repro: noqa`` or ``# repro: noqa[RL001]`` or ``[RL001, RL004]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?",
+)
+
+#: Marker meaning "suppress every code on this line".
+_ALL_CODES = "*"
+
+
+class FileContext:
+    """Everything a file-scoped rule may consult while checking a node."""
+
+    def __init__(self, path: str, tree: ast.Module, config: LintConfig):
+        self.path = path.replace("\\", "/")
+        self.config = config
+        self.diagnostics: List[Diagnostic] = []
+        # alias → dotted module for `import numpy as np`;
+        # name → dotted origin for `from time import perf_counter`.
+        self.module_aliases: Dict[str, str] = {}
+        self.from_imports: Dict[str, str] = {}
+        self._index_imports(tree)
+
+    def _index_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # -- name resolution -----------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name for a Name/Attribute chain, import-aware.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when ``np`` aliases ``numpy``; an
+        unimported bare name resolves to itself, which still catches
+        the classic forgot-the-import hazards.
+        """
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            return f"{base}.{node.attr}" if base else None
+        if isinstance(node, ast.Name):
+            if node.id in self.from_imports:
+                return self.from_imports[node.id]
+            if node.id in self.module_aliases:
+                return self.module_aliases[node.id]
+            return node.id
+        return None
+
+    # -- scope / reporting ---------------------------------------------------
+    def applies(self, rule: Rule) -> bool:
+        """Whether ``rule`` runs on this file at all (scope + allowlist)."""
+        if rule.scoped and not path_in_scope(self.path, self.config.scope):
+            return False
+        return not self.config.is_allowed(rule.code, self.path)
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+
+def scan_noqa(source: str) -> Dict[int, Set[str]]:
+    """Map line number → codes suppressed on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressed[lineno] = {_ALL_CODES}
+        else:
+            suppressed[lineno] = {
+                token.strip().upper()
+                for token in codes.split(",")
+                if token.strip()
+            }
+    return suppressed
+
+
+def _apply_noqa(
+    diagnostics: Iterable[Diagnostic],
+    noqa_by_path: Dict[str, Dict[int, Set[str]]],
+) -> List[Diagnostic]:
+    kept = []
+    for diagnostic in diagnostics:
+        codes = noqa_by_path.get(diagnostic.path, {}).get(diagnostic.line)
+        if codes and (_ALL_CODES in codes or diagnostic.code in codes):
+            continue
+        kept.append(diagnostic)
+    return kept
+
+
+def lint_source(
+    path: str,
+    source: str,
+    config: Optional[LintConfig] = None,
+    rules: Optional[List[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one module's source text (file rules only), noqa applied."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=path.replace("\\", "/"),
+                line=error.lineno or 1,
+                col=(error.offset or 0) or 1,
+                code="RL000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    diagnostics = _lint_tree(path, tree, config, rules)
+    noqa = {path.replace("\\", "/"): scan_noqa(source)}
+    return sorted(_apply_noqa(diagnostics, noqa))
+
+
+def _lint_tree(
+    path: str,
+    tree: ast.Module,
+    config: LintConfig,
+    rules: Optional[List[Rule]] = None,
+) -> List[Diagnostic]:
+    """One walk of ``tree``, dispatching nodes to interested rules."""
+    ctx = FileContext(path, tree, config)
+    active = [
+        rule
+        for rule in (rules if rules is not None else file_rules())
+        if config.is_enabled(rule.code) and ctx.applies(rule)
+    ]
+    if not active:
+        return []
+    dispatch: Dict[type, List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for diagnostic in rule.check(node, ctx):
+                ctx.diagnostics.append(diagnostic)
+    return ctx.diagnostics
+
+
+def collect_files(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+) -> List[Path]:
+    """Expand files/directories into the sorted list of lintable files."""
+    config = config or LintConfig()
+    found: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            found.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not config.is_excluded(str(candidate))
+            )
+        elif path.suffix == ".py" and not config.is_excluded(str(path)):
+            found.append(path)
+    # De-duplicate while keeping deterministic order.
+    unique: List[Path] = []
+    seen = set()
+    for candidate in found:
+        key = str(candidate)
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+) -> List[Diagnostic]:
+    """Lint files and directories; returns sorted, noqa-filtered findings.
+
+    Runs the per-file rules in a single pass over each module, then
+    the cross-module rules over the complete parsed set.
+    """
+    config = config or LintConfig()
+    diagnostics: List[Diagnostic] = []
+    modules: Dict[str, ast.Module] = {}
+    noqa_by_path: Dict[str, Dict[int, Set[str]]] = {}
+    rules = file_rules()
+
+    for file_path in collect_files(paths, config):
+        posix = str(file_path).replace("\\", "/")
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            diagnostics.append(
+                Diagnostic(posix, 1, 1, "RL000", f"unreadable file: {error}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as error:
+            diagnostics.append(
+                Diagnostic(
+                    posix,
+                    error.lineno or 1,
+                    (error.offset or 0) or 1,
+                    "RL000",
+                    f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        modules[posix] = tree
+        noqa_by_path[posix] = scan_noqa(source)
+        diagnostics.extend(_lint_tree(posix, tree, config, rules))
+
+    for project_rule in project_rules():
+        if config.is_enabled(project_rule.code):
+            diagnostics.extend(project_rule.check_project(modules, config))
+
+    return sorted(_apply_noqa(diagnostics, noqa_by_path))

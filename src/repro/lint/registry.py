@@ -1,0 +1,117 @@
+"""Rule base classes and the registry the engine dispatches from.
+
+Two kinds of rule exist:
+
+* :class:`Rule` — file-scoped, fed individual AST nodes during the
+  engine's single pass over each module;
+* :class:`ProjectRule` — cross-module, handed every parsed module at
+  once (e.g. RL006's policy-protocol check, which must see both
+  ``cache/base.py`` and ``cache/registry.py``).
+
+Rules self-register via the :func:`register` decorator; importing
+:mod:`repro.lint.rules` populates the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Tuple, Type, Union
+
+from repro.lint.diagnostics import Diagnostic
+
+
+class Rule:
+    """A file-scoped check dispatched per AST node type.
+
+    Attributes
+    ----------
+    code:
+        Stable diagnostic code (``RLxxx``) used in output, ``noqa``
+        suppressions, and the config's ``enabled``/``allow`` tables.
+    name:
+        Short human name for ``--list-rules``.
+    rationale:
+        One-line tie back to determinism/reproducibility.
+    scoped:
+        True when the rule only applies inside ``config.scope`` (the
+        simulator source tree) — the determinism rules are scoped, the
+        robustness rules are not.
+    node_types:
+        AST node classes this rule wants to see.
+    """
+
+    code: str = "RL000"
+    name: str = "abstract"
+    rationale: str = ""
+    scoped: bool = False
+    node_types: Tuple[type, ...] = ()
+
+    def check(self, node: ast.AST, ctx: "FileContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.code}>"
+
+
+class ProjectRule:
+    """A cross-module check run once over the whole linted file set."""
+
+    code: str = "RL000"
+    name: str = "abstract"
+    rationale: str = ""
+    scoped: bool = False
+
+    def check_project(
+        self,
+        modules: Dict[str, ast.Module],
+        config,
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.code}>"
+
+
+_FILE_RULES: List[Type[Rule]] = []
+_PROJECT_RULES: List[Type[ProjectRule]] = []
+
+AnyRule = Union[Type[Rule], Type[ProjectRule]]
+
+
+def register(rule_class: AnyRule) -> AnyRule:
+    """Class decorator adding a rule to the registry (idempotent)."""
+    if issubclass(rule_class, Rule):
+        if rule_class not in _FILE_RULES:
+            _FILE_RULES.append(rule_class)
+    elif issubclass(rule_class, ProjectRule):
+        if rule_class not in _PROJECT_RULES:
+            _PROJECT_RULES.append(rule_class)
+    else:  # pragma: no cover - developer error
+        raise TypeError(f"{rule_class!r} is neither Rule nor ProjectRule")
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    # Deferred so `import repro.lint.registry` alone has no side effects.
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+
+def file_rules() -> List[Rule]:
+    """Fresh instances of every registered file-scoped rule."""
+    _ensure_loaded()
+    return [cls() for cls in _FILE_RULES]
+
+
+def project_rules() -> List[ProjectRule]:
+    """Fresh instances of every registered cross-module rule."""
+    _ensure_loaded()
+    return [cls() for cls in _PROJECT_RULES]
+
+
+def available_rules() -> List[Tuple[str, str, str]]:
+    """(code, name, rationale) for every registered rule, sorted."""
+    _ensure_loaded()
+    rows: Iterable[AnyRule] = [*_FILE_RULES, *_PROJECT_RULES]
+    return sorted(
+        (cls.code, cls.name, cls.rationale) for cls in rows
+    )

@@ -1,0 +1,5 @@
+"""Rule modules; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism, protocol, robustness  # noqa: F401

@@ -1,0 +1,214 @@
+"""Determinism rules: RL001 wall-clock, RL002 stray RNGs, RL003 float==.
+
+These three are *scoped* rules: they police the simulator source tree
+(``[tool.reprolint] scope``, default ``src/repro``).  Test code
+legitimately builds throwaway generators and asserts exact analytic
+floats, so the scope keeps the signal clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import Rule, register
+
+#: Calls that read the host's clock.  Any of these inside the simulator
+#: couples results to the machine's speed or the time of day.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module prefixes whose callables draw from process-global RNG state
+#: (or mint fresh generators outside the seeded-stream discipline).
+RNG_MODULE_PREFIXES = ("random.", "numpy.random.")
+RNG_MODULES = ("random", "numpy.random")
+
+
+@register
+class WallClockRule(Rule):
+    """RL001 — no wall-clock reads inside the simulator."""
+
+    code = "RL001"
+    name = "wall-clock-read"
+    rationale = (
+        "simulated time must come from the event kernel; a host clock "
+        "read makes two identically-seeded runs diverge"
+    )
+    scoped = True
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Diagnostic]:
+        resolved = ctx.resolve(node.func)
+        if resolved in WALL_CLOCK_CALLS:
+            yield Diagnostic(
+                ctx.path,
+                node.lineno,
+                node.col_offset + 1,
+                self.code,
+                f"wall-clock read {resolved}() in simulator code; use the "
+                "event kernel's simulated clock (or allowlist this file "
+                "in [tool.reprolint])",
+            )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RL002 — all randomness flows through ``sim/rng.py``."""
+
+    code = "RL002"
+    name = "unmanaged-rng"
+    rationale = (
+        "every random draw must come from a named, seeded stream "
+        "(repro.sim.rng.RandomStreams) so adding one consumer never "
+        "perturbs another's sequence"
+    )
+    scoped = True
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in RNG_MODULES or alias.name.startswith(
+                    "numpy.random."
+                ):
+                    yield self._diagnostic(node, ctx, f"import of {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            names = {alias.name for alias in node.names}
+            if (
+                module in RNG_MODULES
+                or module.startswith("numpy.random.")
+                or (module == "numpy" and "random" in names)
+            ):
+                yield self._diagnostic(node, ctx, f"import from {module or '.'}")
+        elif isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved and resolved.startswith(RNG_MODULE_PREFIXES):
+                yield self._diagnostic(node, ctx, f"call to {resolved}()")
+
+    def _diagnostic(
+        self, node: ast.AST, ctx: FileContext, what: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            ctx.path,
+            node.lineno,
+            node.col_offset + 1,
+            self.code,
+            f"{what} bypasses the seeded stream discipline; draw from "
+            "repro.sim.rng.RandomStreams instead",
+        )
+
+
+#: Identifier tokens that mark an expression as simulation-time-like.
+TIME_TOKENS: Set[str] = {
+    "time",
+    "times",
+    "now",
+    "clock",
+    "timestamp",
+    "tick",
+    "ticks",
+    "deadline",
+    "arrival",
+    "arrivals",
+    "departure",
+    "start",
+    "finish",
+    "elapsed",
+    "delay",
+    "latency",
+    "instant",
+    "expiry",
+    "expires",
+    "when",
+}
+
+
+def _name_hint(node: ast.AST) -> Optional[str]:
+    """The identifier that best names what ``node`` evaluates to."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _name_hint(node.func)
+    if isinstance(node, ast.Subscript):
+        return _name_hint(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return _name_hint(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _name_hint(node.left) or _name_hint(node.right)
+    return None
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    hint = _name_hint(node)
+    if hint is None:
+        return False
+    if hint == "t":
+        return True
+    tokens = hint.lower().split("_")
+    return any(token in TIME_TOKENS for token in tokens)
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Unary minus on a float literal: `-1.0`.
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """RL003 — no ``==``/``!=`` between sim-time expressions and floats."""
+
+    code = "RL003"
+    name = "float-time-equality"
+    rationale = (
+        "simulated timestamps accumulate floating-point error; exact "
+        "comparison works on one machine and silently fails on another "
+        "— compare with a tolerance or integer broadcast units"
+    )
+    scoped = True
+    node_types = (ast.Compare,)
+
+    def check(self, node: ast.Compare, ctx: FileContext) -> Iterator[Diagnostic]:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                pair = (left, right)
+                if any(_is_float_literal(side) for side in pair) and any(
+                    _is_time_like(side) for side in pair
+                ):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield Diagnostic(
+                        ctx.path,
+                        node.lineno,
+                        node.col_offset + 1,
+                        self.code,
+                        f"exact {symbol} between a simulation-time "
+                        "expression and a float literal; use math.isclose "
+                        "or an integer time base",
+                    )
+                    break
+            left = right

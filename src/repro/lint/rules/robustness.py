@@ -1,0 +1,132 @@
+"""Robustness rules: RL004 mutable defaults, RL005 over-broad excepts.
+
+Unlike the determinism rules these run everywhere (src *and* tests):
+a mutable default in a test helper corrupts later tests just as surely
+as one in the simulator, and a swallowed exception hides failures no
+matter where it lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import Rule, register
+
+#: Builtin constructors whose call as a default shares one instance
+#: across every invocation of the function.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL004 — no mutable default arguments."""
+
+    code = "RL004"
+    name = "mutable-default"
+    rationale = (
+        "a mutable default is evaluated once and shared: state leaks "
+        "across experiment runs, so run order changes results"
+    )
+    scoped = False
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        args = node.args
+        defaults = list(args.defaults) + [
+            default for default in args.kw_defaults if default is not None
+        ]
+        label = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield Diagnostic(
+                    ctx.path,
+                    default.lineno,
+                    default.col_offset + 1,
+                    self.code,
+                    f"mutable default argument in {label}(); use None and "
+                    "create the container inside the function",
+                )
+
+
+#: Exception names too broad to catch around simulator machinery.
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: ast.AST) -> str:
+    """The over-broad exception name ``node`` denotes, or ''."""
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD_NAMES:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name:
+                return name
+    return ""
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler re-raises (bare ``raise``) somewhere."""
+    return any(
+        isinstance(inner, ast.Raise) and inner.exc is None
+        for inner in ast.walk(handler)
+    )
+
+
+@register
+class BroadExceptRule(Rule):
+    """RL005 — no bare/over-broad except that can swallow sim failures."""
+
+    code = "RL005"
+    name = "broad-except"
+    rationale = (
+        "a bare except around a simulated process swallows the "
+        "PolicyError/ConfigurationError that would have flagged a "
+        "corrupted run; results then look valid but are not"
+    )
+    scoped = False
+    node_types = (ast.ExceptHandler,)
+
+    def check(
+        self, node: ast.ExceptHandler, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        if node.type is None:
+            what = "bare except:"
+        else:
+            name = _broad_name(node.type)
+            if not name:
+                return
+            what = f"except {name}"
+        if _reraises(node):
+            return  # catch-log-reraise keeps the failure visible
+        yield Diagnostic(
+            ctx.path,
+            node.lineno,
+            node.col_offset + 1,
+            self.code,
+            f"{what} can swallow simulator failures; catch the specific "
+            "exception (see repro.errors) or re-raise",
+        )

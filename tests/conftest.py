@@ -8,6 +8,15 @@ AccessRange/20, CacheSize = AccessRange/2 — while running in milliseconds.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make `python -m pytest` work from the repo root without an installed
+# package or a PYTHONPATH=src prefix (src-layout bootstrap).
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import numpy as np
 import pytest
 

@@ -1,8 +1,12 @@
-"""Tests for the command-line interface (repro.experiments.cli)."""
+"""Tests for the command-line interfaces (repro.experiments.cli and
+the repro.lint 0/1/2 exit-code contract)."""
+
+import json
 
 import pytest
 
 from repro.experiments.cli import ARTIFACTS, build_parser, main
+from repro.lint import cli as lint_cli
 
 
 class TestParser:
@@ -101,3 +105,71 @@ class TestFiguresCommand:
             "fig10", "fig11", "fig13", "fig14", "fig15",
         ):
             assert required in ARTIFACTS
+
+
+class TestLintCLI:
+    """`python -m repro.lint` exit contract: 0 clean / 1 findings / 2 usage."""
+
+    @pytest.fixture
+    def tree(self, tmp_path):
+        """A scoped src/repro tree with one clean and one dirty module."""
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "clean.py").write_text(
+            "def tidy(pages=None):\n    return pages or []\n"
+        )
+        dirty = package / "dirty.py"
+        dirty.write_text("import random\n")
+        return tmp_path
+
+    def test_exit_zero_on_clean_tree(self, tree, capsys):
+        clean = tree / "src" / "repro" / "clean.py"
+        assert lint_cli.main([str(clean)]) == lint_cli.EXIT_CLEAN
+
+    def test_exit_one_on_findings(self, tree, capsys):
+        assert lint_cli.main([str(tree / "src")]) == lint_cli.EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RL002" in out
+        # The canonical file:line:col CODE diagnostic shape.
+        assert "dirty.py:1:1 RL002" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        code = lint_cli.main([str(tmp_path / "does-not-exist")])
+        assert code == lint_cli.EXIT_USAGE
+        assert "no such file" in capsys.readouterr().err
+
+    def test_exit_two_on_bad_format(self, tree):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_cli.main(["--format", "yaml", str(tree / "src")])
+        assert excinfo.value.code == lint_cli.EXIT_USAGE
+
+    def test_exit_two_on_missing_config(self, tree, capsys):
+        code = lint_cli.main(
+            ["--config", str(tree / "nope.toml"), str(tree / "src")]
+        )
+        assert code == lint_cli.EXIT_USAGE
+
+    def test_json_format_is_machine_readable(self, tree, capsys):
+        assert lint_cli.main(
+            ["--format", "json", str(tree / "src")]
+        ) == lint_cli.EXIT_FINDINGS
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 1
+        finding = document["diagnostics"][0]
+        assert finding["code"] == "RL002"
+        assert finding["path"].endswith("dirty.py")
+        assert (finding["line"], finding["col"]) == (1, 1)
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_cli.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "2  usage error" in out
+
+    def test_list_rules_covers_catalogue(self, capsys):
+        assert lint_cli.main(["--list-rules"]) == lint_cli.EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert code in out

@@ -1,0 +1,443 @@
+"""Per-rule fixtures for repro.lint: true positive, true negative, and
+``# repro: noqa[CODE]`` suppression for each of RL001-RL006."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import LintConfig, lint_paths, lint_source
+
+#: A path inside the default determinism scope (src/repro).
+IN_SCOPE = "src/repro/somemodule.py"
+#: A path outside it (test code).
+OUT_OF_SCOPE = "tests/test_something.py"
+
+
+def run(source, path=IN_SCOPE, config=None):
+    return lint_source(path, textwrap.dedent(source), config or LintConfig())
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# RL001 — wall-clock reads
+# ---------------------------------------------------------------------------
+class TestRL001WallClock:
+    def test_true_positive_direct_and_aliased(self):
+        diagnostics = run(
+            """
+            import time
+            import time as _time
+            from time import perf_counter
+
+            a = time.time()
+            b = _time.perf_counter()
+            c = perf_counter()
+            """
+        )
+        assert codes(diagnostics) == ["RL001", "RL001", "RL001"]
+        assert "wall-clock" in diagnostics[0].message
+
+    def test_true_positive_datetime(self):
+        diagnostics = run(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """
+        )
+        assert codes(diagnostics) == ["RL001"]
+
+    def test_true_negative_simulated_clock(self):
+        assert run(
+            """
+            def step(kernel):
+                return kernel.now + 1.5  # simulated, not wall time
+            """
+        ) == []
+
+    def test_true_negative_out_of_scope(self):
+        assert run(
+            """
+            import time
+            a = time.time()
+            """,
+            path=OUT_OF_SCOPE,
+        ) == []
+
+    def test_true_negative_allowlisted_file(self):
+        config = LintConfig(allow={"RL001": ("src/repro/somemodule.py",)})
+        assert run(
+            """
+            import time
+            a = time.time()
+            """,
+            config=config,
+        ) == []
+
+    def test_noqa_suppression(self):
+        assert run(
+            """
+            import time
+            a = time.time()  # repro: noqa[RL001]
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — unmanaged RNGs
+# ---------------------------------------------------------------------------
+class TestRL002UnmanagedRandom:
+    def test_true_positive_random_import(self):
+        diagnostics = run("import random\n")
+        assert codes(diagnostics) == ["RL002"]
+        line = diagnostics[0]
+        assert (line.line, line.col) == (1, 1)
+
+    def test_true_positive_numpy_calls(self):
+        diagnostics = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng(7)
+            np.random.seed(0)
+            """
+        )
+        assert codes(diagnostics) == ["RL002", "RL002"]
+
+    def test_true_positive_from_numpy_random(self):
+        diagnostics = run("from numpy.random import default_rng\n")
+        assert codes(diagnostics) == ["RL002"]
+
+    def test_true_negative_stream_use(self):
+        assert run(
+            """
+            import numpy as np
+
+            def sample(rng: np.random.Generator, size: int):
+                # Annotations and draws from an injected generator are
+                # exactly the sanctioned pattern.
+                return rng.integers(0, 10, size=size)
+            """
+        ) == []
+
+    def test_true_negative_out_of_scope(self):
+        assert run("import random\n", path=OUT_OF_SCOPE) == []
+
+    def test_true_negative_allowlisted_rng_module(self):
+        # The default config allowlists the stream factory itself.
+        assert run(
+            """
+            import numpy as np
+            gen = np.random.Generator(np.random.PCG64(1))
+            """,
+            path="src/repro/sim/rng.py",
+        ) == []
+
+    def test_noqa_suppression(self):
+        assert run("import random  # repro: noqa[RL002]\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — float equality on simulation-time expressions
+# ---------------------------------------------------------------------------
+class TestRL003FloatTimeEquality:
+    def test_true_positive_now_and_arrival(self):
+        diagnostics = run(
+            """
+            def poll(self, now, event):
+                if now == 1.5:
+                    return True
+                return self.next_arrival(0) != 0.0
+            """
+        )
+        assert codes(diagnostics) == ["RL003", "RL003"]
+        assert "isclose" in diagnostics[0].message
+
+    def test_true_positive_negative_literal(self):
+        diagnostics = run("flag = start_time == -1.0\n")
+        assert codes(diagnostics) == ["RL003"]
+
+    def test_true_negative_non_time_name(self):
+        assert run(
+            """
+            def classify(rate, noise):
+                return rate == 0.0 or noise != 1.0
+            """
+        ) == []
+
+    def test_true_negative_no_float_literal(self):
+        assert run(
+            """
+            def same(self, now, then):
+                return now == then or now == 3
+            """
+        ) == []
+
+    def test_true_negative_ordering_comparison(self):
+        assert run("done = now >= 10.0\n") == []
+
+    def test_noqa_suppression(self):
+        assert run(
+            "sentinel = now == -1.0  # repro: noqa[RL003]\n"
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — mutable default arguments
+# ---------------------------------------------------------------------------
+class TestRL004MutableDefault:
+    def test_true_positive_display_and_call(self):
+        diagnostics = run(
+            """
+            def gather(pages=[], index={}):
+                pages.append(1)
+
+            def build(*, slots=list()):
+                return slots
+            """,
+            path=OUT_OF_SCOPE,  # unscoped rule: fires everywhere
+        )
+        assert codes(diagnostics) == ["RL004", "RL004", "RL004"]
+
+    def test_true_negative_none_sentinel(self):
+        assert run(
+            """
+            def gather(pages=None, capacity=8, label=""):
+                pages = [] if pages is None else pages
+                return pages
+            """
+        ) == []
+
+    def test_noqa_suppression(self):
+        assert run(
+            "def gather(pages=[]):  # repro: noqa[RL004]\n    return pages\n"
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — bare / over-broad except
+# ---------------------------------------------------------------------------
+class TestRL005BroadExcept:
+    def test_true_positive_bare_and_broad(self):
+        diagnostics = run(
+            """
+            try:
+                step()
+            except:
+                pass
+
+            try:
+                step()
+            except Exception:
+                result = None
+
+            try:
+                step()
+            except (ValueError, BaseException):
+                result = None
+            """
+        )
+        assert codes(diagnostics) == ["RL005", "RL005", "RL005"]
+        assert "swallow" in diagnostics[0].message
+
+    def test_true_negative_specific_exception(self):
+        assert run(
+            """
+            try:
+                step()
+            except ValueError:
+                result = None
+            """
+        ) == []
+
+    def test_true_negative_reraise(self):
+        assert run(
+            """
+            try:
+                step()
+            except Exception:
+                log("simulation step failed")
+                raise
+            """
+        ) == []
+
+    def test_noqa_suppression(self):
+        assert run(
+            """
+            try:
+                step()
+            except Exception:  # repro: noqa[RL005]
+                pass
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 — registered policies implement the cache protocol
+# ---------------------------------------------------------------------------
+BASE_MODULE = """
+from abc import ABC, abstractmethod
+
+
+class CachePolicy(ABC):
+    @abstractmethod
+    def lookup(self, page, now): ...
+
+    @abstractmethod
+    def admit(self, page, now): ...
+
+    @abstractmethod
+    def discard(self, page): ...
+
+    def shared_helper(self):
+        return 0
+"""
+
+GOOD_MODULE = """
+from cache.base import CachePolicy
+
+
+class GoodPolicy(CachePolicy):
+    def lookup(self, page, now):
+        return False
+
+    def admit(self, page, now):
+        return None
+
+    def discard(self, page):
+        return False
+
+
+class InheritingPolicy(GoodPolicy):
+    def admit(self, page, now):
+        return page
+"""
+
+BAD_MODULE = """
+from cache.base import CachePolicy
+
+
+class BadPolicy(CachePolicy):
+    def lookup(self, page, now):
+        return False
+"""
+
+
+def _write_cache_package(tmp_path, registry_source):
+    package = tmp_path / "cache"
+    package.mkdir()
+    (package / "base.py").write_text(BASE_MODULE)
+    (package / "good.py").write_text(GOOD_MODULE)
+    (package / "bad.py").write_text(BAD_MODULE)
+    (package / "registry.py").write_text(textwrap.dedent(registry_source))
+    return package
+
+
+class TestRL006PolicyProtocol:
+    def test_true_positive_missing_methods(self, tmp_path):
+        package = _write_cache_package(
+            tmp_path,
+            """
+            from cache.bad import BadPolicy
+            from cache.good import GoodPolicy
+
+            _FACTORIES = {
+                "good": GoodPolicy,
+                "bad": BadPolicy,
+                "bad-lambda": lambda capacity, context: BadPolicy(capacity),
+            }
+            """,
+        )
+        diagnostics = lint_paths([package], LintConfig(scope=""))
+        assert codes(diagnostics) == ["RL006", "RL006"]
+        assert all(d.path.endswith("cache/registry.py") for d in diagnostics)
+        assert "admit" in diagnostics[0].message
+        assert "discard" in diagnostics[0].message
+        assert "lookup" not in diagnostics[0].message.split(":")[-1]
+
+    def test_true_negative_complete_and_inherited(self, tmp_path):
+        package = _write_cache_package(
+            tmp_path,
+            """
+            from cache.good import GoodPolicy, InheritingPolicy
+
+            _FACTORIES = {
+                "good": GoodPolicy,
+                "heir": InheritingPolicy,
+                "lam": lambda capacity, context: GoodPolicy(),
+            }
+            """,
+        )
+        assert lint_paths([package], LintConfig(scope="")) == []
+
+    def test_noqa_suppression(self, tmp_path):
+        package = _write_cache_package(
+            tmp_path,
+            """
+            from cache.bad import BadPolicy
+
+            _FACTORIES = {
+                "bad": BadPolicy,  # repro: noqa[RL006]
+            }
+            """,
+        )
+        assert lint_paths([package], LintConfig(scope="")) == []
+
+    def test_sibling_module_loaded_on_demand(self, tmp_path):
+        # Lint ONLY base+registry: the rule follows the registry's
+        # import to bad.py on disk and still finds the gap.
+        package = _write_cache_package(
+            tmp_path,
+            """
+            from cache.bad import BadPolicy
+
+            _FACTORIES = {"bad": BadPolicy}
+            """,
+        )
+        diagnostics = lint_paths(
+            [package / "base.py", package / "registry.py"],
+            LintConfig(scope=""),
+        )
+        assert codes(diagnostics) == ["RL006"]
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour shared by all rules
+# ---------------------------------------------------------------------------
+class TestEngine:
+    def test_bare_noqa_suppresses_every_code(self):
+        assert run("import random  # repro: noqa\n") == []
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        diagnostics = run("import random  # repro: noqa[RL001]\n")
+        assert codes(diagnostics) == ["RL002"]
+
+    def test_disabled_rule_does_not_fire(self):
+        config = LintConfig(enabled=("RL001",))
+        assert run("import random\n", config=config) == []
+
+    def test_syntax_error_becomes_diagnostic(self):
+        diagnostics = run("def broken(:\n")
+        assert codes(diagnostics) == ["RL000"]
+
+    def test_diagnostic_format_contract(self):
+        diagnostic = run("import random\n")[0]
+        rendered = diagnostic.format()
+        assert rendered.startswith(f"{IN_SCOPE}:1:1 RL002 ")
+
+    def test_diagnostics_sorted_by_location(self):
+        diagnostics = run(
+            """
+            import random
+
+            def f(x=[]):
+                try:
+                    pass
+                except:
+                    pass
+            """
+        )
+        assert [d.line for d in diagnostics] == sorted(
+            d.line for d in diagnostics
+        )
