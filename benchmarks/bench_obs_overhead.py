@@ -1,0 +1,134 @@
+"""Zero-overhead-when-disabled check for the repro.obs trace bus.
+
+Runs the same reduced Figure-5-style sweep three ways — no tracer at
+all, a *disabled* tracer (exercising every guarded hook's branch), and
+an *enabled* tracer writing to an in-memory sink — and verifies:
+
+* all three produce byte-identical mean response times (observability
+  never perturbs the simulation);
+* the disabled-tracer sweep costs < 2% wall time over the no-tracer
+  sweep (min-of-repeats, interleaved so machine noise hits both arms).
+
+The enabled-tracing cost is reported informationally; it is allowed to
+be expensive, that is the pay-for-use bargain.
+
+Runs standalone (CI) or under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    pytest benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import sweep_results
+from repro.obs.clock import perf_counter
+from repro.obs.trace import MemorySink, Tracer
+
+#: Maximum tolerated disabled-tracing slowdown (ISSUE acceptance: 2%).
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Interleaved repeats per arm; min-of-N discards scheduler noise.
+REPEATS = int(os.environ.get("REPRO_BENCH_OBS_REPEATS", 5))
+
+#: Measured requests per configuration (reduced fig5 scale).  Large
+#: enough that each sweep takes ~0.1s, so the 2% budget is measurable
+#: above timer noise.
+REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", 2000))
+
+
+def _configs():
+    """A reduced Figure 5 slice: D5, Δ=0..3, uncached clients."""
+    return [
+        ExperimentConfig(
+            disk_sizes=(50, 200, 250),
+            delta=delta,
+            cache_size=1,
+            access_range=100,
+            region_size=10,
+            num_requests=REQUESTS,
+            seed=11,
+        )
+        for delta in range(4)
+    ]
+
+
+def _run(tracer):
+    """One sweep; returns (wall_seconds, mean response times)."""
+    started = perf_counter()
+    results = sweep_results(_configs(), tracer=tracer)
+    return perf_counter() - started, [
+        result.mean_response_time for result in results
+    ]
+
+
+def measure(repeats: int = REPEATS):
+    """Interleaved min-of-``repeats`` timing of the three arms."""
+    times = {"baseline": [], "disabled": [], "enabled": []}
+    means = {}
+    for _ in range(repeats):
+        for arm, tracer in (
+            ("baseline", None),
+            ("disabled", Tracer(MemorySink(capacity=1), enabled=False)),
+            ("enabled", Tracer(MemorySink(capacity=1024))),
+        ):
+            elapsed, arm_means = _run(tracer)
+            times[arm].append(elapsed)
+            means[arm] = arm_means
+    best = {arm: min(samples) for arm, samples in times.items()}
+    return best, means
+
+
+def check(best, means):
+    """Raise AssertionError unless the acceptance criteria hold."""
+    assert means["disabled"] == means["baseline"], (
+        "disabled tracing changed the measured response times:\n"
+        f"  baseline: {means['baseline']}\n  disabled: {means['disabled']}"
+    )
+    assert means["enabled"] == means["baseline"], (
+        "enabled tracing changed the measured response times:\n"
+        f"  baseline: {means['baseline']}\n  enabled:  {means['enabled']}"
+    )
+    overhead = best["disabled"] / best["baseline"] - 1.0
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing costs {overhead:.1%} "
+        f"(budget {MAX_DISABLED_OVERHEAD:.0%}): "
+        f"baseline {best['baseline']:.3f}s vs disabled {best['disabled']:.3f}s"
+    )
+    return overhead
+
+
+def test_disabled_tracing_is_free():
+    """Pytest entry point for the overhead gate."""
+    best, means = measure()
+    check(best, means)
+
+
+def main() -> int:
+    best, means = measure()
+    print(f"sweep: 4 configs x {REQUESTS} requests, min of {REPEATS} repeats")
+    for arm in ("baseline", "disabled", "enabled"):
+        print(f"  {arm:<9} {best[arm]:.3f}s")
+    try:
+        overhead = check(best, means)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    enabled_cost = best["enabled"] / best["baseline"] - 1.0
+    print(f"disabled-tracing overhead: {overhead:+.2%} "
+          f"(budget {MAX_DISABLED_OVERHEAD:.0%}) -- OK")
+    print(f"enabled-tracing cost     : {enabled_cost:+.2%} (informational)")
+    print("response means byte-identical across all three arms -- OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,4 +47,9 @@ class LRUPolicy(CachePolicy):
         return victim
 
     def discard(self, page: int) -> bool:
-        return self._chain.pop(page, None) is not None
+        # Resident pages are stored with value None, so a sentinel-based
+        # ``pop(...) is not None`` would misreport them as absent.
+        if page not in self._chain:
+            return False
+        del self._chain[page]
+        return True

@@ -61,6 +61,7 @@ class Client:
         collect_responses: bool = False,
         extra_warmup: int = 0,
         name: str = "client",
+        tracer=None,
     ):
         self.sim = sim
         self.channel = channel
@@ -72,6 +73,10 @@ class Client:
         self.warmup_requests = warmup_requests
         self.extra_warmup = extra_warmup
         self.name = name
+        #: Optional :class:`repro.obs.trace.Tracer` emitting
+        #: ``client.request`` / ``client.hit`` / ``client.miss`` /
+        #: ``client.wait`` records; ``None`` costs one branch per request.
+        self.tracer = tracer
         self.report = ClientReport(
             samples=[] if collect_responses else None
         )
@@ -83,6 +88,10 @@ class Client:
         report = self.report
         warming = True
         extra_left = self.extra_warmup
+
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
 
         for index in range(len(self.trace)):
             page = self.trace[index]
@@ -99,8 +108,17 @@ class Client:
             measuring = not warming
             if warming:
                 report.warmup_requests += 1
+            if tracer is not None:
+                tracer.emit(
+                    "client.request", sim.now, page=int(page),
+                    client=self.name,
+                    phase="measured" if measuring else "warmup",
+                )
 
             if cache.lookup(page, sim.now):
+                if tracer is not None:
+                    tracer.emit("client.hit", sim.now, page=int(page),
+                                client=self.name)
                 if measuring:
                     report.response.add(0.0)
                     report.counters.record_hit()
@@ -110,9 +128,16 @@ class Client:
 
             physical = self.mapping.to_physical(page)
             issued = sim.now
+            if tracer is not None:
+                tracer.emit("client.miss", issued, page=int(page),
+                            physical=int(physical), client=self.name)
             yield self.channel.wait_for(physical)
             wait = sim.now - issued
             cache.admit(page, sim.now)
+            if tracer is not None:
+                tracer.emit("client.wait", sim.now, page=int(page),
+                            physical=int(physical), wait=wait,
+                            client=self.name)
             if measuring:
                 report.response.add(wait)
                 report.counters.record_miss(self.layout.disk_of_page(physical))

@@ -62,6 +62,7 @@ class FastEngine:
         layout: DiskLayout,
         cache: CachePolicy,
         think_time: float,
+        tracer=None,
     ):
         if think_time < 0:
             raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
@@ -71,6 +72,10 @@ class FastEngine:
         self.cache = cache
         self.think_time = think_time
         self.now = 0.0
+        #: Optional :class:`repro.obs.trace.Tracer` emitting the same
+        #: ``client.*`` records as the process engine's client; ``None``
+        #: (the default) adds one branch per request and nothing else.
+        self.tracer = tracer
 
     def run_trace(
         self,
@@ -103,6 +108,9 @@ class FastEngine:
         warmup_seen = 0
         extra_left = extra_warmup
         now = self.now
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
 
         for index in range(len(trace)):
             page = trace[index]
@@ -120,8 +128,15 @@ class FastEngine:
             else:
                 measuring = False
                 warmup_seen += 1
+            if tracer is not None:
+                tracer.emit(
+                    "client.request", now, page=int(page),
+                    phase="measured" if measuring else "warmup",
+                )
 
             if cache.lookup(page, now):
+                if tracer is not None:
+                    tracer.emit("client.hit", now, page=int(page))
                 if measuring:
                     response.add(0.0)
                     counters.record_hit()
@@ -132,6 +147,11 @@ class FastEngine:
             physical = mapping.to_physical(page)
             arrival = schedule.next_arrival(physical, now)
             wait = arrival - now
+            if tracer is not None:
+                tracer.emit("client.miss", now, page=int(page),
+                            physical=int(physical))
+                tracer.emit("client.wait", arrival, page=int(page),
+                            physical=int(physical), wait=wait)
             now = arrival
             cache.admit(page, now)
             if measuring:

@@ -8,17 +8,29 @@ rate, per-location access fractions).
 
 ``sweep`` runs a family of configurations and tabulates one metric —
 the building block every figure reproduction uses.
+
+Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
+``run_experiment`` accepts a ``tracer`` (structured event records), a
+``metrics`` registry (named counters/gauges snapshotted per run), and a
+``manifest`` path (a JSON document pinning config hash, seed, schedule
+and metric snapshot).  ``sweep``/``sweep_results`` add an optional
+progress callback and sweep-manifest aggregation so bench scripts can
+emit machine-readable trajectories.  All of it is pay-for-use: with
+everything left at ``None`` the run is byte-identical to an unobserved
+one.
 """
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.cache.base import TracedCache
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import EngineOutcome, FastEngine
+from repro.obs.clock import perf_counter
+from repro.obs.manifest import build_manifest, write_manifest, write_sweep_manifest
 from repro.sim.stats import RunningStats
 from repro.workload.trace import generate_trace
 
@@ -44,6 +56,9 @@ class ExperimentResult:
     schedule_utilisation: float
     wall_seconds: float
     samples: Optional[List[float]] = None
+    #: The run manifest dict, present when ``run_experiment`` was asked
+    #: to write one (``manifest=...``).
+    manifest: Optional[Dict] = None
 
     def summary(self) -> str:
         """One-line human-readable result."""
@@ -69,15 +84,31 @@ def run_experiment(
     config: ExperimentConfig,
     engine: str = "fast",
     collect_responses: bool = False,
+    tracer=None,
+    metrics=None,
+    manifest: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run one fully-specified experiment and return its measurements."""
-    started = _time.perf_counter()
+    """Run one fully-specified experiment and return its measurements.
+
+    ``tracer`` attaches a :class:`repro.obs.trace.Tracer` to the engine
+    (and, for the process engine, the kernel and channel) and wraps the
+    cache in a :class:`~repro.cache.base.TracedCache`.  ``metrics``
+    fills a :class:`repro.obs.metrics.MetricsRegistry` with the run's
+    headline counters and gauges.  ``manifest`` names a JSON file to
+    write the run manifest to (also attached to the result).  All three
+    default to off and leave the measured behaviour untouched.
+    """
+    started = perf_counter()
     layout = config.build_layout()
     schedule = config.build_schedule(layout)
     streams = config.build_streams()
     mapping = config.build_mapping(layout, streams)
     distribution = config.build_distribution()
     cache = config.build_policy(schedule, mapping, distribution, layout)
+
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        cache = TracedCache(cache, tracer)
 
     allowance = _warmup_trace_allowance(config)
     trace = generate_trace(
@@ -93,6 +124,7 @@ def run_experiment(
             layout=layout,
             cache=cache,
             think_time=config.think_time,
+            tracer=tracer,
         )
         outcome = fast.run_trace(
             trace,
@@ -113,6 +145,7 @@ def run_experiment(
             warmup_requests=config.warmup_requests,
             collect_responses=collect_responses,
             extra_warmup=config.extra_warmup,
+            tracer=tracer,
         )
         outcome = EngineOutcome(
             response=report.response,
@@ -133,7 +166,7 @@ def run_experiment(
             "increase num_requests or lower cache_size"
         )
 
-    return ExperimentResult(
+    result = ExperimentResult(
         config=config,
         mean_response_time=outcome.response.mean,
         response_stats=outcome.response,
@@ -143,9 +176,38 @@ def run_experiment(
         warmup_requests=outcome.warmup_requests,
         schedule_period=schedule.period,
         schedule_utilisation=1.0 - schedule.empty_slots / schedule.period,
-        wall_seconds=_time.perf_counter() - started,
+        wall_seconds=perf_counter() - started,
         samples=outcome.samples,
     )
+    if metrics is not None:
+        _record_metrics(metrics, result)
+    if manifest is not None:
+        result.manifest = build_manifest(result, metrics=metrics,
+                                         tracer=tracer)
+        write_manifest(result.manifest, manifest)
+    return result
+
+
+def _record_metrics(metrics, result: ExperimentResult) -> None:
+    """Fold one run's headline measurements into a metrics registry."""
+    counters = result.response_stats
+    metrics.counter("requests.measured").inc(result.measured_requests)
+    metrics.counter("requests.warmup").inc(result.warmup_requests)
+    hits = round(result.hit_rate * result.measured_requests)
+    metrics.counter("cache.hits").inc(hits)
+    metrics.counter("cache.misses").inc(result.measured_requests - hits)
+    metrics.gauge("response.mean").set(counters.mean)
+    metrics.gauge("response.max").set(
+        counters.maximum if counters.count else 0.0
+    )
+    metrics.gauge("schedule.period").set(float(result.schedule_period))
+    metrics.gauge("schedule.utilisation").set(result.schedule_utilisation)
+    metrics.counter("runs").inc()
+
+
+#: Signature of the ``sweep`` progress callback:
+#: ``progress(completed, total, result)`` after each configuration.
+ProgressCallback = Callable[[int, int, ExperimentResult], None]
 
 
 def sweep(
@@ -154,14 +216,44 @@ def sweep(
         lambda result: result.mean_response_time
     ),
     engine: str = "fast",
+    progress: Optional[ProgressCallback] = None,
+    manifest: Optional[str] = None,
 ) -> List[float]:
     """Run every configuration; return ``metric`` of each, in order."""
-    return [metric(run_experiment(config, engine=engine)) for config in configs]
+    return [
+        metric(result)
+        for result in sweep_results(
+            configs, engine=engine, progress=progress, manifest=manifest
+        )
+    ]
 
 
 def sweep_results(
     configs: Iterable[ExperimentConfig],
     engine: str = "fast",
+    progress: Optional[ProgressCallback] = None,
+    manifest: Optional[str] = None,
+    tracer=None,
+    metrics=None,
 ) -> List[ExperimentResult]:
-    """Run every configuration; return the full results, in order."""
-    return [run_experiment(config, engine=engine) for config in configs]
+    """Run every configuration; return the full results, in order.
+
+    ``progress(completed, total, result)`` fires after each run;
+    ``manifest`` names a JSON file that receives the aggregated sweep
+    manifest (one per-run record per configuration — the
+    ``BENCH_*.json``-style trajectory).  ``tracer``/``metrics`` are
+    forwarded to every :func:`run_experiment` call.
+    """
+    configs = list(configs)
+    results: List[ExperimentResult] = []
+    for index, config in enumerate(configs):
+        result = run_experiment(
+            config, engine=engine, tracer=tracer, metrics=metrics
+        )
+        results.append(result)
+        if progress is not None:
+            progress(index + 1, len(configs), result)
+    if manifest is not None:
+        write_sweep_manifest(results, manifest, metrics=metrics,
+                             tracer=tracer)
+    return results

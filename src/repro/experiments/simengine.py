@@ -44,13 +44,20 @@ class ClientSpec:
 class ProcessEngine:
     """Run one or many clients against a shared broadcast."""
 
-    def __init__(self, schedule: BroadcastSchedule, layout: DiskLayout):
+    def __init__(self, schedule: BroadcastSchedule, layout: DiskLayout,
+                 tracer=None):
         self.schedule = schedule
         self.layout = layout
         self.sim = Simulator()
         self.channel = BroadcastChannel(self.sim, schedule)
         self.server = BroadcastServer(self.sim, schedule, self.channel)
         self.clients: List[Client] = []
+        #: Optional :class:`repro.obs.trace.Tracer` shared by the kernel,
+        #: the channel, and every attached client.
+        self.tracer = tracer
+        if tracer is not None:
+            self.sim.trace = tracer
+            self.channel.tracer = tracer
 
     def add_client(self, spec: ClientSpec) -> Client:
         """Attach a client process built from ``spec``."""
@@ -66,6 +73,7 @@ class ProcessEngine:
             collect_responses=spec.collect_responses,
             extra_warmup=spec.extra_warmup,
             name=spec.name,
+            tracer=self.tracer,
         )
         self.clients.append(client)
         return client
@@ -90,9 +98,10 @@ def run_single_client(
     warmup_requests: Optional[int] = None,
     collect_responses: bool = False,
     extra_warmup: int = 0,
+    tracer=None,
 ) -> ClientReport:
     """Convenience wrapper: one client, one broadcast, run to completion."""
-    engine = ProcessEngine(schedule, layout)
+    engine = ProcessEngine(schedule, layout, tracer=tracer)
     engine.add_client(
         ClientSpec(
             mapping=mapping,
@@ -112,9 +121,10 @@ def run_clients(
     layout: DiskLayout,
     specs: Sequence[ClientSpec],
     time_limit: Optional[float] = None,
+    tracer=None,
 ) -> List[ClientReport]:
     """Run several clients sharing one broadcast; reports in spec order."""
-    engine = ProcessEngine(schedule, layout)
+    engine = ProcessEngine(schedule, layout, tracer=tracer)
     for spec in specs:
         engine.add_client(spec)
     return engine.run(time_limit=time_limit)

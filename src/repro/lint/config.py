@@ -33,9 +33,10 @@ ALWAYS_EXCLUDE = ("__pycache__", ".egg-info")
 #: Built-in allowlists, mirrored by the shipped ``pyproject.toml`` so
 #: behaviour is identical whether or not a config file is found.
 DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
-    # run_experiment reports real elapsed wall time *alongside* the
-    # simulated clock; it never feeds wall time back into the model.
-    "RL001": ("src/repro/experiments/runner.py",),
+    # The obs clock shim is the single sanctioned wall-clock gateway;
+    # wall time is reported *alongside* the simulated clock and never
+    # feeds back into the model.
+    "RL001": ("src/repro/obs/clock.py",),
     # The seeded stream factory is the single sanctioned gateway to
     # numpy's generators.
     "RL002": ("src/repro/sim/rng.py",),

@@ -1,0 +1,61 @@
+"""repro.obs — deterministic observability for the simulation stack.
+
+Three cooperating pieces, all zero-overhead when disabled:
+
+* :mod:`repro.obs.trace` — a structured trace bus.  Components hold an
+  optional tracer and emit typed, simulation-time-keyed records to
+  pluggable sinks (ring buffer, JSONL file).  Hook points live in the
+  kernel (event dispatch), the broadcast channel (page completions),
+  the clients (request / hit / miss / wait), and a cache wrapper
+  (lookup / admit / evict).
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  time-weighted stats, snapshotted per run.
+* :mod:`repro.obs.manifest` — machine-readable run manifests (config
+  hash, seeds, schedule period, metric snapshot) for single runs and
+  sweeps.
+
+All timestamps inside records are *simulation* time.  The only wall
+clock in the subsystem is :mod:`repro.obs.clock`, the one allowlisted
+RL001 gateway, used solely for wall-time bookkeeping in manifests.
+
+``python -m repro.obs summary trace.jsonl`` summarises a JSONL trace:
+per-page inter-arrival statistics (the §2.1 fixed-inter-arrival check),
+cache residency timelines, and response-time breakdowns.
+"""
+
+from repro.obs.clock import perf_counter
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedGauge
+from repro.obs.manifest import (
+    build_manifest,
+    build_sweep_manifest,
+    config_hash,
+    write_manifest,
+    write_sweep_manifest,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    TraceRecord,
+    Tracer,
+    read_jsonl,
+    trace_schedule,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "TimeWeightedGauge",
+    "TraceRecord",
+    "Tracer",
+    "build_manifest",
+    "build_sweep_manifest",
+    "config_hash",
+    "perf_counter",
+    "read_jsonl",
+    "trace_schedule",
+    "write_manifest",
+    "write_sweep_manifest",
+]

@@ -1,0 +1,301 @@
+"""``python -m repro.obs`` — summarise JSONL traces from the trace bus.
+
+``summary`` reads a trace produced by a :class:`repro.obs.trace.JsonlSink`
+and reports, per section and only for the record kinds present:
+
+* **overview** — record counts by kind and the simulated time span;
+* **broadcast** — per-page inter-arrival statistics from
+  ``channel.deliver`` records.  On a correct multi-disk program every
+  page's gap variance is exactly zero (the §2.1 fixed-inter-arrival
+  property — the Bus Stop Paradox check);
+* **responses** — hit/miss/wait breakdown from the ``client.*`` records,
+  with a wait-time histogram;
+* **cache** — admissions / evictions / rejections and the pages with
+  the longest cache residency, from the ``cache.*`` records.
+
+Exit codes follow the repro CLI convention: 0 on success, 2 on usage
+errors (unknown command, unreadable trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.obs.trace import (
+    CACHE_ADMIT,
+    CACHE_DISCARD,
+    CACHE_EVICT,
+    CHANNEL_DELIVER,
+    CLIENT_HIT,
+    CLIENT_MISS,
+    CLIENT_WAIT,
+    read_jsonl,
+)
+from repro.sim.stats import Histogram, RunningStats
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+
+#: Gap variance below this counts as "fixed" (§2.1); trace timestamps
+#: are sums of unit slots, so true fixed gaps come out exactly equal.
+FIXED_GAP_TOLERANCE = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# analyses
+# ---------------------------------------------------------------------------
+
+def overview(records: List[dict]) -> Dict:
+    """Record totals by kind plus the simulated time span."""
+    by_kind: Dict[str, int] = {}
+    for record in records:
+        by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+    times = [record["t"] for record in records]
+    return {
+        "records": len(records),
+        "kinds": by_kind,
+        "time_span": [min(times), max(times)] if times else [0.0, 0.0],
+    }
+
+
+def interarrival_summary(records: List[dict], top: int = 5) -> Optional[Dict]:
+    """Per-page inter-arrival stats from ``channel.deliver`` records."""
+    arrivals: Dict[int, List[float]] = {}
+    for record in records:
+        if record["kind"] == CHANNEL_DELIVER:
+            arrivals.setdefault(record["page"], []).append(record["t"])
+    gaps: Dict[int, RunningStats] = {}
+    for page, times in arrivals.items():
+        if len(times) < 2:
+            continue
+        stats = RunningStats()
+        stats.extend(b - a for a, b in zip(times, times[1:]))
+        gaps[page] = stats
+    if not arrivals:
+        return None
+    max_variance = max(
+        (stats.variance for stats in gaps.values()), default=0.0
+    )
+    worst = sorted(
+        gaps.items(), key=lambda item: (-item[1].variance, item[0])
+    )[:top]
+    return {
+        "pages_observed": len(arrivals),
+        "pages_with_gaps": len(gaps),
+        "max_gap_variance": max_variance,
+        "fixed_interarrival": max_variance <= FIXED_GAP_TOLERANCE,
+        "pages": [
+            {
+                "page": page,
+                "arrivals": stats.count + 1,
+                "mean_gap": stats.mean,
+                "gap_variance": stats.variance,
+            }
+            for page, stats in worst
+        ],
+    }
+
+
+def response_summary(records: List[dict], bins: int = 8) -> Optional[Dict]:
+    """Hit/miss/wait breakdown from the ``client.*`` records."""
+    hits = sum(1 for r in records if r["kind"] == CLIENT_HIT)
+    misses = sum(1 for r in records if r["kind"] == CLIENT_MISS)
+    waits = [r["wait"] for r in records if r["kind"] == CLIENT_WAIT]
+    if not (hits or misses or waits):
+        return None
+    stats = RunningStats()
+    stats.extend(waits)
+    summary: Dict = {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
+        "waits": {
+            "count": stats.count,
+            "mean": stats.mean,
+            "stddev": stats.stddev,
+            "max": stats.maximum if stats.count else 0.0,
+        },
+    }
+    if waits and max(waits) > 0:
+        histogram = Histogram(0.0, max(waits), bins)
+        for wait in waits:
+            histogram.add(wait)
+        summary["wait_histogram"] = [
+            {"lo": lo, "hi": hi, "count": count}
+            for lo, hi, count in histogram.nonempty()
+        ] + (
+            [{"lo": histogram.high, "hi": None, "count": histogram.overflow}]
+            if histogram.overflow
+            else []
+        )
+    return summary
+
+
+def cache_summary(records: List[dict], top: int = 5) -> Optional[Dict]:
+    """Admission/eviction totals and residency timeline from ``cache.*``."""
+    admits = evictions = rejections = discards = 0
+    entered: Dict[int, float] = {}
+    resident_for: Dict[int, float] = {}
+    last_time = 0.0
+
+    def leave(page: int, now: float) -> None:
+        start = entered.pop(page, None)
+        if start is not None:
+            resident_for[page] = resident_for.get(page, 0.0) + (now - start)
+
+    for record in records:
+        kind = record["kind"]
+        if kind not in (CACHE_ADMIT, CACHE_EVICT, CACHE_DISCARD):
+            continue
+        now = record["t"]
+        last_time = max(last_time, now)
+        if kind == CACHE_ADMIT:
+            admits += 1
+            if record.get("victim") == record["page"]:
+                rejections += 1
+            else:
+                entered[record["page"]] = now
+        elif kind == CACHE_EVICT:
+            evictions += 1
+            leave(record["page"], now)
+        else:
+            discards += 1
+            leave(record["page"], now)
+    if not (admits or evictions or discards):
+        return None
+    # Pages still resident at the end of the trace count up to its close.
+    for page in list(entered):
+        leave(page, last_time)
+    longest = sorted(
+        resident_for.items(), key=lambda item: (-item[1], item[0])
+    )[:top]
+    return {
+        "admissions": admits,
+        "evictions": evictions,
+        "rejections": rejections,
+        "discards": discards,
+        "longest_resident": [
+            {"page": page, "resident_time": span} for page, span in longest
+        ],
+    }
+
+
+def summarise(records: List[dict], top: int = 5) -> Dict:
+    """The full summary document for one trace."""
+    summary: Dict = {"overview": overview(records)}
+    for name, section in (
+        ("broadcast", interarrival_summary(records, top)),
+        ("responses", response_summary(records)),
+        ("cache", cache_summary(records, top)),
+    ):
+        if section is not None:
+            summary[name] = section
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _print_summary(summary: Dict) -> None:
+    info = summary["overview"]
+    lo, hi = info["time_span"]
+    print(f"records      : {info['records']}")
+    print(f"time span    : [{lo:.1f}, {hi:.1f}] bu")
+    for kind in sorted(info["kinds"]):
+        print(f"  {kind:<16} {info['kinds'][kind]}")
+
+    broadcast = summary.get("broadcast")
+    if broadcast:
+        verdict = "yes" if broadcast["fixed_interarrival"] else "NO"
+        print("\nbroadcast inter-arrival (§2.1 fixed-gap check)")
+        print(f"  pages observed   : {broadcast['pages_observed']}")
+        print(f"  max gap variance : {broadcast['max_gap_variance']:.3g}")
+        print(f"  fixed gaps       : {verdict}")
+        for row in broadcast["pages"]:
+            print(
+                f"    page {row['page']:<6} arrivals={row['arrivals']:<5} "
+                f"mean gap={row['mean_gap']:.2f} "
+                f"variance={row['gap_variance']:.3g}"
+            )
+
+    responses = summary.get("responses")
+    if responses:
+        waits = responses["waits"]
+        print("\nresponse breakdown")
+        print(f"  hits / misses : {responses['hits']} / {responses['misses']}"
+              f"  (hit rate {responses['hit_rate']:.1%})")
+        print(f"  waits         : n={waits['count']} mean={waits['mean']:.2f}"
+              f" stddev={waits['stddev']:.2f} max={waits['max']:.2f}")
+        for bucket in responses.get("wait_histogram", []):
+            hi_edge = bucket["hi"]
+            label = (
+                f"[{bucket['lo']:.1f}, {hi_edge:.1f})"
+                if hi_edge is not None
+                else f">= {bucket['lo']:.1f}"
+            )
+            print(f"    {label:<20} {bucket['count']}")
+
+    cache = summary.get("cache")
+    if cache:
+        print("\ncache activity")
+        print(f"  admissions : {cache['admissions']} "
+              f"(rejections {cache['rejections']})")
+        print(f"  evictions  : {cache['evictions']}  "
+              f"discards : {cache['discards']}")
+        if cache["longest_resident"]:
+            print("  longest residency:")
+            for row in cache["longest_resident"]:
+                print(f"    page {row['page']:<6} "
+                      f"{row['resident_time']:.1f} bu")
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Summarise JSONL traces from the repro.obs trace bus.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    summary_cmd = commands.add_parser(
+        "summary", help="summarise one JSONL trace"
+    )
+    summary_cmd.add_argument("trace", help="path to a JSONL trace file")
+    summary_cmd.add_argument(
+        "--top", type=int, default=5,
+        help="rows per ranked table (default 5)",
+    )
+    summary_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors; keep that contract.
+        return int(exc.code or 0)
+    try:
+        records = list(read_jsonl(args.trace))
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except json.JSONDecodeError as error:
+        print(f"malformed trace line: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    summary = summarise(records, top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        _print_summary(summary)
+    return EXIT_OK

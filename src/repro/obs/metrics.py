@@ -1,0 +1,147 @@
+"""A per-run registry of named counters, gauges, and time-weighted stats.
+
+The registry is the machine-readable side of a run: components (or the
+runner itself) register instruments by dotted name, and a single
+:meth:`MetricsRegistry.snapshot` call at the end of the run flattens
+everything to a JSON-ready dict that manifests embed verbatim.
+
+Time-weighted instruments reuse :class:`repro.sim.stats.TimeWeightedStat`
+so queue-length-style signals are averaged exactly the way the hybrid
+channel already averages its pull queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import TimeWeightedStat
+
+
+class Counter:
+    """A monotonically increasing count (requests, hits, evictions)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (mean response time, schedule period)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with its latest value."""
+        self.value = value
+
+
+class TimeWeightedGauge:
+    """A piecewise-constant signal averaged over simulation time."""
+
+    __slots__ = ("name", "_stat")
+
+    def __init__(self, name: str, start_time: float = 0.0,
+                 initial_value: float = 0.0):
+        self.name = name
+        self._stat = TimeWeightedStat(start_time, initial_value)
+
+    def set(self, time: float, value: float) -> None:
+        """The signal changed to ``value`` at simulation ``time``."""
+        self._stat.record(time, value)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean (optionally projected to ``now``)."""
+        return self._stat.mean(now)
+
+    @property
+    def maximum(self) -> float:
+        """Largest value the signal has held."""
+        return self._stat.maximum
+
+    @property
+    def current(self) -> float:
+        """The signal's present value."""
+        return self._stat.current
+
+
+Instrument = Union[Counter, Gauge, TimeWeightedGauge]
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; snapshot them all at once."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, kind, factory) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def time_weighted(self, name: str, start_time: float = 0.0,
+                      initial_value: float = 0.0) -> TimeWeightedGauge:
+        """The time-weighted gauge called ``name``, created on first use."""
+        return self._get_or_create(
+            name,
+            TimeWeightedGauge,
+            lambda: TimeWeightedGauge(name, start_time, initial_value),
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self):
+        """The registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Flatten every instrument to a JSON-ready ``{name: value}`` dict.
+
+        Counters and gauges contribute their value; time-weighted gauges
+        contribute ``{"mean", "max", "current"}`` (mean projected to
+        ``now`` when given).
+        """
+        out: Dict[str, object] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, TimeWeightedGauge):
+                out[name] = {
+                    "mean": instrument.mean(now),
+                    "max": instrument.maximum,
+                    "current": instrument.current,
+                }
+            else:
+                out[name] = instrument.value
+        return out

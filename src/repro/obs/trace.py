@@ -1,0 +1,198 @@
+"""The structured trace bus: typed records, pluggable sinks, guarded hooks.
+
+Every record is keyed on *simulation* time and carries a dotted ``kind``
+naming the hook that emitted it.  The stack's hook points are:
+
+==================  =========================================================
+kind                emitted by / fields
+==================  =========================================================
+``sim.event``       :meth:`repro.sim.kernel.Simulator.step` — one record per
+                    dispatched event (``seq``, ``priority``)
+``channel.deliver``  :meth:`repro.server.channel.BroadcastChannel.deliver_at`
+                    — one record per transmitted page (``page`` is physical)
+``client.request``  a client drew the next request (``page`` logical,
+                    ``phase`` is ``"warmup"`` or ``"measured"``)
+``client.hit``      the request was served from cache (``page``)
+``client.miss``     cache miss; the client starts waiting (``page``,
+                    ``physical``)
+``client.wait``     the awaited page arrived (``page``, ``physical``,
+                    ``wait`` in broadcast units); record time is the arrival
+``cache.lookup``    :class:`repro.cache.base.TracedCache` probe (``page``,
+                    ``hit``)
+``cache.admit``     a fetched page was offered (``page``, ``victim`` —
+                    ``None``, the evicted page, or ``page`` itself when the
+                    policy declined to cache it)
+``cache.evict``     a resident page was displaced (``page`` is the victim,
+                    ``admitted`` the incoming page)
+``cache.discard``   an invalidation dropped a page (``page``, ``resident``)
+==================  =========================================================
+
+Hook sites guard with ``tracer is not None and tracer.enabled`` so a run
+without a tracer pays only a predictable attribute test — disabled
+tracing is a no-op by construction (benchmarked by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+# Record-kind constants, mirrored by the table above.
+SIM_EVENT = "sim.event"
+CHANNEL_DELIVER = "channel.deliver"
+CLIENT_REQUEST = "client.request"
+CLIENT_HIT = "client.hit"
+CLIENT_MISS = "client.miss"
+CLIENT_WAIT = "client.wait"
+CACHE_LOOKUP = "cache.lookup"
+CACHE_ADMIT = "cache.admit"
+CACHE_EVICT = "cache.evict"
+CACHE_DISCARD = "cache.discard"
+
+
+class TraceRecord:
+    """One observation: a kind, a simulation timestamp, and fields."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: Dict[str, Any]):
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form: ``{"t": ..., "kind": ..., **fields}``."""
+        return {"t": self.time, "kind": self.kind, **self.fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRecord {self.kind} t={self.time:.3f} {self.fields}>"
+
+
+class MemorySink:
+    """In-memory ring buffer of the most recent ``capacity`` records.
+
+    ``capacity=None`` retains everything (tests, short runs).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+
+    def write(self, record: TraceRecord) -> None:
+        """Retain one record (evicting the oldest when full)."""
+        self._records.append(record)
+
+    def close(self) -> None:
+        """Ring buffers need no teardown."""
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """A copy of the retained records, oldest first."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonlSink:
+    """Append records to a JSONL file, one compact object per line."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+
+    def write(self, record: TraceRecord) -> None:
+        """Serialise one record as a JSON line."""
+        self._handle.write(json.dumps(record.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        """Push buffered lines to disk."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class Tracer:
+    """Fan records out to sinks; the object every hook point guards on.
+
+    Hooks must test ``tracer is not None and tracer.enabled`` before
+    calling :meth:`emit`, so a disabled tracer (or none at all) costs a
+    branch and nothing else.
+    """
+
+    __slots__ = ("_sinks", "enabled", "emitted")
+
+    def __init__(self, *sinks, enabled: bool = True):
+        self._sinks: List[Any] = list(sinks)
+        self.enabled = enabled
+        #: Records emitted over the tracer's lifetime (enabled periods).
+        self.emitted = 0
+
+    def add_sink(self, sink) -> None:
+        """Attach another sink; it sees records from now on."""
+        self._sinks.append(sink)
+
+    def emit(self, kind: str, time: float, **fields) -> None:
+        """Record one observation at simulation ``time``."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time, kind, fields)
+        self.emitted += 1
+        for sink in self._sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        """Close every sink (flushes JSONL files)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def trace_schedule(schedule, tracer: Tracer, periods: int = 1,
+                   start: float = 0.0) -> int:
+    """Emit one ``channel.deliver`` record per transmitted slot.
+
+    Walks ``periods`` full cycles of a periodic broadcast program from
+    ``start`` (a slot boundary), emitting each non-padding slot's
+    completion instant — the ground-truth feed for the CLI's per-page
+    inter-arrival check (§2.1: every page's gaps are fixed) without
+    needing a client to demand every page.  Returns the record count.
+    """
+    if periods < 1:
+        raise ValueError(f"periods must be >= 1, got {periods}")
+    emitted = 0
+    for slot in range(periods * schedule.period):
+        begin = start + slot
+        page = schedule.page_at(begin + 0.5)
+        if page is None:
+            continue  # padding slot: nothing transmitted
+        tracer.emit(CHANNEL_DELIVER, begin + 1.0, page=int(page))
+        emitted += 1
+    return emitted
+
+
+def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield the record dicts of a JSONL trace file, in order."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -40,6 +40,12 @@ class BroadcastChannel:
         self._demand_event: Optional[Event] = None
         #: Pages delivered so far (for reporting/tests).
         self.deliveries = 0
+        #: Optional :class:`repro.obs.trace.Tracer`; when attached and
+        #: enabled, every transmitted page emits a ``channel.deliver``
+        #: record.  Attach a no-op snooper (see
+        #: :meth:`observe_every_slot`) to force delivery of *every*
+        #: non-empty slot for full-broadcast traces.
+        self.tracer = None
 
     # -- client-facing API -----------------------------------------------------
     def wait_for(self, physical_page: int) -> Event:
@@ -61,6 +67,20 @@ class BroadcastChannel:
     def unsnoop(self, callback: Callable[[float, int], None]) -> None:
         """Remove a snooper registered with :meth:`snoop`."""
         self._snoopers.remove(callback)
+
+    def observe_every_slot(self) -> Callable[[float, int], None]:
+        """Force every non-empty slot to be delivered (for tracing).
+
+        Registers a no-op snooper so the server stops sleeping through
+        unobserved stretches; combined with an attached ``tracer`` the
+        trace then carries one ``channel.deliver`` record per broadcast
+        page.  Returns the snooper so callers can :meth:`unsnoop` it.
+        """
+        def _observe(_time: float, _page: int) -> None:
+            return None
+
+        self.snoop(_observe)
+        return _observe
 
     # -- server-facing API -----------------------------------------------------
     def has_demand(self) -> bool:
@@ -97,6 +117,9 @@ class BroadcastChannel:
         if page is None:
             return
         self.deliveries += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("channel.deliver", now, page=int(page))
         key = (now, page)
         waiters = self._waiters.pop(key, ())
         for event in waiters:

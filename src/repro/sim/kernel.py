@@ -159,6 +159,10 @@ class Simulator:
         self._counter = itertools.count()
         #: Total number of events processed; useful for progress reporting.
         self.events_processed = 0
+        #: Optional :class:`repro.obs.trace.Tracer`.  When attached and
+        #: enabled, :meth:`step` emits one ``sim.event`` record per
+        #: dispatched event; ``None`` (the default) costs one branch.
+        self.trace = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -215,11 +219,14 @@ class Simulator:
         """Process exactly one event (advancing the clock to it)."""
         if not self._heap:
             raise SimulationError("step() called on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, priority, seq, event = heapq.heappop(self._heap)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         self.events_processed += 1
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.emit("sim.event", when, seq=seq, priority=priority)
         for callback in callbacks or ():
             callback(event)
         if not event._ok and not getattr(event, "_failure_consumed", True):

@@ -206,7 +206,13 @@ class Histogram:
         elif value >= self.high:
             self.overflow += 1
         else:
-            self.counts[int((value - self.low) / self._width)] += 1
+            # A value infinitesimally below ``high`` can round up to
+            # index == bins when (high - low) / bins is not exact in
+            # binary; clamp to the last in-range bin.
+            index = int((value - self.low) / self._width)
+            if index >= self.bins:
+                index = self.bins - 1
+            self.counts[index] += 1
 
     @property
     def total(self) -> int:

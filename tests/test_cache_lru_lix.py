@@ -57,6 +57,16 @@ class TestLRU:
         assert policy.admit(2, 3.0) is None
         assert policy.admit(3, 4.0) == 0
 
+    def test_discard_reports_residency(self):
+        # Regression: pages are stored with value None in the recency
+        # chain, so discard must test membership, not the popped value.
+        policy = LRUPolicy(2)
+        policy.admit(0, 1.0)
+        assert policy.discard(0) is True
+        assert policy.discard(0) is False
+        assert 0 not in policy
+        assert policy.discard(9) is False
+
 
 class TestLIXChains:
     def test_pages_enter_their_disks_chain(self):

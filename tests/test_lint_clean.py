@@ -52,5 +52,8 @@ class TestCleanBaseline:
         config = _config()
         assert config.scope == "src/repro"
         assert config.is_allowed("RL002", "src/repro/sim/rng.py")
-        assert config.is_allowed("RL001", "src/repro/experiments/runner.py")
+        assert config.is_allowed("RL001", "src/repro/obs/clock.py")
+        # The old blanket allowance for the runner is gone: its wall
+        # clock now flows through the obs clock shim.
+        assert not config.is_allowed("RL001", "src/repro/experiments/runner.py")
         assert not config.is_allowed("RL002", "src/repro/core/disks.py")

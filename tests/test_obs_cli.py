@@ -1,0 +1,125 @@
+"""Tests for ``python -m repro.obs summary`` (repro.obs.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.disks import DiskLayout
+from repro.core.programs import multidisk_program
+from repro.experiments.runner import run_experiment
+from repro.obs.cli import (
+    EXIT_OK,
+    EXIT_USAGE,
+    cache_summary,
+    interarrival_summary,
+    main,
+    response_summary,
+    summarise,
+)
+from repro.obs.trace import JsonlSink, Tracer, trace_schedule
+
+
+@pytest.fixture
+def schedule_trace(tmp_path):
+    """A JSONL trace of three periods of the tiny multidisk program."""
+    layout = DiskLayout((2, 4, 8), (4, 2, 1))
+    path = str(tmp_path / "schedule.jsonl")
+    with Tracer(JsonlSink(path)) as tracer:
+        trace_schedule(multidisk_program(layout), tracer, periods=3)
+    return path
+
+
+@pytest.fixture
+def experiment_trace(tmp_path, mini_config):
+    """A JSONL trace of a full mini experiment (client + cache records)."""
+    path = str(tmp_path / "run.jsonl")
+    with Tracer(JsonlSink(path)) as tracer:
+        run_experiment(mini_config.with_(num_requests=300), tracer=tracer)
+    return path
+
+
+class TestAnalyses:
+    def test_multidisk_interarrival_is_fixed(self, schedule_trace):
+        records = [json.loads(line) for line in open(schedule_trace)]
+        section = interarrival_summary(records)
+        assert section["pages_observed"] == 14
+        assert section["max_gap_variance"] == 0.0
+        assert section["fixed_interarrival"] is True
+
+    def test_perturbed_gap_fails_the_check(self, schedule_trace):
+        records = [json.loads(line) for line in open(schedule_trace)]
+        delivers = [r for r in records if r["kind"] == "channel.deliver"]
+        delivers[-1]["t"] += 0.5  # break one page's final gap
+        section = interarrival_summary(delivers)
+        assert section["fixed_interarrival"] is False
+        assert section["max_gap_variance"] > 0
+
+    def test_sections_absent_without_their_records(self, schedule_trace):
+        records = [json.loads(line) for line in open(schedule_trace)]
+        summary = summarise(records)
+        assert "broadcast" in summary
+        assert "responses" not in summary and "cache" not in summary
+        assert response_summary(records) is None
+        assert cache_summary(records) is None
+
+    def test_experiment_trace_has_all_sections(self, experiment_trace):
+        records = [json.loads(line) for line in open(experiment_trace)]
+        summary = summarise(records)
+        assert summary["overview"]["records"] == len(records)
+        responses = summary["responses"]
+        assert responses["hits"] + responses["misses"] == (
+            summary["overview"]["kinds"]["client.request"]
+        )
+        assert responses["waits"]["count"] == responses["misses"]
+        cache = summary["cache"]
+        assert cache["admissions"] >= cache["evictions"]
+        assert cache["longest_resident"]
+
+
+class TestCli:
+    def test_text_summary_reports_fixed_gaps(self, schedule_trace, capsys):
+        assert main(["summary", schedule_trace]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "fixed gaps       : yes" in out
+        assert "max gap variance : 0" in out
+
+    def test_json_summary_is_machine_readable(self, experiment_trace, capsys):
+        assert main(["summary", experiment_trace, "--json"]) == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) >= {"overview", "responses", "cache"}
+
+    def test_top_limits_ranked_tables(self, schedule_trace, capsys):
+        assert main(["summary", schedule_trace, "--top", "2",
+                     "--json"]) == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["broadcast"]["pages"]) == 2
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        code = main(["summary", str(tmp_path / "absent.jsonl")])
+        assert code == EXIT_USAGE
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0, "kind": "x"}\nnot json\n')
+        assert main(["summary", str(path)]) == EXIT_USAGE
+        assert "malformed trace line" in capsys.readouterr().err
+
+    def test_unknown_command_exits_2(self, capsys):
+        assert main(["frobnicate"]) == EXIT_USAGE
+
+    def test_module_entry_point(self, schedule_trace):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summary", schedule_trace],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+        )
+        assert completed.returncode == 0
+        assert "fixed gaps" in completed.stdout

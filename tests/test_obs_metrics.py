@@ -1,0 +1,99 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedGauge,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(4)
+        counter.inc(0)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("hits")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_gauge_overwrites(self):
+        gauge = Gauge("response.mean")
+        gauge.set(9.5)
+        gauge.set(4.25)
+        assert gauge.value == 4.25
+
+    def test_time_weighted_gauge_matches_hand_computation(self):
+        gauge = TimeWeightedGauge("queue", start_time=0.0, initial_value=0.0)
+        gauge.set(2.0, 3.0)   # value 0 held [0, 2)
+        gauge.set(6.0, 1.0)   # value 3 held [2, 6)
+        # (0*2 + 3*4) / 6 = 2.0; projected to t=8: (12 + 1*2) / 8 = 1.75.
+        assert gauge.mean() == 2.0
+        assert gauge.mean(now=8.0) == 1.75
+        assert gauge.maximum == 3.0
+        assert gauge.current == 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.time_weighted("c") is registry.time_weighted("c")
+        assert len(registry) == 3
+        assert "a" in registry and "missing" not in registry
+        assert registry.names() == ["a", "b", "c"]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.time_weighted("x")
+
+    def test_snapshot_flattens_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(7)
+        registry.gauge("mean").set(2.5)
+        queue = registry.time_weighted("queue")
+        queue.set(4.0, 2.0)
+        snapshot = registry.snapshot(now=8.0)
+        assert snapshot == {
+            "hits": 7,
+            "mean": 2.5,
+            # 0 held [0,4), 2 held [4,8) -> mean 1.0 projected to t=8.
+            "queue": {"mean": 1.0, "max": 2.0, "current": 2.0},
+        }
+
+
+class TestRunnerIntegration:
+    def test_run_experiment_fills_registry(self, mini_config):
+        registry = MetricsRegistry()
+        result = run_experiment(mini_config, metrics=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["runs"] == 1
+        assert snapshot["requests.measured"] == result.measured_requests
+        assert snapshot["response.mean"] == result.mean_response_time
+        assert snapshot["cache.hits"] + snapshot["cache.misses"] == (
+            result.measured_requests
+        )
+        assert snapshot["schedule.period"] == float(result.schedule_period)
+
+    def test_registry_accumulates_across_runs(self, mini_config):
+        registry = MetricsRegistry()
+        run_experiment(mini_config, metrics=registry)
+        run_experiment(mini_config, metrics=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["runs"] == 2

@@ -1,0 +1,262 @@
+"""Trace-bus tests: kernel/channel/client/cache hooks, sinks, no-op path.
+
+The load-bearing assertions:
+
+* the ``Simulator.trace`` hook emits exactly one ``sim.event`` record
+  per processed event (``events_processed`` agrees with the trace);
+* a multi-disk schedule traced slot-by-slot shows zero per-page gap
+  variance (§2.1 fixed inter-arrival);
+* traced and untraced runs produce byte-identical measurements (both
+  engines), so observability can never perturb the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import PolicyContext, TracedCache
+from repro.cache.registry import make_policy
+from repro.experiments.runner import run_experiment
+from repro.experiments.simengine import ClientSpec, ProcessEngine
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    TraceRecord,
+    Tracer,
+    read_jsonl,
+    trace_schedule,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import generate_trace
+from repro.workload.zipf import ZipfRegionDistribution
+
+
+def _counts(records):
+    by_kind = {}
+    for record in records:
+        kind = record.kind if isinstance(record, TraceRecord) else record["kind"]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return by_kind
+
+
+class TestSimulatorTraceHook:
+    def test_events_processed_matches_trace_records(self):
+        """One ``sim.event`` record per dispatched event, no more, no less."""
+        sink = MemorySink()
+        sim = Simulator()
+        sim.trace = Tracer(sink)
+        fired = []
+        # A small scripted simulation: chained timeouts plus a process.
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.5, lambda: sim.schedule(1.0, lambda: fired.append("b")))
+
+        def worker(sim):
+            yield sim.timeout(2.0)
+            yield sim.timeout(3.0)
+
+        sim.process(worker(sim))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.events_processed > 0
+        records = sink.records
+        assert len(records) == sim.events_processed
+        assert all(record.kind == "sim.event" for record in records)
+        # Record times are the dispatch instants, in non-decreasing order.
+        times = [record.time for record in records]
+        assert times == sorted(times)
+
+    def test_no_tracer_is_default_and_harmless(self):
+        sim = Simulator()
+        assert sim.trace is None
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_disabled_tracer_emits_nothing(self):
+        sink = MemorySink()
+        sim = Simulator()
+        sim.trace = Tracer(sink, enabled=False)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+        assert len(sink) == 0
+
+
+class TestSinks:
+    def test_memory_sink_ring_buffer(self):
+        sink = MemorySink(capacity=3)
+        tracer = Tracer(sink)
+        for index in range(5):
+            tracer.emit("k", float(index), i=index)
+        assert tracer.emitted == 5
+        assert [record.fields["i"] for record in sink.records] == [2, 3, 4]
+
+    def test_memory_sink_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit("client.hit", 1.5, page=3)
+            tracer.emit("channel.deliver", 2.0, page=7)
+        records = list(read_jsonl(path))
+        assert records == [
+            {"t": 1.5, "kind": "client.hit", "page": 3},
+            {"t": 2.0, "kind": "channel.deliver", "page": 7},
+        ]
+
+    def test_multiple_sinks_see_every_record(self, tmp_path):
+        memory = MemorySink()
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(memory, JsonlSink(path))
+        tracer.emit("k", 0.5, x=1)
+        tracer.close()
+        assert len(memory) == 1
+        assert len(list(read_jsonl(path))) == 1
+
+
+class TestScheduleTracing:
+    def test_multidisk_gaps_are_fixed(self, tiny_schedule):
+        """§2.1: every page of the multidisk program has fixed gaps."""
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        emitted = trace_schedule(tiny_schedule, tracer, periods=3)
+        assert emitted == len(sink)
+        arrivals = {}
+        for record in sink.records:
+            arrivals.setdefault(record.fields["page"], []).append(record.time)
+        assert len(arrivals) == 14  # 2 + 4 + 8 pages
+        for page, times in arrivals.items():
+            gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+            assert len(gaps) == 1, (page, gaps)
+
+    def test_rejects_zero_periods(self, tiny_schedule):
+        with pytest.raises(ValueError):
+            trace_schedule(tiny_schedule, Tracer(), periods=0)
+
+
+class TestChannelAndClientHooks:
+    def _run_process(self, tracer, observe_all=False):
+        from repro.core.disks import DiskLayout
+        from repro.core.programs import multidisk_program
+
+        layout = DiskLayout((2, 4, 8), (4, 2, 1))
+        schedule = multidisk_program(layout)
+        engine = ProcessEngine(schedule, layout, tracer=tracer)
+        if observe_all:
+            engine.channel.observe_every_slot()
+        distribution = ZipfRegionDistribution(
+            access_range=14, region_size=2, theta=0.95
+        )
+        trace = generate_trace(
+            distribution, 150, RandomStreams(3).stream("requests")
+        )
+        engine.add_client(
+            ClientSpec(
+                mapping=LogicalPhysicalMapping(layout),
+                cache=make_policy("LRU", 4, PolicyContext(num_disks=3)),
+                trace=trace,
+            )
+        )
+        reports = engine.run()
+        return engine, reports[0]
+
+    def test_client_records_match_report(self):
+        sink = MemorySink()
+        engine, report = self._run_process(Tracer(sink))
+        counts = _counts(sink.records)
+        assert counts["client.request"] == 150
+        # Hits + misses partition the requests.
+        assert counts["client.hit"] + counts["client.miss"] == 150
+        assert counts["client.miss"] == counts["client.wait"]
+        # sim.event records agree with the kernel's own counter.
+        assert counts["sim.event"] == engine.sim.events_processed
+
+    def test_observe_every_slot_records_full_broadcast(self):
+        sink = MemorySink()
+        engine, _report = self._run_process(Tracer(sink), observe_all=True)
+        delivers = [r for r in sink.records if r.kind == "channel.deliver"]
+        # Every slot delivered: gap variance is exactly zero per page.
+        arrivals = {}
+        for record in delivers:
+            arrivals.setdefault(record.fields["page"], []).append(record.time)
+        for times in arrivals.values():
+            gaps = {b - a for a, b in zip(times, times[1:])}
+            assert len(gaps) <= 1
+
+    def test_tracing_does_not_change_results(self):
+        _engine, untraced = self._run_process(None)
+        _engine, traced = self._run_process(Tracer(MemorySink()))
+        assert traced.response.mean == untraced.response.mean
+        assert traced.counters.hits == untraced.counters.hits
+        assert traced.counters.misses == untraced.counters.misses
+
+
+class TestTracedCache:
+    def _cache(self, tracer, capacity=2):
+        return TracedCache(
+            make_policy("LRU", capacity, PolicyContext()), tracer
+        )
+
+    def test_delegates_and_records(self):
+        sink = MemorySink()
+        cache = self._cache(Tracer(sink))
+        assert not cache.lookup(1, 0.0)
+        assert cache.admit(1, 1.0) is None
+        assert cache.lookup(1, 2.0)
+        assert cache.admit(2, 3.0) is None
+        victim = cache.admit(3, 4.0)  # capacity 2: LRU evicts page 1
+        assert victim == 1
+        assert 1 not in cache
+        assert len(cache) == 2
+        assert sorted(cache.pages()) == [2, 3]
+        counts = _counts(sink.records)
+        assert counts == {
+            "cache.lookup": 2, "cache.admit": 3, "cache.evict": 1,
+        }
+        evict = [r for r in sink.records if r.kind == "cache.evict"][0]
+        assert evict.fields == {"page": 1, "admitted": 3}
+
+    def test_discard_recorded_at_last_seen_time(self):
+        sink = MemorySink()
+        cache = self._cache(Tracer(sink))
+        cache.admit(5, 7.5)
+        assert cache.discard(5)
+        assert not cache.discard(5)
+        discards = [r for r in sink.records if r.kind == "cache.discard"]
+        assert [d.fields["resident"] for d in discards] == [True, False]
+        assert discards[0].time == 7.5
+
+    def test_transparent_when_tracer_disabled(self):
+        sink = MemorySink()
+        cache = self._cache(Tracer(sink, enabled=False))
+        cache.admit(1, 0.0)
+        assert cache.is_full is False
+        assert len(sink) == 0
+
+
+class TestRunExperimentTracing:
+    def test_fast_and_process_traces_agree_on_client_kinds(self, mini_config):
+        config = mini_config.with_(num_requests=200)
+        fast_sink, process_sink = MemorySink(), MemorySink()
+        fast = run_experiment(config, tracer=Tracer(fast_sink))
+        process = run_experiment(
+            config, engine="process", tracer=Tracer(process_sink)
+        )
+        assert fast.mean_response_time == process.mean_response_time
+        fast_counts = _counts(fast_sink.records)
+        process_counts = _counts(process_sink.records)
+        for kind in ("client.request", "client.hit", "client.miss",
+                     "client.wait", "cache.admit", "cache.evict"):
+            assert fast_counts.get(kind) == process_counts.get(kind), kind
+
+    def test_traced_run_is_byte_identical_to_untraced(self, mini_config):
+        config = mini_config.with_(num_requests=200)
+        untraced = run_experiment(config)
+        traced = run_experiment(config, tracer=Tracer(MemorySink()))
+        assert traced.mean_response_time == untraced.mean_response_time
+        assert traced.hit_rate == untraced.hit_rate
+        assert traced.access_locations == untraced.access_locations

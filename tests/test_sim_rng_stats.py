@@ -99,6 +99,39 @@ class TestRunningStats:
         merged = stats.merge(RunningStats())
         assert merged.mean == pytest.approx(1.5)
 
+    def test_merge_of_two_empties_is_empty(self):
+        merged = RunningStats().merge(RunningStats())
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        assert merged.variance == 0.0
+
+    def test_merge_preserves_extremes_and_stderr(self, rng):
+        left_values = rng.normal(0, 1, 200)
+        right_values = rng.normal(5, 2, 300)
+        left, right, combined = RunningStats(), RunningStats(), RunningStats()
+        left.extend(left_values)
+        right.extend(right_values)
+        combined.extend(np.concatenate([left_values, right_values]))
+        merged = left.merge(right)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+        assert merged.stderr == pytest.approx(combined.stderr)
+
+    def test_chained_merge_matches_single_stream(self, rng):
+        chunks = [rng.normal(i, 1 + i, 50) for i in range(4)]
+        reference = RunningStats()
+        reference.extend(np.concatenate(chunks))
+        merged = RunningStats()
+        for chunk in chunks:
+            partial = RunningStats()
+            partial.extend(chunk)
+            merged = merged.merge(partial)
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean)
+        assert merged.variance == pytest.approx(reference.variance)
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+
 
 class TestWindowedSeries:
     def test_tail_bounded_by_window(self):
@@ -171,3 +204,25 @@ class TestHistogram:
             Histogram(0.0, 10.0, bins=0)
         with pytest.raises(ValueError):
             Histogram(5.0, 5.0, bins=3)
+
+    def test_float_edge_lands_in_last_bin(self):
+        # Regression: with a bin width that is inexact in binary,
+        # int((value - low) / width) can evaluate to ``bins`` for a
+        # value infinitesimally below ``high`` — an IndexError before
+        # the clamp.  nextafter(high, low) is the worst such value.
+        histogram = Histogram(0.0, 1.0, bins=3)
+        histogram.add(math.nextafter(1.0, 0.0))
+        assert histogram.counts == [0, 0, 1]
+        assert histogram.overflow == 0
+
+    def test_float_edges_never_escape_range(self):
+        # Sweep awkward (high, bins) pairs; every in-range value must
+        # land in a bin, never raise, and high itself must overflow.
+        for high in (0.1, 0.3, 0.7, 1.0, 2.1, 9.9):
+            for bins in (1, 3, 7, 11):
+                histogram = Histogram(0.0, high, bins)
+                below = math.nextafter(high, 0.0)
+                histogram.add(below)
+                histogram.add(high)
+                assert sum(histogram.counts) == 1, (high, bins)
+                assert histogram.overflow == 1, (high, bins)

@@ -54,6 +54,34 @@ class TestTimeWeightedStat:
         stat = TimeWeightedStat(initial_value=3.0)
         assert stat.mean() == 3.0
 
+    def test_projection_to_last_change_is_identity(self):
+        stat = TimeWeightedStat()
+        stat.record(2.0, 4.0)
+        stat.record(6.0, 1.0)
+        assert stat.mean(now=6.0) == stat.mean()
+
+    def test_projection_matches_closed_form(self):
+        # Piecewise-constant: 0 on [0,2), 4 on [2,6), 1 on [6,10).
+        stat = TimeWeightedStat()
+        stat.record(2.0, 4.0)
+        stat.record(6.0, 1.0)
+        expected = (0.0 * 2 + 4.0 * 4 + 1.0 * 4) / 10.0
+        assert stat.mean(now=10.0) == pytest.approx(expected)
+        # Projection must not mutate the accumulator.
+        assert stat.mean() == pytest.approx((0.0 * 2 + 4.0 * 4) / 6.0)
+
+    def test_projection_with_no_changes_extends_initial_value(self):
+        stat = TimeWeightedStat(start_time=5.0, initial_value=2.0)
+        assert stat.mean(now=9.0) == pytest.approx(2.0)
+
+    def test_zero_span_change_keeps_time_and_updates_value(self):
+        stat = TimeWeightedStat()
+        stat.record(3.0, 1.0)
+        stat.record(3.0, 8.0)  # simultaneous change is legal
+        assert stat.current == 8.0
+        assert stat.maximum == 8.0
+        assert stat.mean() == pytest.approx(0.0)  # only value 0 has held
+
 
 class TestHybridQueueMonitoring:
     def test_queue_stat_reflects_load(self):
