@@ -11,9 +11,10 @@ from repro.experiments.figures import figure10
 from repro.experiments.reporting import summarize_crossovers
 
 
-def test_figure10(benchmark, paper_scale):
+def test_figure10(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure10, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure10, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
 
     flat = data.series["Flat Δ=0"][0]

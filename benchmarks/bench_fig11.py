@@ -11,9 +11,10 @@ from benchmarks.conftest import print_figure, run_once
 from repro.experiments.figures import figure11
 
 
-def test_figure11(benchmark, paper_scale):
+def test_figure11(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure11, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure11, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
 
     locations = dict(zip(data.x_values, range(len(data.x_values))))

@@ -10,9 +10,10 @@ from benchmarks.conftest import print_figure, run_once
 from repro.experiments.figures import figure13
 
 
-def test_figure13(benchmark, paper_scale):
+def test_figure13(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure13, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure13, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
 
     lru = data.series["LRU"]

@@ -10,9 +10,10 @@ from benchmarks.conftest import print_figure, run_once
 from repro.experiments.figures import figure15
 
 
-def test_figure15(benchmark, paper_scale):
+def test_figure15(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure15, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure15, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
 
     lru = data.series["LRU"]

@@ -18,9 +18,10 @@ from repro.experiments.figures import figure5
 FLAT = 2500.0
 
 
-def test_figure5(benchmark, paper_scale):
+def test_figure5(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure5, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure5, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
 
     series = {name.split("<")[0]: values for name, values in data.series.items()}

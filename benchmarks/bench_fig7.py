@@ -12,9 +12,10 @@ from repro.experiments.reporting import summarize_crossovers
 FLAT = 2500.0
 
 
-def test_figure7(benchmark, paper_scale):
+def test_figure7(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure7, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure7, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
     print(summarize_crossovers(data, reference=FLAT))
 

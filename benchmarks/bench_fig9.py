@@ -12,9 +12,10 @@ from repro.experiments.figures import figure9
 from repro.experiments.reporting import summarize_crossovers
 
 
-def test_figure9(benchmark, paper_scale):
+def test_figure9(benchmark, paper_scale, jobs):
     num_requests, seed = paper_scale
-    data = run_once(benchmark, figure9, num_requests=num_requests, seed=seed)
+    data = run_once(benchmark, figure9, num_requests=num_requests,
+                    seed=seed, jobs=jobs)
     print_figure(data)
 
     quiet = data.series["Noise 0%"]

@@ -9,6 +9,8 @@ from the bench output.
 Scale control: set ``REPRO_BENCH_REQUESTS`` to reduce the measured
 request count (e.g. 2000 for a quick pass); the default is the paper's
 15,000.  ``REPRO_BENCH_SEED`` overrides the seed.
+``REPRO_BENCH_JOBS`` sets the worker-process count per sweep (default
+1 = serial); results are byte-identical at any count.
 
 Run with::
 
@@ -42,6 +44,11 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", 42))
 
 
+def bench_jobs() -> int:
+    """Worker processes per sweep for this bench run (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", 1))
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark ``fn`` with exactly one timed execution.
 
@@ -66,3 +73,9 @@ def print_figure(data) -> None:
 def paper_scale():
     """(num_requests, seed) honouring the env overrides."""
     return bench_requests(), bench_seed()
+
+
+@pytest.fixture
+def jobs():
+    """Worker-process count honouring ``REPRO_BENCH_JOBS``."""
+    return bench_jobs()

@@ -44,6 +44,10 @@ def parse_args(argv):
     parser.add_argument(
         "--csv-dir", default=None, help="also write one CSV per artifact here"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per sweep (results identical at any count)",
+    )
     return parser.parse_args(argv)
 
 
@@ -51,7 +55,7 @@ def main(argv=None) -> int:
     args = parse_args(argv if argv is not None else sys.argv[1:])
     if args.list or not args.artifacts:
         print("available artifacts:")
-        for name, (fn, _scalable) in ARTIFACTS.items():
+        for name, (fn, _scalable, _parallel) in ARTIFACTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:<8} {doc}")
         return 0
@@ -66,12 +70,14 @@ def main(argv=None) -> int:
         os.makedirs(args.csv_dir, exist_ok=True)
 
     for name in names:
-        fn, scalable = ARTIFACTS[name]
+        fn, scalable, parallel = ARTIFACTS[name]
         kwargs = {}
         if scalable:
             kwargs["seed"] = args.seed
             if args.requests is not None:
                 kwargs["num_requests"] = args.requests
+        if parallel:
+            kwargs["jobs"] = args.jobs
         data = fn(**kwargs)
         print(format_table(data))
         if args.csv_dir:

@@ -1,0 +1,144 @@
+"""CI smoke run for the plan/executor stack.
+
+Runs a reduced Figure-5 grid (D5, Δ=0..3, plus a noisy variant) twice —
+once with ``SerialExecutor`` and once with ``ParallelExecutor(jobs=2)``
+— and fails unless the two runs are byte-identical:
+
+* per-point mean response times and collected samples;
+* per-run metrics snapshots folded into the registry;
+* the aggregated sweep manifests, compared as canonical JSON after
+  ``strip_wall_clock`` removes the only fields allowed to differ.
+
+Also replays the serial run from its checkpoint journal and verifies
+the resumed sweep reproduces the original exactly without re-executing
+anything.  Leaves both manifests in the artifact directory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/parallel_smoke.py --out parallel-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.exec import SerialExecutor, SweepCheckpoint, plan_sweep
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import sweep_results
+from repro.obs.manifest import strip_wall_clock
+from repro.obs.metrics import MetricsRegistry
+
+JOBS = 2
+
+
+def smoke_grid():
+    """A reduced Figure 5 slice plus one noisy point (shared layouts)."""
+    base = dict(
+        disk_sizes=(50, 200, 250),
+        cache_size=50,
+        policy="LIX",
+        access_range=100,
+        region_size=10,
+        num_requests=600,
+        seed=7,
+    )
+    configs = [
+        ExperimentConfig(delta=delta, label=f"smoke Δ={delta}", **base)
+        for delta in range(4)
+    ]
+    configs.append(
+        ExperimentConfig(delta=3, noise=0.45, label="smoke Δ=3 noisy", **base)
+    )
+    return configs
+
+
+def canonical(path: Path) -> str:
+    document = json.loads(path.read_text())
+    return json.dumps(strip_wall_clock(document), sort_keys=True, indent=2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="parallel-artifacts",
+        help="artifact directory (default: parallel-artifacts)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=JOBS,
+        help=f"worker count for the parallel arm (default: {JOBS})",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    configs = smoke_grid()
+    serial_manifest = out / "serial-manifest.json"
+    parallel_manifest = out / "parallel-manifest.json"
+
+    print(f"== serial sweep ({len(configs)} points) ==")
+    serial_metrics = MetricsRegistry()
+    serial = sweep_results(
+        configs,
+        metrics=serial_metrics,
+        manifest=str(serial_manifest),
+        collect_responses=True,
+    )
+
+    print(f"== parallel sweep (jobs={args.jobs}) ==")
+    parallel_metrics = MetricsRegistry()
+    parallel = sweep_results(
+        configs,
+        jobs=args.jobs,
+        metrics=parallel_metrics,
+        manifest=str(parallel_manifest),
+        collect_responses=True,
+    )
+
+    failures = []
+    if [r.mean_response_time for r in serial] != [
+        r.mean_response_time for r in parallel
+    ]:
+        failures.append("mean response times diverged")
+    if [r.samples for r in serial] != [r.samples for r in parallel]:
+        failures.append("collected samples diverged")
+    if serial_metrics.snapshot() != parallel_metrics.snapshot():
+        failures.append("metrics snapshots diverged")
+    if canonical(serial_manifest) != canonical(parallel_manifest):
+        failures.append("sweep manifests diverged (beyond wall-clock fields)")
+
+    print("== checkpoint replay ==")
+    journal = out / "smoke-checkpoint.jsonl"
+    plans = plan_sweep(configs, collect_responses=True)
+    SerialExecutor().run(plans, checkpoint=SweepCheckpoint(str(journal)))
+    replay = SweepCheckpoint(str(journal))
+    replayed = SerialExecutor().run(plans, checkpoint=replay)
+    if replay.resumed != len(configs):
+        failures.append(
+            f"journal replay resumed {replay.resumed}/{len(configs)} plans"
+        )
+    if [r.mean_response_time for r in replayed] != [
+        r.mean_response_time for r in serial
+    ]:
+        failures.append("checkpoint replay diverged from the live run")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    print(f"serial == parallel (jobs={args.jobs}) across "
+          f"{len(configs)} points: means, samples, metrics, manifests")
+    print(f"checkpoint replay reproduced the sweep from {journal.name}")
+    print("artifacts in", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

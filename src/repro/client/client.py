@@ -34,6 +34,10 @@ class ClientReport:
     counters: CacheCounters = field(default_factory=CacheCounters)
     samples: Optional[List[float]] = None
     warmup_requests: int = 0
+    #: Simulator clock when the client finished its trace, in broadcast
+    #: units — the process-engine counterpart of the fast engine's
+    #: ``EngineOutcome.final_time``.
+    final_time: float = 0.0
 
     @property
     def mean_response_time(self) -> float:
@@ -144,4 +148,5 @@ class Client:
                 if report.samples is not None:
                     report.samples.append(wait)
 
+        report.final_time = sim.now
         return report

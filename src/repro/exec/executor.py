@@ -1,0 +1,191 @@
+"""Executors: strategies for running a list of plans.
+
+Both executors honour one contract, asserted by
+``tests/test_exec_parallel.py``: the returned list matches the plan
+list position-for-position, and every per-plan measurement (means,
+samples, counters — everything except ``wall_seconds``) is identical
+no matter which executor ran it, how many workers it used, or in what
+order the workers finished.  Parallelism is therefore a pure wall-clock
+optimisation, never an answer-changing one.
+
+How :class:`ParallelExecutor` keeps the contract:
+
+* each plan is self-contained (frozen config, no live objects), so
+  shipping it to a worker process cannot entangle runs;
+* results are reassembled by plan position, not completion order;
+* the ``progress`` callback fires in plan order — a position is
+  reported only once every earlier position has completed — so
+  observers see exactly the serial sequence;
+* when an *enabled* tracer is attached, the pool is bypassed and plans
+  run serially in-process: trace records must land in one sink in
+  simulation order, which cannot be preserved across process
+  boundaries.  (A disabled tracer costs nothing and parallelises
+  fine.)
+
+Both executors thread a :class:`~repro.exec.build.BuildCache` through
+their runs — the serial executor one per ``run()`` call, the parallel
+executor one per worker process — so sweep points sharing a broadcast
+structure skip schedule construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exec.build import BuildCache
+from repro.exec.checkpoint import SweepCheckpoint
+from repro.exec.plan import RunPlan
+from repro.exec.run import ExperimentResult, execute_plan
+
+#: ``progress(completed, total, result)``, fired in plan order.
+ProgressCallback = Callable[[int, int, ExperimentResult], None]
+
+
+class Executor(Protocol):
+    """Anything that can turn a plan list into a result list."""
+
+    def run(
+        self,
+        plans: Sequence[RunPlan],
+        tracer=None,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> List[ExperimentResult]:
+        ...  # pragma: no cover - protocol signature
+
+
+def _run_in_order(
+    plans: Sequence[RunPlan],
+    tracer,
+    progress: Optional[ProgressCallback],
+    checkpoint: Optional[SweepCheckpoint],
+) -> List[ExperimentResult]:
+    """The reference execution: one plan after another, in order."""
+    plans = list(plans)
+    builds = BuildCache()
+    results: List[ExperimentResult] = []
+    for position, plan in enumerate(plans):
+        result = None if checkpoint is None else checkpoint.lookup(plan)
+        if result is None:
+            result = execute_plan(plan, tracer=tracer, builds=builds)
+            if checkpoint is not None:
+                checkpoint.record(plan, result)
+        results.append(result)
+        if progress is not None:
+            progress(position + 1, len(plans), result)
+    return results
+
+
+class SerialExecutor:
+    """Run plans one at a time, in plan order, in this process."""
+
+    def run(
+        self,
+        plans: Sequence[RunPlan],
+        tracer=None,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> List[ExperimentResult]:
+        return _run_in_order(plans, tracer, progress, checkpoint)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+# Per-worker build cache, created lazily on the worker's first plan.
+# Module-level so :func:`_execute_in_worker` stays picklable by name.
+_WORKER_BUILDS: Optional[BuildCache] = None
+
+
+def _execute_in_worker(plan: RunPlan) -> ExperimentResult:
+    """Worker-side entry point: execute one plan with the worker's cache."""
+    global _WORKER_BUILDS
+    if _WORKER_BUILDS is None:
+        _WORKER_BUILDS = BuildCache()
+    return execute_plan(plan, builds=_WORKER_BUILDS)
+
+
+class ParallelExecutor:
+    """Run plans on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    ``jobs`` is the worker-process count.  ``jobs=1`` (and any run with
+    an enabled tracer attached) degrades to the serial in-process path,
+    which is byte-identical anyway and skips the pool overhead.
+    """
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    def run(
+        self,
+        plans: Sequence[RunPlan],
+        tracer=None,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> List[ExperimentResult]:
+        plans = list(plans)
+        tracing = tracer is not None and tracer.enabled
+        if tracing or self.jobs == 1 or len(plans) <= 1:
+            # Enabled tracing needs one sink in simulation order; tiny
+            # or single-worker runs gain nothing from a pool.
+            return _run_in_order(plans, tracer, progress, checkpoint)
+
+        results: List[Optional[ExperimentResult]] = [None] * len(plans)
+        pending: List[int] = []
+        for position, plan in enumerate(plans):
+            cached = None if checkpoint is None else checkpoint.lookup(plan)
+            if cached is None:
+                pending.append(position)
+            else:
+                results[position] = cached
+
+        reported = 0
+
+        def flush_progress() -> int:
+            """Fire ``progress`` for the completed prefix, in plan order."""
+            nonlocal reported
+            while reported < len(plans) and results[reported] is not None:
+                if progress is not None:
+                    progress(reported + 1, len(plans), results[reported])
+                reported += 1
+            return reported
+
+        if not pending:
+            flush_progress()
+            return list(results)  # type: ignore[arg-type]
+
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_in_worker, plans[position]): position
+                for position in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    position = futures[future]
+                    result = future.result()  # re-raises worker errors
+                    results[position] = result
+                    if checkpoint is not None:
+                        checkpoint.record(plans[position], result)
+                flush_progress()
+
+        flush_progress()
+        return list(results)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def resolve_executor(jobs: int = 1) -> Executor:
+    """The executor a ``jobs`` count asks for: serial at 1, pooled above."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

@@ -1,0 +1,231 @@
+"""Plan execution: from a :class:`~repro.exec.plan.RunPlan` to a result.
+
+This module owns the single code path that turns a plan into an
+:class:`ExperimentResult` — the same path for every executor, so a
+result depends only on the plan, never on who ran it or alongside what.
+
+Determinism contract (asserted by ``tests/test_exec_parallel.py``):
+``execute_plan(plan)`` is a pure function of the plan up to the
+``wall_seconds`` field.  Layout/schedule reuse through a
+:class:`~repro.exec.build.BuildCache` changes construction cost only;
+random streams are derived inside the call from the plan's config.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.base import TracedCache
+from repro.errors import ConfigurationError
+from repro.exec.build import BuildCache
+from repro.exec.plan import RunPlan
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import EngineOutcome, FastEngine
+from repro.obs.clock import perf_counter
+from repro.sim.stats import RunningStats
+from repro.workload.trace import generate_trace
+
+#: Extra requests drawn beyond the measured count so the warm-up phase
+#: (cache fill) never exhausts the trace.  The cache needs at least
+#: ``cache_size`` misses to fill; skew makes warm-up take longer, so the
+#: allowance is generous and checked after the run.
+_WARMUP_ALLOWANCE_FACTOR = 6
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment run."""
+
+    config: ExperimentConfig
+    mean_response_time: float
+    response_stats: RunningStats
+    hit_rate: float
+    access_locations: Dict[str, float]
+    measured_requests: int
+    warmup_requests: int
+    schedule_period: int
+    schedule_utilisation: float
+    wall_seconds: float
+    samples: Optional[List[float]] = None
+    #: The run manifest dict, present when ``run_experiment`` was asked
+    #: to write one (``manifest=...``).
+    manifest: Optional[Dict] = None
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.config.describe()}: "
+            f"response={self.mean_response_time:.1f} bu, "
+            f"hit_rate={self.hit_rate:.1%}, "
+            f"period={self.schedule_period}"
+        )
+
+
+def _warmup_trace_allowance(config: ExperimentConfig) -> int:
+    """Requests to draw beyond the measured phase for cache warm-up."""
+    if config.warmup_requests is not None:
+        return config.warmup_requests
+    if not config.has_cache:
+        return 8  # a couple of requests fills the 1-page cache
+    fill_allowance = max(2_000, _WARMUP_ALLOWANCE_FACTOR * config.cache_size)
+    return fill_allowance + config.extra_warmup
+
+
+def execute_plan(
+    plan: RunPlan,
+    tracer=None,
+    builds: Optional[BuildCache] = None,
+) -> ExperimentResult:
+    """Run one plan and return its measurements.
+
+    ``tracer`` attaches a :class:`repro.obs.trace.Tracer` to the engine
+    (and, for the process engine, the kernel and channel) and wraps the
+    cache in a :class:`~repro.cache.base.TracedCache`.  ``builds``
+    supplies a :class:`~repro.exec.build.BuildCache` so plans sharing a
+    broadcast structure reuse the constructed layout and schedule.
+    """
+    config = plan.config
+    started = perf_counter()
+    if builds is None:
+        layout = config.build_layout()
+        schedule = config.build_schedule(layout)
+    else:
+        layout, schedule = builds.layout_and_schedule(config)
+    streams = config.build_streams()
+    mapping = config.build_mapping(layout, streams)
+    distribution = config.build_distribution()
+    cache = config.build_policy(schedule, mapping, distribution, layout)
+
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        cache = TracedCache(cache, tracer)
+
+    allowance = _warmup_trace_allowance(config)
+    trace = generate_trace(
+        distribution,
+        config.num_requests + allowance,
+        streams.stream("requests"),
+    )
+
+    if plan.engine == "fast":
+        fast = FastEngine(
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            cache=cache,
+            think_time=config.think_time,
+            tracer=tracer,
+        )
+        outcome = fast.run_trace(
+            trace,
+            warmup_requests=config.warmup_requests,
+            collect_responses=plan.collect_responses,
+            extra_warmup=config.extra_warmup,
+        )
+    elif plan.engine == "process":
+        from repro.experiments.simengine import run_single_client
+
+        report = run_single_client(
+            schedule=schedule,
+            layout=layout,
+            mapping=mapping,
+            cache=cache,
+            trace=trace,
+            think_time=config.think_time,
+            warmup_requests=config.warmup_requests,
+            collect_responses=plan.collect_responses,
+            extra_warmup=config.extra_warmup,
+            tracer=tracer,
+        )
+        outcome = EngineOutcome(
+            response=report.response,
+            counters=report.counters,
+            measured_requests=report.response.count,
+            warmup_requests=report.warmup_requests,
+            final_time=report.final_time,
+            samples=report.samples,
+        )
+    else:  # pragma: no cover - RunPlan.__post_init__ rejects this
+        raise ConfigurationError(
+            f"unknown engine {plan.engine!r}; use 'fast' or 'process'"
+        )
+
+    if outcome.measured_requests == 0:
+        raise ConfigurationError(
+            f"warm-up consumed the whole trace for {config.describe()}; "
+            "increase num_requests or lower cache_size"
+        )
+
+    return ExperimentResult(
+        config=config,
+        mean_response_time=outcome.response.mean,
+        response_stats=outcome.response,
+        hit_rate=outcome.counters.hit_rate,
+        access_locations=outcome.counters.access_locations(layout.num_disks),
+        measured_requests=outcome.measured_requests,
+        warmup_requests=outcome.warmup_requests,
+        schedule_period=schedule.period,
+        schedule_utilisation=1.0 - schedule.empty_slots / schedule.period,
+        wall_seconds=perf_counter() - started,
+        samples=outcome.samples,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact result (de)serialisation — the checkpoint journal's substrate.
+# ---------------------------------------------------------------------------
+
+def result_state(result: ExperimentResult) -> Dict:
+    """Everything in a result except its config, exactly.
+
+    Unlike the manifest (a human-facing summary), this block carries the
+    :class:`RunningStats` internals (count, mean, M2, extrema) and the
+    raw samples, so :func:`result_from_state` rebuilds the result
+    bit-for-bit — JSON round-trips Python floats exactly.
+    """
+    stats = result.response_stats
+    return {
+        "response_state": {
+            "count": stats.count,
+            "mean": stats._mean,
+            "m2": stats._m2,
+            "min": None if math.isinf(stats.minimum) else stats.minimum,
+            "max": None if math.isinf(stats.maximum) else stats.maximum,
+        },
+        "mean_response_time": result.mean_response_time,
+        "hit_rate": result.hit_rate,
+        "access_locations": dict(result.access_locations),
+        "measured_requests": result.measured_requests,
+        "warmup_requests": result.warmup_requests,
+        "schedule_period": result.schedule_period,
+        "schedule_utilisation": result.schedule_utilisation,
+        "wall_seconds": result.wall_seconds,
+        "samples": result.samples,
+    }
+
+
+def result_from_state(config: ExperimentConfig, state: Dict) -> ExperimentResult:
+    """Rebuild the exact :class:`ExperimentResult` a state block encodes."""
+    block = state["response_state"]
+    stats = RunningStats()
+    stats.count = int(block["count"])
+    stats._mean = float(block["mean"])
+    stats._m2 = float(block["m2"])
+    stats.minimum = math.inf if block["min"] is None else float(block["min"])
+    stats.maximum = -math.inf if block["max"] is None else float(block["max"])
+    samples = state.get("samples")
+    return ExperimentResult(
+        config=config,
+        mean_response_time=float(state["mean_response_time"]),
+        response_stats=stats,
+        hit_rate=float(state["hit_rate"]),
+        access_locations=dict(state["access_locations"]),
+        measured_requests=int(state["measured_requests"]),
+        warmup_requests=int(state["warmup_requests"]),
+        schedule_period=int(state["schedule_period"]),
+        schedule_utilisation=float(state["schedule_utilisation"]),
+        wall_seconds=float(state["wall_seconds"]),
+        samples=None if samples is None else [float(s) for s in samples],
+    )

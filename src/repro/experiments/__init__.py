@@ -20,7 +20,12 @@
 
 from repro.experiments.config import DISK_PRESETS, ExperimentConfig
 from repro.experiments.engine import FastEngine
-from repro.experiments.runner import ExperimentResult, run_experiment, sweep
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    sweep,
+    sweep_results,
+)
 
 __all__ = [
     "DISK_PRESETS",
@@ -29,4 +34,5 @@ __all__ = [
     "FastEngine",
     "run_experiment",
     "sweep",
+    "sweep_results",
 ]

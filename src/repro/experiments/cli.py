@@ -39,29 +39,30 @@ def _hybrid_study_entry():
     )
 
 
-#: artifact name -> (callable, accepts num_requests/seed kwargs)
+#: artifact name -> (callable, accepts num_requests/seed kwargs,
+#: accepts jobs/engine kwargs)
 ARTIFACTS: Dict[str, Tuple] = {
-    "table1": (figures.table1, False),
-    "fig5": (figures.figure5, True),
-    "fig6": (figures.figure6, True),
-    "fig7": (figures.figure7, True),
-    "fig8": (figures.figure8, True),
-    "fig9": (figures.figure9, True),
-    "fig10": (figures.figure10, True),
-    "fig11": (figures.figure11, True),
-    "fig13": (figures.figure13, True),
-    "fig14": (figures.figure14, True),
-    "fig15": (figures.figure15, True),
-    "busstop": (figures.bus_stop_paradox, False),
-    "shaping": (figures.shaping_ablation, True),
-    "prefetch": (figures.prefetch_comparison, True),
-    "zoo": (figures.policy_zoo, True),
-    "indexing": (figures.indexing_tradeoff, False),
-    "indexed-multidisk": (figures.indexed_multidisk_study, False),
-    "volatility": (figures.volatility_study, True),
-    "drift": (figures.drift_study, True),
-    "query": (figures.query_study, False),
-    "hybrid": (_hybrid_study_entry, False),
+    "table1": (figures.table1, False, False),
+    "fig5": (figures.figure5, True, True),
+    "fig6": (figures.figure6, True, True),
+    "fig7": (figures.figure7, True, True),
+    "fig8": (figures.figure8, True, True),
+    "fig9": (figures.figure9, True, True),
+    "fig10": (figures.figure10, True, True),
+    "fig11": (figures.figure11, True, True),
+    "fig13": (figures.figure13, True, True),
+    "fig14": (figures.figure14, True, True),
+    "fig15": (figures.figure15, True, True),
+    "busstop": (figures.bus_stop_paradox, False, False),
+    "shaping": (figures.shaping_ablation, True, False),
+    "prefetch": (figures.prefetch_comparison, True, False),
+    "zoo": (figures.policy_zoo, True, False),
+    "indexing": (figures.indexing_tradeoff, False, False),
+    "indexed-multidisk": (figures.indexed_multidisk_study, False, False),
+    "volatility": (figures.volatility_study, True, False),
+    "drift": (figures.drift_study, True, False),
+    "query": (figures.query_study, False, False),
+    "hybrid": (_hybrid_study_entry, False, False),
 }
 
 
@@ -94,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     figures_cmd.add_argument("--requests", type=int, default=None)
     figures_cmd.add_argument("--seed", type=int, default=42)
     figures_cmd.add_argument("--csv-dir", default=None)
+    figures_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per sweep (results identical at any count)",
+    )
+    figures_cmd.add_argument(
+        "--engine", default="fast", choices=["fast", "process"],
+        help="simulation engine for the paper-figure sweeps",
+    )
 
     run_cmd = commands.add_parser("run", help="run one experiment")
     run_cmd.add_argument("--disks", type=_parse_sizes, default=(500, 2000, 2500),
@@ -131,12 +140,15 @@ def _command_figures(args) -> int:
     if args.csv_dir:
         os.makedirs(args.csv_dir, exist_ok=True)
     for name in names:
-        builder, scalable = ARTIFACTS[name]
+        builder, scalable, parallel = ARTIFACTS[name]
         kwargs = {}
         if scalable:
             kwargs["seed"] = args.seed
             if args.requests is not None:
                 kwargs["num_requests"] = args.requests
+        if parallel:
+            kwargs["jobs"] = args.jobs
+            kwargs["engine"] = args.engine
         data = builder(**kwargs)
         print(format_table(data))
         if args.csv_dir:

@@ -32,10 +32,15 @@ from repro.experiments.config import (
     NOISE_LEVELS,
     ExperimentConfig,
 )
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_experiment, sweep_results
 
 #: Number of measured requests in the paper's protocol.
 PAPER_REQUESTS = 15_000
+
+#: Paper figures accept ``jobs`` (worker processes; results are
+#: byte-identical to serial at any count) and ``engine`` ("fast" or
+#: "process"); each builds its full config grid in the original loop
+#: order and slices the sweep results back into per-curve series.
 
 
 @dataclass
@@ -102,6 +107,8 @@ def figure5(
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     presets: Sequence[str] = ("D1", "D2", "D3", "D4", "D5"),
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """Client response time vs Δ for the five disk configurations.
 
@@ -117,22 +124,30 @@ def figure5(
         x_values=list(deltas),
         notes=f"flat-disk reference: {flat_expected_delay(5000):.0f} bu",
     )
-    for preset in presets:
-        responses = []
-        for delta in deltas:
-            config = ExperimentConfig(
-                disk_sizes=_preset_layout(preset),
-                delta=delta,
-                cache_size=1,
-                noise=0.0,
-                offset=0,
-                num_requests=num_requests,
-                seed=seed,
-                label=f"F5 {preset} Δ={delta}",
-            )
-            responses.append(run_experiment(config).mean_response_time)
+    configs = [
+        ExperimentConfig(
+            disk_sizes=_preset_layout(preset),
+            delta=delta,
+            cache_size=1,
+            noise=0.0,
+            offset=0,
+            num_requests=num_requests,
+            seed=seed,
+            label=f"F5 {preset} Δ={delta}",
+        )
+        for preset in presets
+        for delta in deltas
+    ]
+    means = [
+        result.mean_response_time
+        for result in sweep_results(configs, engine=engine, jobs=jobs)
+    ]
+    for position, preset in enumerate(presets):
         sizes = ",".join(str(s) for s in _preset_layout(preset))
-        data.add_series(f"{preset}<{sizes}>", responses)
+        start = position * len(deltas)
+        data.add_series(
+            f"{preset}<{sizes}>", means[start:start + len(deltas)]
+        )
     return data
 
 
@@ -150,6 +165,8 @@ def _noise_sensitivity(
     seed: int,
     deltas: Sequence[int],
     noises: Sequence[float],
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     sizes = ",".join(str(s) for s in _preset_layout(preset))
     data = FigureData(
@@ -162,22 +179,30 @@ def _noise_sensitivity(
         x_label="delta",
         x_values=list(deltas),
     )
-    for noise in noises:
-        responses = []
-        for delta in deltas:
-            config = ExperimentConfig(
-                disk_sizes=_preset_layout(preset),
-                delta=delta,
-                cache_size=cache_size,
-                policy=policy,
-                noise=noise,
-                offset=offset,
-                num_requests=num_requests,
-                seed=seed,
-                label=f"{figure} {preset} Δ={delta} noise={noise:.0%}",
-            )
-            responses.append(run_experiment(config).mean_response_time)
-        data.add_series(f"Noise {noise:.0%}", responses)
+    configs = [
+        ExperimentConfig(
+            disk_sizes=_preset_layout(preset),
+            delta=delta,
+            cache_size=cache_size,
+            policy=policy,
+            noise=noise,
+            offset=offset,
+            num_requests=num_requests,
+            seed=seed,
+            label=f"{figure} {preset} Δ={delta} noise={noise:.0%}",
+        )
+        for noise in noises
+        for delta in deltas
+    ]
+    means = [
+        result.mean_response_time
+        for result in sweep_results(configs, engine=engine, jobs=jobs)
+    ]
+    for position, noise in enumerate(noises):
+        start = position * len(deltas)
+        data.add_series(
+            f"Noise {noise:.0%}", means[start:start + len(deltas)]
+        )
     return data
 
 
@@ -186,6 +211,8 @@ def figure6(
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """Noise sensitivity of D3⟨2500,2500⟩ with no cache.
 
@@ -193,7 +220,8 @@ def figure6(
     the skewed configurations cross above the flat disk's 2500 bu.
     """
     return _noise_sensitivity(
-        "Figure 6", "D3", 1, "LRU", 0, num_requests, seed, deltas, noises
+        "Figure 6", "D3", 1, "LRU", 0, num_requests, seed, deltas, noises,
+        jobs=jobs, engine=engine,
     )
 
 
@@ -202,10 +230,13 @@ def figure7(
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """Noise sensitivity of D5⟨500,2000,2500⟩ with no cache."""
     return _noise_sensitivity(
-        "Figure 7", "D5", 1, "LRU", 0, num_requests, seed, deltas, noises
+        "Figure 7", "D5", 1, "LRU", 0, num_requests, seed, deltas, noises,
+        jobs=jobs, engine=engine,
     )
 
 
@@ -220,6 +251,8 @@ def figure8(
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
     cache_size: int = 500,
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """P policy, D5, CacheSize=Offset=500, noise sweep.
 
@@ -229,7 +262,7 @@ def figure8(
     """
     return _noise_sensitivity(
         "Figure 8", "D5", cache_size, "P", cache_size,
-        num_requests, seed, deltas, noises,
+        num_requests, seed, deltas, noises, jobs=jobs, engine=engine,
     )
 
 
@@ -239,6 +272,8 @@ def figure9(
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
     cache_size: int = 500,
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """PIX policy, same setting as Figure 8.
 
@@ -247,7 +282,7 @@ def figure9(
     """
     return _noise_sensitivity(
         "Figure 9", "D5", cache_size, "PIX", cache_size,
-        num_requests, seed, deltas, noises,
+        num_requests, seed, deltas, noises, jobs=jobs, engine=engine,
     )
 
 
@@ -261,6 +296,8 @@ def figure10(
     noises: Sequence[float] = NOISE_LEVELS,
     deltas: Sequence[int] = (3, 5),
     cache_size: int = 500,
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """P vs PIX with varying noise (D5, CacheSize=500, Offset=500).
 
@@ -273,38 +310,49 @@ def figure10(
         x_label="noise",
         x_values=[f"{n:.0%}" for n in noises],
     )
-    for policy in ("P", "PIX"):
-        for delta in deltas:
-            responses = []
-            for noise in noises:
-                config = ExperimentConfig(
-                    disk_sizes=_preset_layout("D5"),
-                    delta=delta,
-                    cache_size=cache_size,
-                    policy=policy,
-                    noise=noise,
-                    offset=cache_size,
-                    num_requests=num_requests,
-                    seed=seed,
-                    label=f"F10 {policy} Δ={delta} noise={noise:.0%}",
-                )
-                responses.append(run_experiment(config).mean_response_time)
-            data.add_series(f"{policy} Δ={delta}", responses)
+    curves = [
+        (policy, delta) for policy in ("P", "PIX") for delta in deltas
+    ]
+    configs = [
+        ExperimentConfig(
+            disk_sizes=_preset_layout("D5"),
+            delta=delta,
+            cache_size=cache_size,
+            policy=policy,
+            noise=noise,
+            offset=cache_size,
+            num_requests=num_requests,
+            seed=seed,
+            label=f"F10 {policy} Δ={delta} noise={noise:.0%}",
+        )
+        for policy, delta in curves
+        for noise in noises
+    ]
     # Flat-disk baseline (Δ=0): frequency is uniform, so P and PIX
     # coincide (paper footnote 6); noise has no effect on a flat disk.
-    flat_config = ExperimentConfig(
-        disk_sizes=_preset_layout("D5"),
-        delta=0,
-        cache_size=cache_size,
-        policy="P",
-        noise=0.0,
-        offset=cache_size,
-        num_requests=num_requests,
-        seed=seed,
-        label="F10 flat",
+    configs.append(
+        ExperimentConfig(
+            disk_sizes=_preset_layout("D5"),
+            delta=0,
+            cache_size=cache_size,
+            policy="P",
+            noise=0.0,
+            offset=cache_size,
+            num_requests=num_requests,
+            seed=seed,
+            label="F10 flat",
+        )
     )
-    flat_response = run_experiment(flat_config).mean_response_time
-    data.add_series("Flat Δ=0", [flat_response] * len(noises))
+    means = [
+        result.mean_response_time
+        for result in sweep_results(configs, engine=engine, jobs=jobs)
+    ]
+    for position, (policy, delta) in enumerate(curves):
+        start = position * len(noises)
+        data.add_series(
+            f"{policy} Δ={delta}", means[start:start + len(noises)]
+        )
+    data.add_series("Flat Δ=0", [means[-1]] * len(noises))
     return data
 
 
@@ -318,6 +366,8 @@ def figure11(
     cache_size: int = 500,
     noise: float = 0.30,
     delta: int = 3,
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """Access locations (cache, disk 1..3) for P vs PIX.
 
@@ -333,8 +383,9 @@ def figure11(
         x_label="location",
         x_values=locations,
     )
-    for policy in ("P", "PIX"):
-        config = ExperimentConfig(
+    policies = ("P", "PIX")
+    configs = [
+        ExperimentConfig(
             disk_sizes=_preset_layout("D5"),
             delta=delta,
             cache_size=cache_size,
@@ -345,7 +396,10 @@ def figure11(
             seed=seed,
             label=f"F11 {policy}",
         )
-        result = run_experiment(config)
+        for policy in policies
+    ]
+    results = sweep_results(configs, engine=engine, jobs=jobs)
+    for policy, result in zip(policies, results):
         data.add_series(
             policy,
             [result.access_locations.get(place, 0.0) for place in locations],
@@ -364,6 +418,8 @@ def figure13(
     cache_size: int = 500,
     noise: float = 0.30,
     policies: Sequence[str] = ("LRU", "L", "LIX", "PIX"),
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """LRU vs L vs LIX (vs the PIX ideal) across Δ.
 
@@ -377,22 +433,28 @@ def figure13(
         x_label="delta",
         x_values=list(deltas),
     )
-    for policy in policies:
-        responses = []
-        for delta in deltas:
-            config = ExperimentConfig(
-                disk_sizes=_preset_layout("D5"),
-                delta=delta,
-                cache_size=cache_size,
-                policy=policy,
-                noise=noise,
-                offset=cache_size,
-                num_requests=num_requests,
-                seed=seed,
-                label=f"F13 {policy} Δ={delta}",
-            )
-            responses.append(run_experiment(config).mean_response_time)
-        data.add_series(policy, responses)
+    configs = [
+        ExperimentConfig(
+            disk_sizes=_preset_layout("D5"),
+            delta=delta,
+            cache_size=cache_size,
+            policy=policy,
+            noise=noise,
+            offset=cache_size,
+            num_requests=num_requests,
+            seed=seed,
+            label=f"F13 {policy} Δ={delta}",
+        )
+        for policy in policies
+        for delta in deltas
+    ]
+    means = [
+        result.mean_response_time
+        for result in sweep_results(configs, engine=engine, jobs=jobs)
+    ]
+    for position, policy in enumerate(policies):
+        start = position * len(deltas)
+        data.add_series(policy, means[start:start + len(deltas)])
     return data
 
 
@@ -403,6 +465,8 @@ def figure14(
     noise: float = 0.30,
     delta: int = 3,
     policies: Sequence[str] = ("LRU", "L", "LIX"),
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """Access locations for the implementable policies (Δ=3, Noise=30%).
 
@@ -417,8 +481,8 @@ def figure14(
         x_label="location",
         x_values=locations,
     )
-    for policy in policies:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             disk_sizes=_preset_layout("D5"),
             delta=delta,
             cache_size=cache_size,
@@ -429,7 +493,10 @@ def figure14(
             seed=seed,
             label=f"F14 {policy}",
         )
-        result = run_experiment(config)
+        for policy in policies
+    ]
+    results = sweep_results(configs, engine=engine, jobs=jobs)
+    for policy, result in zip(policies, results):
         data.add_series(
             policy,
             [result.access_locations.get(place, 0.0) for place in locations],
@@ -444,6 +511,8 @@ def figure15(
     cache_size: int = 500,
     delta: int = 3,
     policies: Sequence[str] = ("LRU", "L", "LIX"),
+    jobs: int = 1,
+    engine: str = "fast",
 ) -> FigureData:
     """LRU vs L vs LIX with varying noise at Δ=3.
 
@@ -456,22 +525,28 @@ def figure15(
         x_label="noise",
         x_values=[f"{n:.0%}" for n in noises],
     )
-    for policy in policies:
-        responses = []
-        for noise in noises:
-            config = ExperimentConfig(
-                disk_sizes=_preset_layout("D5"),
-                delta=delta,
-                cache_size=cache_size,
-                policy=policy,
-                noise=noise,
-                offset=cache_size,
-                num_requests=num_requests,
-                seed=seed,
-                label=f"F15 {policy} noise={noise:.0%}",
-            )
-            responses.append(run_experiment(config).mean_response_time)
-        data.add_series(policy, responses)
+    configs = [
+        ExperimentConfig(
+            disk_sizes=_preset_layout("D5"),
+            delta=delta,
+            cache_size=cache_size,
+            policy=policy,
+            noise=noise,
+            offset=cache_size,
+            num_requests=num_requests,
+            seed=seed,
+            label=f"F15 {policy} noise={noise:.0%}",
+        )
+        for policy in policies
+        for noise in noises
+    ]
+    means = [
+        result.mean_response_time
+        for result in sweep_results(configs, engine=engine, jobs=jobs)
+    ]
+    for position, policy in enumerate(policies):
+        start = position * len(noises)
+        data.add_series(policy, means[start:start + len(noises)])
     return data
 
 

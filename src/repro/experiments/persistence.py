@@ -13,6 +13,7 @@ from dataclasses import asdict
 from typing import Union
 
 from repro.errors import ConfigurationError
+from repro.exec.run import result_from_state, result_state
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FigureData
 from repro.experiments.runner import ExperimentResult
@@ -52,14 +53,19 @@ def figure_from_dict(payload: dict) -> FigureData:
     return data
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
+def result_to_dict(result: ExperimentResult,
+                   include_state: bool = False) -> dict:
     """A JSON-ready summary of one experiment result.
 
     The raw per-request samples are omitted (they can be megabytes);
-    the distributional summary (mean/stddev/min/max) is retained.
+    the distributional summary (mean/stddev/min/max) is retained.  With
+    ``include_state`` the payload additionally carries the exact result
+    state (:func:`repro.exec.run.result_state` — ``RunningStats``
+    internals and samples), making :func:`result_from_dict` a
+    bit-for-bit round trip.
     """
     config = asdict(result.config)
-    return {
+    payload = {
         "schema": _RESULT_SCHEMA,
         "config": config,
         "mean_response_time": result.mean_response_time,
@@ -74,6 +80,28 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "schedule_utilisation": result.schedule_utilisation,
         "wall_seconds": result.wall_seconds,
     }
+    if include_state:
+        payload["state"] = result_state(result)
+    return payload
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from a stateful payload.
+
+    Requires a payload written with ``include_state=True``; the summary
+    form drops the stats internals and cannot be rebuilt exactly.
+    """
+    if payload.get("schema") != _RESULT_SCHEMA:
+        raise ConfigurationError(
+            f"not a result payload (schema={payload.get('schema')!r})"
+        )
+    state = payload.get("state")
+    if state is None:
+        raise ConfigurationError(
+            "result payload has no 'state' block; save it with "
+            "result_to_dict(result, include_state=True) to round-trip"
+        )
+    return result_from_state(config_from_dict(payload["config"]), state)
 
 
 def config_from_dict(payload: dict) -> ExperimentConfig:

@@ -1,13 +1,12 @@
-"""Build-and-run glue: from an :class:`ExperimentConfig` to a result.
+"""Experiment entry points: thin wrappers over the execution layer.
 
-``run_experiment`` assembles the layout, schedule, mapping, workload,
-trace, and cache policy a configuration describes, runs the chosen
-engine, and returns an :class:`ExperimentResult` carrying the metrics
-the paper reports (mean response time in broadcast units, cache hit
-rate, per-location access fractions).
-
-``sweep`` runs a family of configurations and tabulates one metric —
-the building block every figure reproduction uses.
+``run_experiment`` and ``sweep``/``sweep_results`` keep their original
+signatures, but the work now flows through :mod:`repro.exec`: each
+configuration becomes a frozen :class:`~repro.exec.plan.RunPlan`, and an
+:class:`~repro.exec.executor.Executor` runs the plans — serially by
+default, or on a process pool when ``jobs > 1``.  Executor choice is a
+pure wall-clock optimisation: results are byte-identical regardless of
+worker count (see ``docs/ARCHITECTURE.md`` for the contract).
 
 Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
 ``run_experiment`` accepts a ``tracer`` (structured event records), a
@@ -15,69 +14,27 @@ Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
 ``manifest`` path (a JSON document pinning config hash, seed, schedule
 and metric snapshot).  ``sweep``/``sweep_results`` add an optional
 progress callback and sweep-manifest aggregation so bench scripts can
-emit machine-readable trajectories.  All of it is pay-for-use: with
-everything left at ``None`` the run is byte-identical to an unobserved
-one.
+emit machine-readable trajectories.  Under parallel execution the
+progress callback still fires in plan order and metrics are folded into
+the registry in plan order (after execution), so snapshots match the
+serial run exactly.  All of it is pay-for-use: with everything left at
+``None`` the run is byte-identical to an unobserved one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
-from repro.cache.base import TracedCache
-from repro.errors import ConfigurationError
+from repro.exec.checkpoint import SweepCheckpoint
+from repro.exec.executor import Executor, resolve_executor
+from repro.exec.plan import plan_for, plan_sweep
+from repro.exec.run import (  # noqa: F401 - re-exported for compatibility
+    ExperimentResult,
+    _warmup_trace_allowance,
+    execute_plan,
+)
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import EngineOutcome, FastEngine
-from repro.obs.clock import perf_counter
 from repro.obs.manifest import build_manifest, write_manifest, write_sweep_manifest
-from repro.sim.stats import RunningStats
-from repro.workload.trace import generate_trace
-
-#: Extra requests drawn beyond the measured count so the warm-up phase
-#: (cache fill) never exhausts the trace.  The cache needs at least
-#: ``cache_size`` misses to fill; skew makes warm-up take longer, so the
-#: allowance is generous and checked after the run.
-_WARMUP_ALLOWANCE_FACTOR = 6
-
-
-@dataclass
-class ExperimentResult:
-    """Everything measured in one experiment run."""
-
-    config: ExperimentConfig
-    mean_response_time: float
-    response_stats: RunningStats
-    hit_rate: float
-    access_locations: Dict[str, float]
-    measured_requests: int
-    warmup_requests: int
-    schedule_period: int
-    schedule_utilisation: float
-    wall_seconds: float
-    samples: Optional[List[float]] = None
-    #: The run manifest dict, present when ``run_experiment`` was asked
-    #: to write one (``manifest=...``).
-    manifest: Optional[Dict] = None
-
-    def summary(self) -> str:
-        """One-line human-readable result."""
-        return (
-            f"{self.config.describe()}: "
-            f"response={self.mean_response_time:.1f} bu, "
-            f"hit_rate={self.hit_rate:.1%}, "
-            f"period={self.schedule_period}"
-        )
-
-
-def _warmup_trace_allowance(config: ExperimentConfig) -> int:
-    """Requests to draw beyond the measured phase for cache warm-up."""
-    if config.warmup_requests is not None:
-        return config.warmup_requests
-    if not config.has_cache:
-        return 8  # a couple of requests fills the 1-page cache
-    fill_allowance = max(2_000, _WARMUP_ALLOWANCE_FACTOR * config.cache_size)
-    return fill_allowance + config.extra_warmup
 
 
 def run_experiment(
@@ -98,87 +55,8 @@ def run_experiment(
     write the run manifest to (also attached to the result).  All three
     default to off and leave the measured behaviour untouched.
     """
-    started = perf_counter()
-    layout = config.build_layout()
-    schedule = config.build_schedule(layout)
-    streams = config.build_streams()
-    mapping = config.build_mapping(layout, streams)
-    distribution = config.build_distribution()
-    cache = config.build_policy(schedule, mapping, distribution, layout)
-
-    tracing = tracer is not None and tracer.enabled
-    if tracing:
-        cache = TracedCache(cache, tracer)
-
-    allowance = _warmup_trace_allowance(config)
-    trace = generate_trace(
-        distribution,
-        config.num_requests + allowance,
-        streams.stream("requests"),
-    )
-
-    if engine == "fast":
-        fast = FastEngine(
-            schedule=schedule,
-            mapping=mapping,
-            layout=layout,
-            cache=cache,
-            think_time=config.think_time,
-            tracer=tracer,
-        )
-        outcome = fast.run_trace(
-            trace,
-            warmup_requests=config.warmup_requests,
-            collect_responses=collect_responses,
-            extra_warmup=config.extra_warmup,
-        )
-    elif engine == "process":
-        from repro.experiments.simengine import run_single_client
-
-        report = run_single_client(
-            schedule=schedule,
-            layout=layout,
-            mapping=mapping,
-            cache=cache,
-            trace=trace,
-            think_time=config.think_time,
-            warmup_requests=config.warmup_requests,
-            collect_responses=collect_responses,
-            extra_warmup=config.extra_warmup,
-            tracer=tracer,
-        )
-        outcome = EngineOutcome(
-            response=report.response,
-            counters=report.counters,
-            measured_requests=report.response.count,
-            warmup_requests=report.warmup_requests,
-            final_time=0.0,
-            samples=report.samples,
-        )
-    else:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; use 'fast' or 'process'"
-        )
-
-    if outcome.measured_requests == 0:
-        raise ConfigurationError(
-            f"warm-up consumed the whole trace for {config.describe()}; "
-            "increase num_requests or lower cache_size"
-        )
-
-    result = ExperimentResult(
-        config=config,
-        mean_response_time=outcome.response.mean,
-        response_stats=outcome.response,
-        hit_rate=outcome.counters.hit_rate,
-        access_locations=outcome.counters.access_locations(layout.num_disks),
-        measured_requests=outcome.measured_requests,
-        warmup_requests=outcome.warmup_requests,
-        schedule_period=schedule.period,
-        schedule_utilisation=1.0 - schedule.empty_slots / schedule.period,
-        wall_seconds=perf_counter() - started,
-        samples=outcome.samples,
-    )
+    plan = plan_for(config, engine=engine, collect_responses=collect_responses)
+    result = execute_plan(plan, tracer=tracer)
     if metrics is not None:
         _record_metrics(metrics, result)
     if manifest is not None:
@@ -218,12 +96,14 @@ def sweep(
     engine: str = "fast",
     progress: Optional[ProgressCallback] = None,
     manifest: Optional[str] = None,
+    jobs: int = 1,
 ) -> List[float]:
     """Run every configuration; return ``metric`` of each, in order."""
     return [
         metric(result)
         for result in sweep_results(
-            configs, engine=engine, progress=progress, manifest=manifest
+            configs, engine=engine, progress=progress, manifest=manifest,
+            jobs=jobs,
         )
     ]
 
@@ -235,24 +115,38 @@ def sweep_results(
     manifest: Optional[str] = None,
     tracer=None,
     metrics=None,
+    jobs: int = 1,
+    collect_responses: bool = False,
+    executor: Optional[Executor] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> List[ExperimentResult]:
     """Run every configuration; return the full results, in order.
 
-    ``progress(completed, total, result)`` fires after each run;
-    ``manifest`` names a JSON file that receives the aggregated sweep
-    manifest (one per-run record per configuration — the
-    ``BENCH_*.json``-style trajectory).  ``tracer``/``metrics`` are
-    forwarded to every :func:`run_experiment` call.
+    ``progress(completed, total, result)`` fires after each run, in
+    plan order even under parallel execution; ``manifest`` names a JSON
+    file that receives the aggregated sweep manifest (one per-run
+    record per configuration — the ``BENCH_*.json``-style trajectory).
+    ``tracer``/``metrics`` observe every run; an *enabled* tracer forces
+    in-process serial execution so trace records stay in simulation
+    order.  ``jobs`` selects the worker count (``executor`` overrides it
+    with an explicit strategy), and ``checkpoint`` attaches a
+    :class:`~repro.exec.checkpoint.SweepCheckpoint` journal so an
+    interrupted sweep resumes without re-running finished points.
+
+    Metrics are folded into the registry in plan order after execution —
+    counters commute and gauges keep last-plan-wins semantics, so the
+    final snapshot matches a serial in-run recording exactly.
     """
-    configs = list(configs)
-    results: List[ExperimentResult] = []
-    for index, config in enumerate(configs):
-        result = run_experiment(
-            config, engine=engine, tracer=tracer, metrics=metrics
-        )
-        results.append(result)
-        if progress is not None:
-            progress(index + 1, len(configs), result)
+    plans = plan_sweep(
+        list(configs), engine=engine, collect_responses=collect_responses
+    )
+    runner = executor if executor is not None else resolve_executor(jobs)
+    results = runner.run(
+        plans, tracer=tracer, progress=progress, checkpoint=checkpoint
+    )
+    if metrics is not None:
+        for result in results:
+            _record_metrics(metrics, result)
     if manifest is not None:
         write_sweep_manifest(results, manifest, metrics=metrics,
                              tracer=tracer)

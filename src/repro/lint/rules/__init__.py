@@ -2,4 +2,9 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, protocol, robustness  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    plans,
+    protocol,
+    robustness,
+)

@@ -1,0 +1,125 @@
+"""RL007 — plans must stay picklable (executor-safe).
+
+The execution layer ships :class:`repro.exec.plan.RunPlan` objects —
+and therefore the :class:`ExperimentConfig` they wrap — across process
+boundaries.  A lambda, a locally-defined closure, or an open file
+handle stored on a plan field pickles either not at all or (worse) as
+a dangling reference, so the sweep works serially and then dies (or
+silently diverges) the first time someone passes ``jobs=2``.
+
+This rule inspects every ``ExperimentConfig(...)`` / ``RunPlan(...)``
+construction, every ``.with_(...)`` update, and every
+``dataclasses.replace(...)`` call, and flags argument values that are
+statically non-picklable:
+
+* lambda expressions;
+* references to locally-defined (nested) functions — picklable only
+  by qualified name, which multiprocessing cannot resolve;
+* ``open(...)`` calls — a live file handle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import Rule, register
+
+#: Constructor names whose arguments become plan fields.
+_PLAN_TYPES = frozenset({"ExperimentConfig", "RunPlan"})
+
+#: Resolved call names that return a live file handle.
+_OPEN_CALLS = frozenset({"open", "io.open", "gzip.open", "bz2.open"})
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function in ``tree``."""
+    nested: Set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _plan_call_name(call: ast.Call, ctx: FileContext) -> Optional[str]:
+    """How ``call`` stores plan fields, or ``None`` if it does not.
+
+    Recognises direct construction (``ExperimentConfig(...)``,
+    ``RunPlan(...)``, however imported), the frozen-dataclass update
+    idiom (``config.with_(...)``), and ``dataclasses.replace(...)``.
+    """
+    func = call.func
+    resolved = ctx.resolve(func) or ""
+    tail = resolved.rsplit(".", 1)[-1]
+    if tail in _PLAN_TYPES:
+        return tail
+    if isinstance(func, ast.Attribute) and func.attr == "with_":
+        return "with_"
+    if resolved == "dataclasses.replace" or tail == "replace":
+        if resolved.startswith("dataclasses."):
+            return "replace"
+    return None
+
+
+def _non_picklable(value: ast.AST, ctx: FileContext,
+                   nested: Set[str]) -> Optional[str]:
+    """Why ``value`` cannot cross a process boundary, or ``None``."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, ast.Call):
+        resolved = ctx.resolve(value.func) or ""
+        if resolved in _OPEN_CALLS:
+            return "an open file handle"
+    if isinstance(value, ast.Name) and value.id in nested:
+        return f"locally-defined function {value.id!r}"
+    return None
+
+
+@register
+class PicklablePlanRule(Rule):
+    """RL007 — no non-picklable values on ExperimentConfig/RunPlan fields."""
+
+    code = "RL007"
+    name = "picklable-plan"
+    rationale = (
+        "plans are shipped to worker processes; a lambda, closure, or "
+        "open handle on a plan field breaks (or silently diverges) the "
+        "moment a sweep runs with jobs > 1"
+    )
+    scoped = True
+    node_types = (ast.Module, ast.Call)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Module):
+            # Per-file preparation: the engine walks the Module first,
+            # so nested-function names are ready for every Call after.
+            ctx.rl007_nested = _nested_function_names(node)
+            return
+        target = _plan_call_name(node, ctx)
+        if target is None:
+            return
+        nested = getattr(ctx, "rl007_nested", set())
+        values = list(node.args) + [
+            keyword.value for keyword in node.keywords
+            if keyword.arg is not None
+        ]
+        for value in values:
+            reason = _non_picklable(value, ctx, nested)
+            if reason is not None:
+                yield Diagnostic(
+                    ctx.path,
+                    value.lineno,
+                    value.col_offset + 1,
+                    self.code,
+                    f"{reason} stored on a plan field via {target}(...); "
+                    "plans must pickle cleanly for parallel executors — "
+                    "pass plain data and rebuild callables/handles "
+                    "inside the run",
+                )

@@ -142,3 +142,26 @@ def read_manifest(path: str) -> Dict:
     """Load a manifest (run or sweep) written by this module."""
     with open(path) as handle:
         return json.load(handle)
+
+
+#: Manifest fields that measure elapsed wall time — the only fields
+#: allowed to differ between a serial and a parallel run of one sweep.
+WALL_CLOCK_FIELDS = frozenset({"wall_seconds", "total_wall_seconds"})
+
+
+def strip_wall_clock(document):
+    """A deep copy of a manifest with every wall-clock field removed.
+
+    Comparing ``strip_wall_clock(serial)`` to ``strip_wall_clock(parallel)``
+    is the determinism check: executors guarantee everything else is
+    byte-identical (see ``docs/ARCHITECTURE.md``).
+    """
+    if isinstance(document, dict):
+        return {
+            key: strip_wall_clock(value)
+            for key, value in document.items()
+            if key not in WALL_CLOCK_FIELDS
+        }
+    if isinstance(document, list):
+        return [strip_wall_clock(item) for item in document]
+    return document

@@ -8,8 +8,12 @@ corners (noise, offset, padding slots, flat and skewed layouts).
 
 import pytest
 
+from repro.exec import execute_plan, plan_for
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.engine import FastEngine
+from repro.experiments.runner import _warmup_trace_allowance, run_experiment
+from repro.experiments.simengine import run_single_client
+from repro.workload.trace import generate_trace
 
 
 def small_config(**overrides):
@@ -77,3 +81,64 @@ class TestEngineEquivalence:
         assert_engines_agree(
             small_config(disk_sizes=(90, 410), delta=4, offset=50)
         )
+
+
+def _build_run_inputs(config):
+    layout = config.build_layout()
+    schedule = config.build_schedule(layout)
+    streams = config.build_streams()
+    mapping = config.build_mapping(layout, streams)
+    distribution = config.build_distribution()
+    cache = config.build_policy(schedule, mapping, distribution, layout)
+    trace = generate_trace(
+        distribution,
+        config.num_requests + _warmup_trace_allowance(config),
+        streams.stream("requests"),
+    )
+    return layout, schedule, mapping, cache, trace
+
+
+class TestFinalTime:
+    """The process engine must report the real simulator clock.
+
+    Regression: ``run_experiment(engine="process")`` used to hard-code
+    ``final_time=0.0`` instead of reading the kernel's clock.
+    """
+
+    def test_client_report_carries_final_time(self):
+        config = small_config()
+        layout, schedule, mapping, cache, trace = _build_run_inputs(config)
+        report = run_single_client(
+            schedule=schedule, layout=layout, mapping=mapping, cache=cache,
+            trace=trace, think_time=config.think_time,
+            extra_warmup=config.extra_warmup,
+        )
+        assert report.final_time > 0.0
+
+    def test_final_time_matches_fast_engine(self):
+        config = small_config()
+        layout, schedule, mapping, cache, trace = _build_run_inputs(config)
+        fast = FastEngine(
+            schedule=schedule, mapping=mapping, layout=layout, cache=cache,
+            think_time=config.think_time,
+        )
+        fast_outcome = fast.run_trace(
+            trace, extra_warmup=config.extra_warmup
+        )
+        layout, schedule, mapping, cache, trace = _build_run_inputs(config)
+        report = run_single_client(
+            schedule=schedule, layout=layout, mapping=mapping, cache=cache,
+            trace=trace, think_time=config.think_time,
+            extra_warmup=config.extra_warmup,
+        )
+        assert report.final_time == fast_outcome.final_time
+
+    def test_process_plan_results_agree_with_fast(self):
+        # The plan path threads the clock through EngineOutcome for
+        # both engines; the per-request agreement above makes every
+        # derived measurement identical too.
+        config = small_config()
+        fast = execute_plan(plan_for(config, engine="fast"))
+        process = execute_plan(plan_for(config, engine="process"))
+        assert fast.mean_response_time == process.mean_response_time
+        assert fast.hit_rate == process.hit_rate

@@ -1,0 +1,157 @@
+"""Unit tests for the plan layer: RunPlan, seed derivation, build cache."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import (
+    BuildCache,
+    RunPlan,
+    derive_seed,
+    execute_plan,
+    plan_for,
+    plan_sweep,
+    structural_hash,
+    structural_key,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def small_config(**overrides):
+    base = dict(
+        disk_sizes=(50, 200, 250),
+        delta=3,
+        cache_size=50,
+        policy="LIX",
+        access_range=100,
+        region_size=10,
+        num_requests=300,
+        seed=11,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestRunPlan:
+    def test_frozen_hashable_picklable(self):
+        plan = plan_for(small_config(), engine="fast", index=3)
+        assert hash(plan) == hash(
+            RunPlan(config=small_config(), engine="fast", index=3)
+        )
+        with pytest.raises(Exception):
+            plan.engine = "process"
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.config == plan.config
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            plan_for(small_config(), engine="quantum")
+
+    def test_seed_is_config_seed(self):
+        assert plan_for(small_config(seed=99)).seed == 99
+
+    def test_fingerprint_ignores_index(self):
+        a = plan_for(small_config(), index=0)
+        b = plan_for(small_config(), index=7)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_tracks_work_identity(self):
+        base = plan_for(small_config())
+        assert base.fingerprint() != plan_for(
+            small_config(seed=12)
+        ).fingerprint()
+        assert base.fingerprint() != plan_for(
+            small_config(), engine="process"
+        ).fingerprint()
+        assert base.fingerprint() != plan_for(
+            small_config(), collect_responses=True
+        ).fingerprint()
+
+
+class TestSeedDerivation:
+    def test_deterministic_and_distinct(self):
+        seeds = [derive_seed(42, index) for index in range(32)]
+        assert seeds == [derive_seed(42, index) for index in range(32)]
+        assert len(set(seeds)) == 32
+        assert derive_seed(42, 0) != derive_seed(43, 0)
+
+    def test_plan_sweep_default_keeps_config_seeds(self):
+        configs = [small_config(seed=7), small_config(seed=9)]
+        plans = plan_sweep(configs)
+        assert [plan.seed for plan in plans] == [7, 9]
+        assert [plan.index for plan in plans] == [0, 1]
+
+    def test_plan_sweep_with_sweep_seed_derives_per_plan(self):
+        configs = [small_config(), small_config(delta=4)]
+        plans = plan_sweep(configs, sweep_seed=42)
+        assert [plan.seed for plan in plans] == [
+            derive_seed(42, 0), derive_seed(42, 1),
+        ]
+        # Re-planning the same grid re-derives the same seeds.
+        again = plan_sweep(configs, sweep_seed=42)
+        assert [plan.seed for plan in again] == [plan.seed for plan in plans]
+
+
+class TestBuildCache:
+    def test_structural_key_ignores_client_parameters(self):
+        a = small_config(noise=0.0, seed=1, cache_size=10)
+        b = small_config(noise=0.45, seed=2, cache_size=100)
+        assert structural_key(a) == structural_key(b)
+        assert structural_hash(a) == structural_hash(b)
+
+    def test_structural_hash_tracks_broadcast_structure(self):
+        base = small_config()
+        assert structural_hash(base) != structural_hash(
+            small_config(delta=4)
+        )
+        assert structural_hash(base) != structural_hash(
+            small_config(disk_sizes=(100, 400))
+        )
+
+    def test_cache_shares_layout_and_schedule(self):
+        cache = BuildCache()
+        layout_a, schedule_a = cache.layout_and_schedule(small_config())
+        layout_b, schedule_b = cache.layout_and_schedule(
+            small_config(noise=0.45)
+        )
+        assert layout_a is layout_b
+        assert schedule_a is schedule_b
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+        cache.layout_and_schedule(small_config(delta=4))
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_cached_builds_do_not_change_results(self):
+        configs = [small_config(noise=noise) for noise in (0.0, 0.15, 0.45)]
+        fresh = [execute_plan(plan_for(config)) for config in configs]
+        shared = BuildCache()
+        cached = [
+            execute_plan(plan_for(config), builds=shared)
+            for config in configs
+        ]
+        assert shared.hits == 2
+        assert [r.mean_response_time for r in fresh] == [
+            r.mean_response_time for r in cached
+        ]
+        assert [r.hit_rate for r in fresh] == [r.hit_rate for r in cached]
+
+
+class TestExecutePlan:
+    def test_matches_run_experiment(self):
+        config = small_config()
+        via_plan = execute_plan(plan_for(config, collect_responses=True))
+        via_runner = run_experiment(config, collect_responses=True)
+        assert via_plan.mean_response_time == via_runner.mean_response_time
+        assert via_plan.samples == via_runner.samples
+        assert via_plan.access_locations == via_runner.access_locations
+        assert via_plan.schedule_period == via_runner.schedule_period
+
+    def test_result_is_picklable(self):
+        result = execute_plan(plan_for(small_config(), collect_responses=True))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.mean_response_time == result.mean_response_time
+        assert clone.samples == result.samples
+        assert clone.response_stats.count == result.response_stats.count
+        assert clone.response_stats._m2 == result.response_stats._m2

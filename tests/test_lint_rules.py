@@ -403,6 +403,97 @@ class TestRL006PolicyProtocol:
 
 
 # ---------------------------------------------------------------------------
+# RL007 — picklable plans
+# ---------------------------------------------------------------------------
+class TestRL007PicklablePlan:
+    def test_true_positive_lambda_field(self):
+        diagnostics = run(
+            """
+            from repro.experiments.config import ExperimentConfig
+
+            config = ExperimentConfig(label_fn=lambda c: c.describe())
+            """
+        )
+        assert codes(diagnostics) == ["RL007"]
+        assert "lambda" in diagnostics[0].message
+        assert "pickle" in diagnostics[0].message
+
+    def test_true_positive_nested_closure(self):
+        diagnostics = run(
+            """
+            from repro.exec.plan import RunPlan
+
+            def build(config):
+                def score(result):
+                    return result.mean_response_time
+                return RunPlan(config=config, scorer=score)
+            """
+        )
+        assert codes(diagnostics) == ["RL007"]
+        assert "locally-defined function 'score'" in diagnostics[0].message
+
+    def test_true_positive_open_handle_via_with_(self):
+        diagnostics = run(
+            """
+            def widen(config, path):
+                return config.with_(sink=open(path, "w"))
+            """
+        )
+        assert codes(diagnostics) == ["RL007"]
+        assert "open file handle" in diagnostics[0].message
+
+    def test_true_positive_dataclasses_replace(self):
+        diagnostics = run(
+            """
+            import dataclasses
+
+            def tweak(plan):
+                return dataclasses.replace(plan, picker=lambda r: r)
+            """
+        )
+        assert codes(diagnostics) == ["RL007"]
+
+    def test_true_negative_plain_fields(self):
+        assert run(
+            """
+            from repro.experiments.config import ExperimentConfig
+
+            def module_hook(result):
+                return result.hit_rate
+
+            config = ExperimentConfig(delta=3, seed=7)
+            other = config.with_(noise=0.25)
+            REGISTRY = {"hook": module_hook}
+            """
+        ) == []
+
+    def test_true_negative_lambda_elsewhere(self):
+        # Lambdas are fine outside plan construction (sorting keys etc).
+        assert run(
+            """
+            rows = sorted([3, 1, 2], key=lambda value: -value)
+            """
+        ) == []
+
+    def test_true_negative_out_of_scope(self):
+        source = """
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(label_fn=lambda c: c.describe())
+        """
+        assert run(source, path=OUT_OF_SCOPE) == []
+
+    def test_noqa_suppression(self):
+        assert run(
+            """
+            from repro.exec.plan import RunPlan
+
+            plan = RunPlan(config=None, scorer=lambda r: r)  # repro: noqa[RL007]
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
 # Engine behaviour shared by all rules
 # ---------------------------------------------------------------------------
 class TestEngine:
