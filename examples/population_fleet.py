@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A city-scale traffic-info fleet: one broadcast, thousands of receivers.
+
+Scenario (paper §1.1: "dissemination of traffic and routing information"):
+a metropolitan operator broadcasts a road-status database to every
+navigation unit in town.  The units are *not* interchangeable:
+
+* commuters run mid-sized caches with whatever replacement policy their
+  vendor shipped (LRU or the paper's cost-based LIX);
+* fleet dashboards in delivery vans poll hard (short think times) and
+  watch a shifted slice of the database (offset);
+* couriers drive across neighbourhoods, so their hot set *drifts*
+  during the day while the broadcast keeps serving the morning profile.
+
+A :class:`repro.population.PopulationSpec` captures that fleet in one
+declarative object; ``run_population`` simulates every client (each
+with its own derived seed), then folds the fleet into mergeable
+aggregates: mean-of-means, p50/p90/p99 tail percentiles, and Jain's
+fairness index — the number that tells the operator whether the
+broadcast shape serves *everyone* or just the average client.
+
+The fleet is deterministic end to end: the same spec produces the same
+plans, and ``jobs=4`` produces byte-identical aggregates to ``jobs=1``.
+
+Run::
+
+    python examples/population_fleet.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ExperimentConfig, PopulationSpec, SegmentSpec, run_population
+from repro.population import Choice, Uniform, UniformInt
+
+DB = (300, 1200, 3500)  # the paper's D4 layout
+CLIENTS = 120           # scale freely: 120 here, thousands in production
+
+
+def build_fleet() -> PopulationSpec:
+    base = ExperimentConfig(
+        disk_sizes=DB,
+        delta=3,
+        cache_size=300,
+        policy="LIX",
+        num_requests=2_000,
+        seed=42,
+    )
+    return PopulationSpec(
+        name="traffic-info",
+        base=base,
+        seed=2026,
+        segments=(
+            SegmentSpec(
+                "commuters", CLIENTS // 2,
+                cache_size=UniformInt(100, 500),
+                policy=Choice(("LRU", "LIX"), weights=(0.7, 0.3)),
+                noise=Uniform(0.0, 0.30),
+            ),
+            SegmentSpec(
+                "dashboards", CLIENTS // 4,
+                think_time=Uniform(0.0, 1.0),
+                offset=UniformInt(0, 800),
+            ),
+            SegmentSpec(
+                "couriers", CLIENTS // 4,
+                drift_rotations=Uniform(0.5, 2.0),
+                cache_size=UniformInt(50, 200),
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    spec = build_fleet()
+    print(f"fleet '{spec.name}': {spec.num_clients} clients in "
+          f"{len(spec.segments)} segments over D4 {DB}")
+
+    done = {"count": 0}
+
+    def progress(completed, total, _result):
+        if completed in (total // 4, total // 2, 3 * total // 4, total):
+            print(f"  ... {completed}/{total} clients simulated")
+        done["count"] = completed
+
+    result = run_population(spec, jobs=1, progress=progress)
+
+    print()
+    print(result.summary())
+    print()
+    print(f"{'segment':<12} {'clients':>7} {'mean':>8} {'p90':>8} "
+          f"{'p99':>8} {'fairness':>9} {'hit rate':>9}")
+    rows = [("overall", result.overall)] + list(result.segments.items())
+    for name, aggregate in rows:
+        snap = aggregate.snapshot()
+        print(f"{name:<12} {snap['clients']:>7} "
+              f"{snap['response_mean']['mean']:>8.1f} "
+              f"{snap['percentiles']['p90']:>8.1f} "
+              f"{snap['percentiles']['p99']:>8.1f} "
+              f"{snap['fairness']:>9.3f} "
+              f"{snap['hit_rate']:>9.1%}")
+
+    print()
+    worst = min(result.segments.items(),
+                key=lambda item: item[1].fairness.jain)
+    print(f"least even segment: {worst[0]} "
+          f"(fairness {worst[1].fairness.jain:.3f}) — the broadcast "
+          "shape is tuned for the average client; the spread inside "
+          "each segment is what a server-side reshape would target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""CI smoke run for the population layer.
+
+Simulates a 200-client heterogeneous fleet twice — serially and with
+``jobs=4`` — and fails unless the two runs are byte-identical:
+
+* the overall and per-segment aggregate snapshots;
+* the population metrics snapshots;
+* the population manifests, compared as canonical JSON after
+  ``strip_wall_clock`` removes the only fields allowed to differ.
+
+Also interrupts the fleet (journals the first half of the clients),
+then resumes from the checkpoint under ``jobs=4`` and verifies the
+resumed rollup matches the uninterrupted one exactly.  Leaves both
+manifests in the artifact directory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/population_smoke.py --out population-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.exec import SerialExecutor, SweepCheckpoint
+from repro.experiments.config import ExperimentConfig
+from repro.obs.manifest import strip_wall_clock
+from repro.obs.metrics import MetricsRegistry
+from repro.population import (
+    Choice,
+    PopulationSpec,
+    SegmentSpec,
+    Uniform,
+    UniformInt,
+    expand,
+    run_population,
+)
+
+JOBS = 4
+CLIENTS = 200
+
+
+def smoke_spec() -> PopulationSpec:
+    """A 200-client heterogeneous fleet over the reduced smoke database."""
+    base = ExperimentConfig(
+        disk_sizes=(50, 200, 250),
+        cache_size=50,
+        policy="LIX",
+        access_range=100,
+        region_size=10,
+        num_requests=400,
+        seed=7,
+    )
+    return PopulationSpec(
+        name="population-smoke",
+        base=base,
+        seed=13,
+        segments=(
+            SegmentSpec(
+                "mixed-caches", 100,
+                cache_size=UniformInt(10, 80),
+                policy=Choice(("LRU", "LIX")),
+            ),
+            SegmentSpec(
+                "noisy", 60,
+                noise=Uniform(0.0, 0.45),
+                offset=UniformInt(0, 50),
+            ),
+            SegmentSpec(
+                "drifting", 40,
+                drift_rotations=Uniform(0.0, 2.0),
+                think_time=Uniform(0.5, 4.0),
+            ),
+        ),
+    )
+
+
+def canonical(path: Path) -> str:
+    document = json.loads(path.read_text())
+    return json.dumps(strip_wall_clock(document), sort_keys=True, indent=2)
+
+
+def snapshots(result) -> str:
+    blocks = {"overall": result.overall.snapshot()}
+    for name, aggregate in result.segments.items():
+        blocks[name] = aggregate.snapshot()
+    return json.dumps(strip_wall_clock(blocks), sort_keys=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="population-artifacts",
+        help="artifact directory (default: population-artifacts)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=JOBS,
+        help=f"worker count for the parallel arm (default: {JOBS})",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    spec = smoke_spec()
+    assert spec.num_clients == CLIENTS
+    serial_manifest = out / "population-serial.json"
+    parallel_manifest = out / "population-parallel.json"
+
+    print(f"== serial fleet ({spec.num_clients} clients) ==")
+    serial_metrics = MetricsRegistry()
+    serial = run_population(
+        spec,
+        jobs=1,
+        metrics=serial_metrics,
+        manifest=str(serial_manifest),
+    )
+    print(serial.summary())
+
+    print(f"== parallel fleet (jobs={args.jobs}) ==")
+    parallel_metrics = MetricsRegistry()
+    parallel = run_population(
+        spec,
+        jobs=args.jobs,
+        metrics=parallel_metrics,
+        manifest=str(parallel_manifest),
+    )
+
+    failures = []
+    if snapshots(serial) != snapshots(parallel):
+        failures.append("aggregate snapshots diverged")
+    if serial_metrics.snapshot() != parallel_metrics.snapshot():
+        failures.append("metrics snapshots diverged")
+    if canonical(serial_manifest) != canonical(parallel_manifest):
+        failures.append(
+            "population manifests diverged (beyond wall-clock fields)"
+        )
+
+    print("== checkpoint resume ==")
+    journal = out / "population-checkpoint.jsonl"
+    half = expand(spec)[: spec.num_clients // 2]
+    SerialExecutor().run(half, checkpoint=SweepCheckpoint(str(journal)))
+    resume = SweepCheckpoint(str(journal))
+    if resume.resumed != len(half):
+        failures.append(
+            f"journal replay resumed {resume.resumed}/{len(half)} clients"
+        )
+    resumed = run_population(spec, jobs=args.jobs, checkpoint=resume)
+    if snapshots(resumed) != snapshots(serial):
+        failures.append("checkpoint resume diverged from the live fleet")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    print(f"serial == parallel (jobs={args.jobs}) across "
+          f"{spec.num_clients} clients: aggregates, metrics, manifests")
+    print(f"checkpoint resume reproduced the fleet from {journal.name} "
+          f"({resume.resumed} clients journalled)")
+    print("artifacts in", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,29 +54,51 @@ from repro.experiments import (
     ExperimentResult,
     run_experiment,
     sweep,
+    sweep_results,
+)
+from repro.experiments.engines import EngineSpec, engine_names, register_engine
+from repro.experiments.simengine import run_clients
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.population import (
+    PopulationResult,
+    PopulationSpec,
+    SegmentSpec,
+    run_population,
 )
 from repro.workload import LogicalPhysicalMapping, ZipfRegionDistribution
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BroadcastSchedule",
     "ConfigurationError",
     "DISK_PRESETS",
     "DiskLayout",
+    "EngineSpec",
     "ExperimentConfig",
     "ExperimentResult",
     "LogicalPhysicalMapping",
+    "MetricsRegistry",
     "PolicyError",
+    "PopulationResult",
+    "PopulationSpec",
     "ReproError",
     "ScheduleError",
+    "SegmentSpec",
     "SimulationError",
+    "Tracer",
     "ZipfRegionDistribution",
     "__version__",
     "available_policies",
+    "engine_names",
     "flat_program",
     "make_policy",
     "multidisk_program",
+    "register_engine",
+    "run_clients",
     "run_experiment",
+    "run_population",
     "sweep",
+    "sweep_results",
 ]

@@ -194,7 +194,7 @@ def table1_rows() -> Sequence[Tuple[Tuple[float, float, float], Dict[str, float]
 def program_comparison(
     layout: DiskLayout,
     probabilities: Mapping[int, float],
-    rng=None,
+    *, rng=None,
     random_trials: int = 8,
 ) -> Dict[str, float]:
     """Expected delay of flat / skewed / random / multidisk for one layout.

@@ -98,7 +98,7 @@ def _evaluate(
 def optimize_layout(
     probabilities: Mapping[int, float],
     total_pages: int,
-    max_disks: int = 3,
+    *, max_disks: int = 3,
     deltas: Iterable[int] = range(0, 8),
     cut_candidates: Optional[Sequence[int]] = None,
 ) -> ShapingResult:
@@ -147,7 +147,7 @@ def greedy_layout(
     probabilities: Mapping[int, float],
     total_pages: int,
     num_disks: int,
-    deltas: Iterable[int] = range(0, 8),
+    *, deltas: Iterable[int] = range(0, 8),
     cut_candidates: Optional[Sequence[int]] = None,
     max_rounds: int = 16,
 ) -> ShapingResult:

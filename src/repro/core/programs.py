@@ -149,7 +149,7 @@ def paper_example_programs() -> Dict[str, BroadcastSchedule]:
 
 def schedule_for(
     layout: DiskLayout,
-    label: str = "",
+    *, label: str = "",
     rng: Optional[np.random.Generator] = None,
     kind: str = "multidisk",
     random_length: Optional[int] = None,

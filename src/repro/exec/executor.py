@@ -49,6 +49,7 @@ class Executor(Protocol):
     def run(
         self,
         plans: Sequence[RunPlan],
+        *,
         tracer=None,
         progress: Optional[ProgressCallback] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
@@ -84,6 +85,7 @@ class SerialExecutor:
     def run(
         self,
         plans: Sequence[RunPlan],
+        *,
         tracer=None,
         progress: Optional[ProgressCallback] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
@@ -123,6 +125,7 @@ class ParallelExecutor:
     def run(
         self,
         plans: Sequence[RunPlan],
+        *,
         tracer=None,
         progress: Optional[ProgressCallback] = None,
         checkpoint: Optional[SweepCheckpoint] = None,

@@ -22,11 +22,13 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError  # noqa: F401 - re-exported
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engines import get_plan_engine, plan_engine_names
 
-#: Engines an executor knows how to drive.
-ENGINES: Tuple[str, ...] = ("fast", "process")
+#: Engines an executor knows how to drive (registry view; see
+#: :mod:`repro.experiments.engines` for the authoritative table).
+ENGINES: Tuple[str, ...] = plan_engine_names()
 
 #: Seed-derivation stride — the same constant
 #: :meth:`repro.sim.rng.RandomStreams.fork` uses, so plan seeds and
@@ -55,10 +57,7 @@ class RunPlan:
     index: int = 0
 
     def __post_init__(self):
-        if self.engine not in ENGINES:
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; use one of {ENGINES}"
-            )
+        get_plan_engine(self.engine)  # rejects unknown/non-plan engines
 
     @property
     def seed(self) -> int:
@@ -92,6 +91,7 @@ class RunPlan:
 
 def plan_for(
     config: ExperimentConfig,
+    *,
     engine: str = "fast",
     collect_responses: bool = False,
     index: int = 0,
@@ -107,6 +107,7 @@ def plan_for(
 
 def plan_sweep(
     configs: Iterable[ExperimentConfig],
+    *,
     engine: str = "fast",
     collect_responses: bool = False,
     sweep_seed: int = None,

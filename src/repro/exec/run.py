@@ -22,7 +22,7 @@ from repro.errors import ConfigurationError
 from repro.exec.build import BuildCache
 from repro.exec.plan import RunPlan
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import EngineOutcome, FastEngine
+from repro.experiments.engines import get_plan_engine
 from repro.obs.clock import perf_counter
 from repro.sim.stats import RunningStats
 from repro.workload.trace import generate_trace
@@ -75,6 +75,7 @@ def _warmup_trace_allowance(config: ExperimentConfig) -> int:
 
 def execute_plan(
     plan: RunPlan,
+    *,
     tracer=None,
     builds: Optional[BuildCache] = None,
 ) -> ExperimentResult:
@@ -103,54 +104,30 @@ def execute_plan(
         cache = TracedCache(cache, tracer)
 
     allowance = _warmup_trace_allowance(config)
-    trace = generate_trace(
-        distribution,
-        config.num_requests + allowance,
-        streams.stream("requests"),
+    total_requests = config.num_requests + allowance
+    if config.drift_rotations:
+        # Drifting workload: the trace rotates its hotspot over the run
+        # while the policy oracle keeps the frozen t=0 snapshot (§3's
+        # stale-profile scenario, as in ``figures.drift_study``).
+        drift = config.build_drift(total_requests)
+        trace = drift.generate_trace(
+            total_requests, streams.stream("requests")
+        )
+    else:
+        trace = generate_trace(
+            distribution, total_requests, streams.stream("requests")
+        )
+
+    outcome = get_plan_engine(plan.engine).run_plan(
+        plan,
+        config=config,
+        schedule=schedule,
+        mapping=mapping,
+        layout=layout,
+        cache=cache,
+        trace=trace,
+        tracer=tracer,
     )
-
-    if plan.engine == "fast":
-        fast = FastEngine(
-            schedule=schedule,
-            mapping=mapping,
-            layout=layout,
-            cache=cache,
-            think_time=config.think_time,
-            tracer=tracer,
-        )
-        outcome = fast.run_trace(
-            trace,
-            warmup_requests=config.warmup_requests,
-            collect_responses=plan.collect_responses,
-            extra_warmup=config.extra_warmup,
-        )
-    elif plan.engine == "process":
-        from repro.experiments.simengine import run_single_client
-
-        report = run_single_client(
-            schedule=schedule,
-            layout=layout,
-            mapping=mapping,
-            cache=cache,
-            trace=trace,
-            think_time=config.think_time,
-            warmup_requests=config.warmup_requests,
-            collect_responses=plan.collect_responses,
-            extra_warmup=config.extra_warmup,
-            tracer=tracer,
-        )
-        outcome = EngineOutcome(
-            response=report.response,
-            counters=report.counters,
-            measured_requests=report.response.count,
-            warmup_requests=report.warmup_requests,
-            final_time=report.final_time,
-            samples=report.samples,
-        )
-    else:  # pragma: no cover - RunPlan.__post_init__ rejects this
-        raise ConfigurationError(
-            f"unknown engine {plan.engine!r}; use 'fast' or 'process'"
-        )
 
     if outcome.measured_requests == 0:
         raise ConfigurationError(

@@ -12,6 +12,10 @@ Commands
     (period, utilisation, per-disk inter-arrivals, delay quantiles).
 ``policies``
     List the available cache replacement policies.
+``population``
+    Simulate a declarative client fleet (:mod:`repro.population`) —
+    either the built-in demo fleet or a ``--spec`` JSON file — and
+    print the overall and per-segment rollups.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.core.disks import DiskLayout
 from repro.core.programs import multidisk_program
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engines import plan_engine_names
 from repro.experiments.reporting import format_table, write_csv
 from repro.experiments.runner import run_experiment
 from repro.errors import ReproError
@@ -100,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per sweep (results identical at any count)",
     )
     figures_cmd.add_argument(
-        "--engine", default="fast", choices=["fast", "process"],
+        "--engine", default="fast", choices=list(plan_engine_names()),
         help="simulation engine for the paper-figure sweeps",
     )
 
@@ -119,7 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--theta", type=float, default=0.95)
     run_cmd.add_argument("--seed", type=int, default=42)
     run_cmd.add_argument("--engine", default="fast",
-                         choices=["fast", "process"])
+                         choices=list(plan_engine_names()))
 
     inspect_cmd = commands.add_parser(
         "inspect", help="show a broadcast program's properties"
@@ -128,6 +133,36 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_cmd.add_argument("--delta", type=int, default=1)
 
     commands.add_parser("policies", help="list cache policies")
+
+    population_cmd = commands.add_parser(
+        "population", help="simulate a declarative client fleet"
+    )
+    population_cmd.add_argument(
+        "--spec", default=None,
+        help="JSON fleet spec (see docs/POPULATION.md); "
+             "default: a built-in demo fleet",
+    )
+    population_cmd.add_argument(
+        "--clients", type=int, default=None,
+        help="scale the fleet to this many clients "
+             "(proportional across segments)",
+    )
+    population_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results identical at any count)",
+    )
+    population_cmd.add_argument("--seed", type=int, default=None,
+                                help="override the spec's seed")
+    population_cmd.add_argument(
+        "--engine", default=None, choices=list(plan_engine_names()),
+        help="override the spec's engine",
+    )
+    population_cmd.add_argument("--manifest", default=None,
+                                help="write the population manifest here")
+    population_cmd.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL journal; an interrupted fleet resumes client-by-client",
+    )
     return parser
 
 
@@ -211,6 +246,97 @@ def _command_inspect(args) -> int:
     return 0
 
 
+def _demo_population_spec():
+    """The built-in demo fleet: a small heterogeneous three-segment mix."""
+    from repro.population import (
+        Choice, PopulationSpec, SegmentSpec, Uniform, UniformInt,
+    )
+
+    base = ExperimentConfig(
+        disk_sizes=(300, 1200, 3500),  # the paper's D4
+        delta=3,
+        cache_size=500,
+        policy="LIX",
+        num_requests=2_000,
+    )
+    return PopulationSpec(
+        name="demo-fleet",
+        base=base,
+        seed=42,
+        segments=(
+            SegmentSpec(
+                "commuters", 12,
+                cache_size=UniformInt(100, 500),
+                noise=Uniform(0.0, 0.3),
+                policy=Choice(("LRU", "LIX")),
+            ),
+            SegmentSpec(
+                "dashboards", 6,
+                think_time=Uniform(0.0, 1.0),
+                offset=UniformInt(0, 500),
+            ),
+            SegmentSpec(
+                "drifters", 6,
+                drift_rotations=Uniform(0.0, 2.0),
+            ),
+        ),
+    )
+
+
+def _command_population(args) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.exec.checkpoint import SweepCheckpoint
+    from repro.population import run_population, scale_spec, spec_from_dict
+
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            spec = spec_from_dict(json.load(handle))
+    else:
+        spec = _demo_population_spec()
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    if args.engine is not None:
+        spec = replace(spec, engine=args.engine)
+    if args.clients is not None:
+        spec = scale_spec(spec, args.clients)
+
+    checkpoint = (
+        SweepCheckpoint(args.checkpoint) if args.checkpoint else None
+    )
+    if checkpoint is not None and checkpoint.resumed:
+        print(f"checkpoint: resuming past {checkpoint.resumed} "
+              f"journalled clients")
+    result = run_population(
+        spec,
+        jobs=args.jobs,
+        checkpoint=checkpoint,
+        manifest=args.manifest,
+    )
+    print(result.summary())
+    header = (
+        f"  {'segment':<14} {'clients':>7} {'mean':>8} {'p50':>8} "
+        f"{'p90':>8} {'p99':>8} {'fairness':>8} {'hit rate':>8}"
+    )
+    print(header)
+    rows = [("overall", result.overall)] + list(result.segments.items())
+    for name, aggregate in rows:
+        snap = aggregate.snapshot()
+        print(
+            f"  {name:<14} {snap['clients']:>7} "
+            f"{snap['response_mean']['mean']:>8.1f} "
+            f"{snap['percentiles']['p50']:>8.1f} "
+            f"{snap['percentiles']['p90']:>8.1f} "
+            f"{snap['percentiles']['p99']:>8.1f} "
+            f"{snap['fairness']:>8.3f} "
+            f"{snap['hit_rate']:>8.1%}"
+        )
+    if args.manifest:
+        print(f"wrote {args.manifest}")
+    return 0
+
+
 def _command_policies(_args) -> int:
     print("available cache replacement policies:")
     descriptions = {
@@ -236,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _command_run,
         "inspect": _command_inspect,
         "policies": _command_policies,
+        "population": _command_population,
     }[args.command]
     try:
         return handler(args)

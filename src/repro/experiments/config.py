@@ -69,6 +69,13 @@ class ExperimentConfig:
     region_size: int = 50
     policy: str = "LRU"
     lix_alpha: float = 0.25
+    #: Workload drift (§3): how many full hotspot rotations the client's
+    #: access distribution completes over the run.  0.0 (the default)
+    #: keeps the paper's static Zipf profile.  When drifting, the trace
+    #: follows the rotated distribution while the policy's probability
+    #: oracle keeps the frozen t=0 snapshot — the stale-profile scenario
+    #: of ``figures.drift_study``.
+    drift_rotations: float = 0.0
 
     # -- measurement protocol (Table 4 / §5 preamble) -------------------------
     num_requests: int = 15_000
@@ -112,6 +119,10 @@ class ExperimentConfig:
         if self.steady_state_factor < 0:
             raise ConfigurationError(
                 f"steady_state_factor must be >= 0, got {self.steady_state_factor}"
+            )
+        if self.drift_rotations < 0:
+            raise ConfigurationError(
+                f"drift_rotations must be >= 0, got {self.drift_rotations}"
             )
 
     # -- derived quantities -------------------------------------------------
@@ -177,6 +188,18 @@ class ExperimentConfig:
             access_range=self.access_range,
             region_size=self.region_size,
             theta=self.theta,
+        )
+
+    def build_drift(self, horizon: int):
+        """The drifting access distribution for a ``horizon``-request run."""
+        from repro.workload.drift import DriftingZipfDistribution
+
+        return DriftingZipfDistribution(
+            access_range=self.access_range,
+            region_size=self.region_size,
+            theta=self.theta,
+            horizon=horizon,
+            rotations=self.drift_rotations,
         )
 
     def build_mapping(

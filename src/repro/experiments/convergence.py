@@ -44,7 +44,7 @@ class ConvergedResult:
 
 def run_until_converged(
     config: ExperimentConfig,
-    chunk: int = 5_000,
+    *, chunk: int = 5_000,
     window_chunks: int = 6,
     rtol: float = 0.03,
     max_requests: int = 200_000,

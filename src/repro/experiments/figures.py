@@ -103,7 +103,7 @@ def table1() -> FigureData:
 # ---------------------------------------------------------------------------
 
 def figure5(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     presets: Sequence[str] = ("D1", "D2", "D3", "D4", "D5"),
@@ -207,7 +207,7 @@ def _noise_sensitivity(
 
 
 def figure6(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
@@ -226,7 +226,7 @@ def figure6(
 
 
 def figure7(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
@@ -246,7 +246,7 @@ def figure7(
 # ---------------------------------------------------------------------------
 
 def figure8(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
@@ -267,7 +267,7 @@ def figure8(
 
 
 def figure9(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     noises: Sequence[float] = NOISE_LEVELS,
@@ -291,7 +291,7 @@ def figure9(
 # ---------------------------------------------------------------------------
 
 def figure10(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     noises: Sequence[float] = NOISE_LEVELS,
     deltas: Sequence[int] = (3, 5),
@@ -361,7 +361,7 @@ def figure10(
 # ---------------------------------------------------------------------------
 
 def figure11(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     cache_size: int = 500,
     noise: float = 0.30,
@@ -412,7 +412,7 @@ def figure11(
 # ---------------------------------------------------------------------------
 
 def figure13(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     deltas: Sequence[int] = DELTA_RANGE,
     cache_size: int = 500,
@@ -459,7 +459,7 @@ def figure13(
 
 
 def figure14(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     cache_size: int = 500,
     noise: float = 0.30,
@@ -505,7 +505,7 @@ def figure14(
 
 
 def figure15(
-    num_requests: int = PAPER_REQUESTS,
+    *, num_requests: int = PAPER_REQUESTS,
     seed: int = 42,
     noises: Sequence[float] = NOISE_LEVELS,
     cache_size: int = 500,
@@ -555,7 +555,7 @@ def figure15(
 # ---------------------------------------------------------------------------
 
 def bus_stop_paradox(
-    seed: int = 42,
+    *, seed: int = 42,
     random_trials: int = 16,
 ) -> FigureData:
     """Flat vs skewed vs random vs multidisk on a small skewed workload.
@@ -593,7 +593,7 @@ def bus_stop_paradox(
 
 
 def shaping_ablation(
-    num_requests: int = 5_000,
+    *, num_requests: int = 5_000,
     seed: int = 42,
     max_disks: int = 3,
 ) -> FigureData:
@@ -644,7 +644,7 @@ def shaping_ablation(
 
 
 def prefetch_comparison(
-    num_requests: int = 3_000,
+    *, num_requests: int = 3_000,
     seed: int = 42,
     cache_size: int = 500,
     deltas: Sequence[int] = (0, 1, 2, 3, 4, 5),
@@ -723,7 +723,7 @@ def prefetch_comparison(
 
 
 def policy_zoo(
-    num_requests: int = 5_000,
+    *, num_requests: int = 5_000,
     seed: int = 42,
     cache_size: int = 500,
     delta: int = 3,
@@ -765,7 +765,7 @@ def policy_zoo(
 
 
 def indexing_tradeoff(
-    num_data_buckets: int = 1000,
+    *, num_data_buckets: int = 1000,
     fanout: int = 8,
     ms: Sequence[int] = (1, 2, 3, 4, 6, 8, 12),
     probes: int = 2_000,
@@ -821,7 +821,7 @@ def indexing_tradeoff(
 
 
 def volatility_study(
-    num_requests: int = 5_000,
+    *, num_requests: int = 5_000,
     seed: int = 42,
     update_intervals: Sequence[float] = (
         10_000_000, 3_000_000, 1_000_000, 300_000, 100_000,
@@ -909,7 +909,7 @@ def volatility_study(
 
 
 def indexed_multidisk_study(
-    seed: int = 42,
+    *, seed: int = 42,
     probes: int = 3_000,
 ) -> FigureData:
     """Indexing the multilevel disk (§7) vs indexing a flat carousel.
@@ -962,7 +962,7 @@ def indexed_multidisk_study(
 
 
 def drift_study(
-    num_requests: int = 10_000,
+    *, num_requests: int = 10_000,
     seed: int = 42,
     rotations_values: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
     policies: Sequence[str] = ("PIX", "P", "LIX", "LRU"),
@@ -1051,7 +1051,7 @@ def drift_study(
 
 
 def query_study(
-    seed: int = 42,
+    *, seed: int = 42,
     query_sizes: Sequence[int] = (1, 2, 4, 8, 16),
     trials: int = 800,
     num_pages: int = 500,

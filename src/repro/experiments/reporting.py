@@ -18,7 +18,7 @@ from repro.experiments.figures import FigureData
 
 def format_table(
     data: FigureData,
-    float_format: str = "{:.2f}",
+    *, float_format: str = "{:.2f}",
     x_width: int = 0,
     min_column: int = 12,
 ) -> str:
@@ -75,7 +75,7 @@ def csv_string(data: FigureData) -> str:
 
 def ascii_chart(
     data: FigureData,
-    height: int = 12,
+    *, height: int = 12,
     width: int = 64,
 ) -> str:
     """Render the series as a monochrome ASCII line chart.

@@ -23,7 +23,8 @@ serial run exactly.  All of it is pay-for-use: with everything left at
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+import warnings
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.executor import Executor, resolve_executor
@@ -37,8 +38,55 @@ from repro.experiments.config import ExperimentConfig
 from repro.obs.manifest import build_manifest, write_manifest, write_sweep_manifest
 
 
+def _merge_legacy_positionals(
+    function_name: str,
+    defaults: Dict[str, object],
+    legacy: tuple,
+    bound: Dict[str, object],
+) -> Dict[str, object]:
+    """One-release shim: map deprecated positional option values.
+
+    The public entry points made their option arguments keyword-only in
+    repro 1.1; this maps positional values onto the old parameter order,
+    warns, and rejects values that were also passed by keyword.  The
+    shim (and positional option passing with it) is removed in the next
+    release.
+    """
+    names = list(defaults)
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"{function_name}() takes at most {len(names)} option "
+            f"arguments ({len(legacy)} given)"
+        )
+    warnings.warn(
+        f"passing {function_name}() options positionally is deprecated; "
+        f"options ({', '.join(names[:len(legacy)])}) are keyword-only "
+        "as of repro 1.1 and positional use will be removed in the next "
+        "release",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = dict(bound)
+    for name, value in zip(names, legacy):
+        if merged[name] is not defaults[name]:
+            raise TypeError(
+                f"{function_name}() got multiple values for argument "
+                f"{name!r}"
+            )
+        merged[name] = value
+    return merged
+
+
+#: Old positional order of the entry points' options (shim bookkeeping).
+_RUN_EXPERIMENT_DEFAULTS: Dict[str, object] = {
+    "engine": "fast", "collect_responses": False, "tracer": None,
+    "metrics": None, "manifest": None,
+}
+
+
 def run_experiment(
     config: ExperimentConfig,
+    *legacy,
     engine: str = "fast",
     collect_responses: bool = False,
     tracer=None,
@@ -47,14 +95,26 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run one fully-specified experiment and return its measurements.
 
-    ``tracer`` attaches a :class:`repro.obs.trace.Tracer` to the engine
-    (and, for the process engine, the kernel and channel) and wraps the
-    cache in a :class:`~repro.cache.base.TracedCache`.  ``metrics``
-    fills a :class:`repro.obs.metrics.MetricsRegistry` with the run's
-    headline counters and gauges.  ``manifest`` names a JSON file to
-    write the run manifest to (also attached to the result).  All three
-    default to off and leave the measured behaviour untouched.
+    All options are keyword-only.  ``tracer`` attaches a
+    :class:`repro.obs.trace.Tracer` to the engine (and, for the process
+    engine, the kernel and channel) and wraps the cache in a
+    :class:`~repro.cache.base.TracedCache`.  ``metrics`` fills a
+    :class:`repro.obs.metrics.MetricsRegistry` with the run's headline
+    counters and gauges.  ``manifest`` names a JSON file to write the
+    run manifest to (also attached to the result).  All three default
+    to off and leave the measured behaviour untouched.
     """
+    if legacy:
+        merged = _merge_legacy_positionals(
+            "run_experiment", _RUN_EXPERIMENT_DEFAULTS, legacy,
+            {"engine": engine, "collect_responses": collect_responses,
+             "tracer": tracer, "metrics": metrics, "manifest": manifest},
+        )
+        engine = merged["engine"]
+        collect_responses = merged["collect_responses"]
+        tracer = merged["tracer"]
+        metrics = merged["metrics"]
+        manifest = merged["manifest"]
     plan = plan_for(config, engine=engine, collect_responses=collect_responses)
     result = execute_plan(plan, tracer=tracer)
     if metrics is not None:
@@ -88,17 +148,38 @@ def _record_metrics(metrics, result: ExperimentResult) -> None:
 ProgressCallback = Callable[[int, int, ExperimentResult], None]
 
 
+def _mean_response_metric(result: ExperimentResult) -> float:
+    """Default ``sweep`` metric: the run's mean response time."""
+    return result.mean_response_time
+
+
+_SWEEP_DEFAULTS: Dict[str, object] = {
+    "metric": _mean_response_metric, "engine": "fast", "progress": None,
+    "manifest": None, "jobs": 1,
+}
+
+
 def sweep(
     configs: Iterable[ExperimentConfig],
-    metric: Callable[[ExperimentResult], float] = (
-        lambda result: result.mean_response_time
-    ),
+    *legacy,
+    metric: Callable[[ExperimentResult], float] = _mean_response_metric,
     engine: str = "fast",
     progress: Optional[ProgressCallback] = None,
     manifest: Optional[str] = None,
     jobs: int = 1,
 ) -> List[float]:
     """Run every configuration; return ``metric`` of each, in order."""
+    if legacy:
+        merged = _merge_legacy_positionals(
+            "sweep", _SWEEP_DEFAULTS, legacy,
+            {"metric": metric, "engine": engine, "progress": progress,
+             "manifest": manifest, "jobs": jobs},
+        )
+        metric = merged["metric"]
+        engine = merged["engine"]
+        progress = merged["progress"]
+        manifest = merged["manifest"]
+        jobs = merged["jobs"]
     return [
         metric(result)
         for result in sweep_results(
@@ -108,8 +189,16 @@ def sweep(
     ]
 
 
+_SWEEP_RESULTS_DEFAULTS: Dict[str, object] = {
+    "engine": "fast", "progress": None, "manifest": None, "tracer": None,
+    "metrics": None, "jobs": 1, "collect_responses": False,
+    "executor": None, "checkpoint": None,
+}
+
+
 def sweep_results(
     configs: Iterable[ExperimentConfig],
+    *legacy,
     engine: str = "fast",
     progress: Optional[ProgressCallback] = None,
     manifest: Optional[str] = None,
@@ -137,6 +226,23 @@ def sweep_results(
     counters commute and gauges keep last-plan-wins semantics, so the
     final snapshot matches a serial in-run recording exactly.
     """
+    if legacy:
+        merged = _merge_legacy_positionals(
+            "sweep_results", _SWEEP_RESULTS_DEFAULTS, legacy,
+            {"engine": engine, "progress": progress, "manifest": manifest,
+             "tracer": tracer, "metrics": metrics, "jobs": jobs,
+             "collect_responses": collect_responses, "executor": executor,
+             "checkpoint": checkpoint},
+        )
+        engine = merged["engine"]
+        progress = merged["progress"]
+        manifest = merged["manifest"]
+        tracer = merged["tracer"]
+        metrics = merged["metrics"]
+        jobs = merged["jobs"]
+        collect_responses = merged["collect_responses"]
+        executor = merged["executor"]
+        checkpoint = merged["checkpoint"]
     plans = plan_sweep(
         list(configs), engine=engine, collect_responses=collect_responses
     )

@@ -94,7 +94,7 @@ def run_single_client(
     mapping: LogicalPhysicalMapping,
     cache: CachePolicy,
     trace: RequestTrace,
-    think_time: float = 2.0,
+    *, think_time: float = 2.0,
     warmup_requests: Optional[int] = None,
     collect_responses: bool = False,
     extra_warmup: int = 0,
@@ -120,7 +120,7 @@ def run_clients(
     schedule: BroadcastSchedule,
     layout: DiskLayout,
     specs: Sequence[ClientSpec],
-    time_limit: Optional[float] = None,
+    *, time_limit: Optional[float] = None,
     tracer=None,
 ) -> List[ClientReport]:
     """Run several clients sharing one broadcast; reports in spec order."""

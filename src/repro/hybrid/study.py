@@ -28,7 +28,7 @@ from repro.workload.zipf import ZipfRegionDistribution
 def run_hybrid_population(
     num_clients: int,
     pull_threshold: float,
-    disk_sizes: Sequence[int] = (50, 200, 250),
+    *, disk_sizes: Sequence[int] = (50, 200, 250),
     delta: int = 3,
     pull_spacing: int = 4,
     access_range: int = 100,
@@ -91,7 +91,7 @@ def run_hybrid_population(
 
 
 def hybrid_population_study(
-    populations: Sequence[int] = (1, 2, 4, 8, 16),
+    *, populations: Sequence[int] = (1, 2, 4, 8, 16),
     pull_threshold: float = 50.0,
     seed: int = 42,
     **scenario,

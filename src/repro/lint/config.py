@@ -118,7 +118,7 @@ def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
 
 
 def load_config(
-    start: Optional[Path] = None,
+    *, start: Optional[Path] = None,
     pyproject: Optional[Path] = None,
 ) -> LintConfig:
     """Build a :class:`LintConfig` from ``[tool.reprolint]`` if present.

@@ -129,7 +129,7 @@ def _apply_noqa(
 def lint_source(
     path: str,
     source: str,
-    config: Optional[LintConfig] = None,
+    *, config: Optional[LintConfig] = None,
     rules: Optional[List[Rule]] = None,
 ) -> List[Diagnostic]:
     """Lint one module's source text (file rules only), noqa applied."""

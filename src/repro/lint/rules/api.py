@@ -1,0 +1,74 @@
+"""RL008 — public option arguments must be keyword-only.
+
+The 1.1 API redesign made every public entry point take its options as
+keywords (``run_experiment(config, engine="fast")``, never
+``run_experiment(config, "fast")``): positional options silently change
+meaning when a parameter is inserted, and a fleet-scale call site with
+five anonymous literals is unreviewable.  This rule keeps the surface
+that way: a *public module-level function* whose signature has two or
+more defaulted positional-or-keyword parameters — options that a caller
+could still pass positionally — is flagged until the options move
+behind a ``*`` marker.
+
+Methods are exempt (natural positional use like ``stats.add(value)`` or
+``sim.run(until)``), as are private helpers and functions with a single
+defaulted parameter (no ordering ambiguity to defend against).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext
+from repro.lint.registry import Rule, register
+
+#: Defaulted positional-or-keyword parameters a public function may
+#: keep before the rule demands a ``*`` marker.
+_MAX_POSITIONAL_OPTIONS = 1
+
+
+@register
+class KeywordOnlyOptionsRule(Rule):
+    """RL008 — public functions must take their options keyword-only."""
+
+    code = "RL008"
+    name = "keyword-only-options"
+    rationale = (
+        "positional option arguments silently change meaning when the "
+        "signature grows; public entry points take options as keywords "
+        "so call sites stay reviewable and insert-safe"
+    )
+    scoped = True
+    node_types = (ast.Module,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        # Walk only the module's top-level statements: methods and
+        # nested helpers are exempt by construction.
+        for statement in node.body:
+            if not isinstance(statement, ast.FunctionDef):
+                continue
+            if statement.name.startswith("_"):
+                continue
+            arguments = statement.args
+            # ``defaults`` aligns to the tail of posonly + positional-or-
+            # keyword params; every one of them is an option a caller
+            # could pass positionally.
+            positional_options = len(arguments.defaults)
+            if positional_options <= _MAX_POSITIONAL_OPTIONS:
+                continue
+            names = [
+                parameter.arg
+                for parameter in (*arguments.posonlyargs, *arguments.args)
+            ][-positional_options:]
+            yield Diagnostic(
+                ctx.path,
+                statement.lineno,
+                statement.col_offset + 1,
+                self.code,
+                f"public function {statement.name!r} exposes "
+                f"{positional_options} option arguments "
+                f"({', '.join(names)}) positionally; put them behind a "
+                "'*' marker so calls must name them",
+            )

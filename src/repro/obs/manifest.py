@@ -43,7 +43,7 @@ def config_hash(config) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def build_manifest(result, metrics=None, tracer=None) -> Dict:
+def build_manifest(result, *, metrics=None, tracer=None) -> Dict:
     """The manifest dict for one :class:`ExperimentResult`-shaped object.
 
     ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) and
@@ -91,7 +91,7 @@ def write_manifest(manifest: Dict, path: str) -> None:
         handle.write("\n")
 
 
-def build_sweep_manifest(results: Iterable, metrics=None,
+def build_sweep_manifest(results: Iterable, *, metrics=None,
                          tracer=None, name: str = "sweep") -> Dict:
     """Aggregate per-run manifests into one sweep document.
 
@@ -127,7 +127,7 @@ def build_sweep_manifest(results: Iterable, metrics=None,
 
 
 def write_sweep_manifest(results: Iterable, path: str,
-                         name: str = "sweep",
+                         *, name: str = "sweep",
                          metrics=None, tracer=None) -> Dict:
     """Build and write a sweep manifest; returns the written dict."""
     sweep = build_sweep_manifest(results, metrics=metrics, tracer=tracer,

@@ -166,7 +166,7 @@ class Tracer:
         self.close()
 
 
-def trace_schedule(schedule, tracer: Tracer, periods: int = 1,
+def trace_schedule(schedule, tracer: Tracer, *, periods: int = 1,
                    start: float = 0.0) -> int:
     """Emit one ``channel.deliver`` record per transmitted slot.
 

@@ -1,0 +1,64 @@
+"""Population-scale simulation: declarative client fleets on the exec layer.
+
+See ``docs/POPULATION.md``.  The public surface:
+
+* :class:`PopulationSpec` / :class:`SegmentSpec` — declare a fleet as
+  named segments with distributions (:class:`Constant`,
+  :class:`Choice`, :class:`UniformInt`, :class:`Uniform`) over the
+  client-side knobs;
+* :func:`expand` — the spec's deterministic per-client
+  :class:`~repro.exec.plan.RunPlan` list;
+* :func:`run_population` — execute the fleet (serial or parallel,
+  checkpoint-resumable) and fold it into a :class:`PopulationResult`
+  of mergeable :class:`PopulationAggregate` rollups;
+* :func:`spec_to_dict` / :func:`spec_from_dict` — JSON round-trip for
+  version-controlled fleet files and the CLI.
+"""
+
+from repro.population.aggregate import (
+    FairnessAccumulator,
+    PopulationAggregate,
+    QuantileSketch,
+)
+from repro.population.run import (
+    POPULATION_SCHEMA,
+    PopulationResult,
+    build_population_manifest,
+    run_population,
+)
+from repro.population.spec import (
+    SEGMENT_FIELDS,
+    Choice,
+    Constant,
+    PopulationSpec,
+    SegmentSpec,
+    Uniform,
+    UniformInt,
+    client_config,
+    expand,
+    scale_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "SEGMENT_FIELDS",
+    "POPULATION_SCHEMA",
+    "Choice",
+    "Constant",
+    "FairnessAccumulator",
+    "PopulationAggregate",
+    "PopulationResult",
+    "PopulationSpec",
+    "QuantileSketch",
+    "SegmentSpec",
+    "Uniform",
+    "UniformInt",
+    "build_population_manifest",
+    "client_config",
+    "expand",
+    "run_population",
+    "scale_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,225 @@
+"""The public API surface, pinned.
+
+Three protections for the 1.1 consolidation:
+
+* an ``inspect``-based snapshot of ``repro.__all__`` and of the
+  keyword-only contract on the public entry points, so an accidental
+  signature regression (an option drifting back to positional) fails
+  here before it reaches a caller;
+* the one-release positional shim: deprecated positional options still
+  work, warn, and reject ambiguous keyword+positional mixes;
+* the engine registry: every rejection names the valid engines.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engines import (
+    EngineSpec,
+    engine_names,
+    get_engine,
+    get_plan_engine,
+    plan_engine_names,
+    register_engine,
+)
+from repro.experiments.runner import run_experiment, sweep, sweep_results
+from repro.population import run_population
+
+EXPECTED_ALL = [
+    "BroadcastSchedule",
+    "ConfigurationError",
+    "DISK_PRESETS",
+    "DiskLayout",
+    "EngineSpec",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LogicalPhysicalMapping",
+    "MetricsRegistry",
+    "PolicyError",
+    "PopulationResult",
+    "PopulationSpec",
+    "ReproError",
+    "ScheduleError",
+    "SegmentSpec",
+    "SimulationError",
+    "Tracer",
+    "ZipfRegionDistribution",
+    "__version__",
+    "available_policies",
+    "engine_names",
+    "flat_program",
+    "make_policy",
+    "multidisk_program",
+    "register_engine",
+    "run_clients",
+    "run_experiment",
+    "run_population",
+    "sweep",
+    "sweep_results",
+]
+
+
+def small_config(**overrides):
+    base = dict(
+        disk_sizes=(50, 200, 250),
+        delta=3,
+        cache_size=50,
+        policy="LIX",
+        access_range=100,
+        region_size=10,
+        num_requests=200,
+        seed=11,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestExportSnapshot:
+    def test_all_matches_snapshot(self):
+        assert repro.__all__ == EXPECTED_ALL
+
+    def test_all_is_sorted_and_unique(self):
+        assert repro.__all__ == sorted(set(repro.__all__))
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.1.0"
+
+
+class TestKeywordOnlyContract:
+    """Every option (defaulted parameter) on the entry points is keyword-only."""
+
+    ENTRY_POINTS = {
+        "run_experiment": run_experiment,
+        "sweep": sweep,
+        "sweep_results": sweep_results,
+        "run_population": run_population,
+    }
+
+    @pytest.mark.parametrize("name", sorted(ENTRY_POINTS))
+    def test_options_are_keyword_only(self, name):
+        signature = inspect.signature(self.ENTRY_POINTS[name])
+        for parameter in signature.parameters.values():
+            if parameter.default is not inspect.Parameter.empty:
+                assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, (
+                    f"{name}({parameter.name}=...) must be keyword-only"
+                )
+
+    def test_shimmed_functions_accept_varargs(self):
+        # The one-release shim: a VAR_POSITIONAL slot catches legacy
+        # positional options.  run_population is new in 1.1 and never
+        # had positional options, so it carries no shim.
+        for name in ("run_experiment", "sweep", "sweep_results"):
+            kinds = {
+                p.kind for p in
+                inspect.signature(self.ENTRY_POINTS[name]).parameters.values()
+            }
+            assert inspect.Parameter.VAR_POSITIONAL in kinds, name
+        population_kinds = {
+            p.kind for p in
+            inspect.signature(run_population).parameters.values()
+        }
+        assert inspect.Parameter.VAR_POSITIONAL not in population_kinds
+
+    def test_run_population_option_names(self):
+        signature = inspect.signature(run_population)
+        options = [
+            p.name for p in signature.parameters.values()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        ]
+        assert options == [
+            "jobs", "executor", "progress", "checkpoint", "tracer",
+            "metrics", "manifest", "keep_results", "gamma",
+        ]
+
+
+class TestDeprecationShim:
+    def test_positional_engine_warns_and_maps(self):
+        config = small_config()
+        with pytest.warns(DeprecationWarning, match="keyword-only"):
+            legacy = run_experiment(config, "fast", True)
+        assert legacy.samples is not None  # collect_responses mapped
+        modern = run_experiment(config, engine="fast", collect_responses=True)
+        assert legacy.mean_response_time == modern.mean_response_time
+        assert legacy.samples == modern.samples
+
+    def test_positional_plus_keyword_conflict(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values.*'engine'"):
+                run_experiment(small_config(), "fast", engine="process")
+
+    def test_too_many_positionals(self):
+        with pytest.raises(TypeError, match="at most 5 option arguments"):
+            run_experiment(small_config(), "fast", False, None, None,
+                           None, "extra")
+
+    def test_sweep_positional_metric_warns_and_maps(self):
+        configs = [small_config(), small_config(delta=7)]
+
+        def metric(result):
+            return result.hit_rate
+
+        with pytest.warns(DeprecationWarning, match="sweep"):
+            legacy = sweep(configs, metric)
+        assert legacy == sweep(configs, metric=metric)
+
+    def test_sweep_results_positional_engine_warns(self):
+        configs = [small_config()]
+        with pytest.warns(DeprecationWarning, match="sweep_results"):
+            legacy = sweep_results(configs, "fast")
+        modern = sweep_results(configs, engine="fast")
+        assert [r.mean_response_time for r in legacy] == \
+            [r.mean_response_time for r in modern]
+
+    def test_keyword_calls_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_experiment(small_config(), engine="fast")
+
+
+class TestEngineRegistry:
+    def test_names_include_builtins(self):
+        assert set(engine_names()) >= {"fast", "process", "hybrid", "query"}
+        assert plan_engine_names() == ("fast", "process")
+
+    def test_unknown_engine_lists_valid_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_engine("quantum")
+        message = str(excinfo.value)
+        for name in engine_names():
+            assert name in message
+
+    def test_study_engine_rejected_for_plans(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_plan_engine("hybrid")
+        message = str(excinfo.value)
+        assert "does not execute RunPlans" in message
+        assert "fast" in message and "process" in message
+
+    def test_run_experiment_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="valid engines"):
+            run_experiment(small_config(), engine="quantum")
+
+    def test_reregistering_different_spec_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_engine(EngineSpec(
+                name="fast",
+                summary="an impostor",
+                executes_plans=False,
+                study="repro.experiments.figures:query_study",
+            ))
+
+    def test_reregistering_identical_spec_is_idempotent(self):
+        spec = get_engine("hybrid")
+        assert register_engine(spec) is spec
+
+    def test_study_engine_resolves_callable(self):
+        assert callable(get_engine("query").resolve_study())

@@ -14,7 +14,8 @@ OUT_OF_SCOPE = "tests/test_something.py"
 
 
 def run(source, path=IN_SCOPE, config=None):
-    return lint_source(path, textwrap.dedent(source), config or LintConfig())
+    return lint_source(path, textwrap.dedent(source),
+                       config=config or LintConfig())
 
 
 def codes(diagnostics):
@@ -203,7 +204,7 @@ class TestRL004MutableDefault:
     def test_true_negative_none_sentinel(self):
         assert run(
             """
-            def gather(pages=None, capacity=8, label=""):
+            def gather(*, pages=None, capacity=8, label=""):
                 pages = [] if pages is None else pages
                 return pages
             """
@@ -532,3 +533,83 @@ class TestEngine:
         assert [d.line for d in diagnostics] == sorted(
             d.line for d in diagnostics
         )
+
+
+# ---------------------------------------------------------------------------
+# RL008 — keyword-only options
+# ---------------------------------------------------------------------------
+class TestRL008KeywordOnlyOptions:
+    def test_true_positive_two_positional_options(self):
+        diagnostics = run(
+            """
+            def run_study(config, engine="fast", jobs=1):
+                return config, engine, jobs
+            """
+        )
+        assert codes(diagnostics) == ["RL008"]
+        message = diagnostics[0].message
+        assert "'run_study'" in message
+        assert "engine, jobs" in message
+        assert "'*' marker" in message
+
+    def test_true_negative_keyword_only_options(self):
+        assert run(
+            """
+            def run_study(config, *, engine="fast", jobs=1):
+                return config, engine, jobs
+            """
+        ) == []
+
+    def test_true_negative_single_option(self):
+        # One defaulted parameter carries no ordering ambiguity.
+        assert run(
+            """
+            def run_study(config, engine="fast"):
+                return config, engine
+            """
+        ) == []
+
+    def test_true_negative_private_function(self):
+        assert run(
+            """
+            def _helper(config, engine="fast", jobs=1):
+                return config, engine, jobs
+            """
+        ) == []
+
+    def test_true_negative_method(self):
+        # Methods keep natural positional use (stats.add, sim.run).
+        assert run(
+            """
+            class Runner:
+                def run(self, engine="fast", jobs=1):
+                    return engine, jobs
+            """
+        ) == []
+
+    def test_true_negative_nested_function(self):
+        assert run(
+            """
+            def outer():
+                def inner(engine="fast", jobs=1):
+                    return engine, jobs
+                return inner
+            """
+        ) == []
+
+    def test_out_of_scope_path_exempt(self):
+        assert run(
+            """
+            def run_study(config, engine="fast", jobs=1):
+                return config, engine, jobs
+            """,
+            path=OUT_OF_SCOPE,
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert run(
+            """
+            def run_study(config, engine="fast", jobs=1):  # repro: noqa[RL008]
+                return config, engine, jobs
+            """
+        ) == []
