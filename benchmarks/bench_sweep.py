@@ -36,7 +36,7 @@ _SRC = str(Path(__file__).resolve().parent.parent / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.exec import ParallelExecutor, SerialExecutor, plan_sweep
+from repro.exec import ParallelExecutor, SerialExecutor, plan_sweep, usable_cores
 from repro.experiments.config import (
     DELTA_RANGE,
     DISK_PRESETS,
@@ -75,13 +75,6 @@ def fig5_grid(num_requests: int = REQUESTS):
         for preset in ("D1", "D2", "D3", "D4", "D5")
         for delta in DELTA_RANGE
     ]
-
-
-def usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # platforms without sched_getaffinity
-        return os.cpu_count() or 1
 
 
 def run_arms(configs, jobs: int):
@@ -129,7 +122,11 @@ def build_report(serial, serial_seconds, parallel, parallel_seconds, jobs):
         },
         "arms": {
             "serial": {"jobs": 1, "wall_seconds": serial_seconds},
-            "parallel": {"jobs": jobs, "wall_seconds": parallel_seconds},
+            "parallel": {
+                "jobs": jobs,
+                "effective_jobs": ParallelExecutor(jobs=jobs).effective_jobs(),
+                "wall_seconds": parallel_seconds,
+            },
         },
         "speedup": serial_seconds / parallel_seconds,
         "min_speedup_target": MIN_SPEEDUP,

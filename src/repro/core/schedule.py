@@ -10,45 +10,87 @@ The class pre-computes each page's occurrence list so the two timing
 queries the simulators need are cheap:
 
 * :meth:`next_arrival` — the first completion of a page after a given
-  time, found by bisection (O(log occurrences)).
+  time.  Because the program is periodic, the wait is a pure function
+  of the *slot offset* the request lands in, so the query is table
+  driven instead of searched: pages with a fixed inter-arrival gap
+  (every page of a §2.2 multidisk program — the property the paper
+  proves in §2.1) answer with O(1) modular arithmetic from a cached
+  ``(residue, gap)`` pair, and irregular pages answer from a
+  lazily-built per-page **wait table** (``wait[slot % period]``, an
+  int64 array) with one integer index.  Tables are built on a page's
+  first query and accounted against a configurable memory budget;
+  pages over budget fall back to :meth:`next_arrival_bisect`, the
+  original O(log occurrences) bisection, which is also kept as the
+  reference implementation for the property tests and the perf gate.
 * :meth:`expected_delay` — the closed-form mean wait of a uniformly
   arriving request, ``sum(g^2) / (2 * period)`` over the inter-arrival
   gaps ``g`` (the Bus Stop Paradox in formula form: for fixed gaps this is
   ``period / (2 * count)``; variance in the gaps strictly increases it).
+
+See ``docs/PERFORMANCE.md`` for the hot-path design and the budget knob.
 """
 
 from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.chunks import EMPTY_SLOT
 from repro.errors import ScheduleError
 
+#: Default per-schedule memory budget for wait tables, in bytes.  A
+#: table costs ``8 * period`` bytes; at the paper's scale (periods in
+#: the tens of thousands, ~hundreds of distinct pages actually
+#: requested) the lazily-built tables stay in the tens of megabytes.
+DEFAULT_WAIT_TABLE_BUDGET = 64 * 1024 * 1024
+
 
 class BroadcastSchedule:
     """An immutable periodic broadcast program."""
 
-    def __init__(self, slots: Sequence[int], label: str = ""):
+    def __init__(
+        self,
+        slots: Sequence[int],
+        label: str = "",
+        *,
+        wait_table_budget: int = DEFAULT_WAIT_TABLE_BUDGET,
+    ):
         slots = [int(s) for s in slots]
         if not slots:
             raise ScheduleError("a broadcast schedule needs at least one slot")
         if any(s < 0 and s != EMPTY_SLOT for s in slots):
             raise ScheduleError("slots must hold page ids >= 0 or EMPTY_SLOT")
+        if wait_table_budget < 0:
+            raise ScheduleError(
+                f"wait_table_budget must be >= 0 bytes, got {wait_table_budget}"
+            )
         self._slots: Tuple[int, ...] = tuple(slots)
         self.label = label
-        self._occurrences: Dict[int, np.ndarray] = {}
+        # Collect occurrence lists as plain python lists, then freeze
+        # each page's list to an immutable sorted int64 array.
+        collected: Dict[int, List[int]] = {}
         for index, page in enumerate(self._slots):
-            if page == EMPTY_SLOT:
-                continue
-            self._occurrences.setdefault(page, []).append(index)  # type: ignore[arg-type]
-        if not self._occurrences:
+            if page != EMPTY_SLOT:
+                collected.setdefault(page, []).append(index)
+        if not collected:
             raise ScheduleError("schedule contains only empty slots")
-        for page, indices in self._occurrences.items():
-            self._occurrences[page] = np.asarray(indices, dtype=np.int64)
+        self._occurrences: Dict[int, np.ndarray] = {
+            page: np.asarray(indices, dtype=np.int64)
+            for page, indices in collected.items()
+        }
+        # Lazily-built timing structures (see docs/PERFORMANCE.md):
+        # per-page (residue, gap) pairs for fixed-gap pages, per-page
+        # wait tables under a byte budget for irregular ones, plus the
+        # sorted index of non-empty slot offsets the channel scans with.
+        self._wait_table_budget = int(wait_table_budget)
+        self._wait_table_bytes = 0
+        self._fixed_gaps: Dict[int, Optional[Tuple[int, int]]] = {}
+        self._wait_tables: Dict[int, np.ndarray] = {}
+        self._wait_tables_declined: Set[int] = set()
+        self._nonempty_slots: Optional[np.ndarray] = None
 
     # -- structure ---------------------------------------------------------
     @property
@@ -111,6 +153,75 @@ class BroadcastSchedule:
         transmission and waits for the next one, which matches the
         "monitor the broadcast and wait for the item to arrive" semantics
         of §2.1.
+
+        Completions are the integers ``c`` with slot ``(c-1) % period``
+        carrying ``page``; the first one strictly after ``time`` is at
+        ``base = floor(time) + 1`` plus a wait that depends only on the
+        slot ``base`` starts in.  Three precomputed forms answer it, in
+        order of preference:
+
+        1. fixed-gap pages (:meth:`fixed_gap`): ``(residue - base) %
+           gap`` — O(1) integer arithmetic, no memory;
+        2. irregular pages with a wait table (:meth:`wait_table`): one
+           integer index;
+        3. pages the table budget declined:
+           :meth:`next_arrival_bisect`, the original bisection.
+
+        All three return the exact same instant (asserted by the
+        hypothesis property tests).
+        """
+        entry = self._fixed_gaps.get(page)
+        if entry is None and page not in self._fixed_gaps:
+            entry = self.fixed_gap(page)
+        if entry is not None:
+            residue, gap = entry
+            base = math.floor(time) + 1
+            return float(base + (residue - base) % gap)
+        table = self._wait_tables.get(page)
+        if table is None:
+            table = self.wait_table(page)
+            if table is None:
+                return self.next_arrival_bisect(page, time)
+        base = math.floor(time) + 1
+        return float(base + table[(base - 1) % len(self._slots)])
+
+    def fixed_gap(self, page: int) -> Optional[Tuple[int, int]]:
+        """``(residue, gap)`` when ``page`` has a fixed inter-arrival gap.
+
+        The §2.1 property in closed form: when the occurrences of
+        ``page`` are equally spaced (gap ``g``, so ``g`` divides the
+        period), its completion instants are exactly the integers
+        congruent to ``first_occurrence + 1`` modulo ``g``, and the
+        next one after any instant ``t`` is
+        ``base + (residue - base) % g`` with ``base = floor(t) + 1``.
+        Returns ``None`` for pages with irregular spacing (those use
+        the wait table or the bisection).  Cached after the first call.
+        """
+        entry = self._fixed_gaps.get(page)
+        if entry is None and page not in self._fixed_gaps:
+            occ = self.occurrences(page)
+            count = len(occ)
+            entry = None
+            if self.period % count == 0:
+                gap = self.period // count
+                first = int(occ[0])
+                # Equally spaced iff occ is the arithmetic progression
+                # first + j*gap (the wrap gap is then gap as well,
+                # because count * gap == period).
+                if count == 1 or np.array_equal(
+                    occ, first + gap * np.arange(count, dtype=np.int64)
+                ):
+                    entry = ((first + 1) % gap, gap)
+            self._fixed_gaps[page] = entry
+        return entry
+
+    def next_arrival_bisect(self, page: int, time: float) -> float:
+        """Reference :meth:`next_arrival`: bisection into the occurrences.
+
+        This is the pre-table implementation, kept verbatim as (a) the
+        fallback when the wait-table budget is exhausted and (b) the
+        golden model the property tests and ``benchmarks/bench_engine.py``
+        compare the table arithmetic against.
         """
         occ = self.occurrences(page)
         cycle, phase = divmod(time, self.period)
@@ -125,6 +236,56 @@ class BroadcastSchedule:
             if index < len(occ):
                 return base + float(occ[index]) + 1.0
         return base + self.period + float(occ[0]) + 1.0
+
+    def wait_table(self, page: int) -> Optional[np.ndarray]:
+        """The page's wait table, built on first use; None if over budget.
+
+        Entry ``w[s]`` is the number of slots from slot ``s`` to the
+        next occurrence of ``page`` at or after ``s``, cyclically, so
+        ``next_arrival(page, t) == floor(t) + 1 + w[floor(t) % period]``.
+        The table is an immutable int64 array costing ``8 * period``
+        bytes, charged against the schedule's ``wait_table_budget``;
+        once the budget is exhausted further pages are declined
+        permanently and keep using the bisection path.
+        """
+        table = self._wait_tables.get(page)
+        if table is not None:
+            return table
+        if page in self._wait_tables_declined:
+            return None
+        occ = self.occurrences(page)
+        cost = 8 * self.period
+        if self._wait_table_bytes + cost > self._wait_table_budget:
+            self._wait_tables_declined.add(page)
+            return None
+        slots = np.arange(self.period, dtype=np.int64)
+        bounds = np.concatenate([occ, occ[:1] + self.period])
+        table = bounds[np.searchsorted(occ, slots, side="left")] - slots
+        table.flags.writeable = False
+        self._wait_tables[page] = table
+        self._wait_table_bytes += cost
+        return table
+
+    @property
+    def wait_table_budget(self) -> int:
+        """Byte budget for lazily-built wait tables on this schedule."""
+        return self._wait_table_budget
+
+    def timing_stats(self) -> Dict[str, int]:
+        """Occupancy of the lazily-built timing structures.
+
+        Useful for asserting that a shared schedule (via
+        :class:`~repro.exec.build.BuildCache`) reuses its tables across
+        sweep points instead of rebuilding them.
+        """
+        return {
+            "fixed_gap_entries": len(self._fixed_gaps),
+            "wait_tables": len(self._wait_tables),
+            "wait_table_bytes": self._wait_table_bytes,
+            "wait_table_budget": self._wait_table_budget,
+            "wait_tables_declined": len(self._wait_tables_declined),
+            "nonempty_index_built": int(self._nonempty_slots is not None),
+        }
 
     def wait_time(self, page: int, time: float) -> float:
         """Delay a request issued at ``time`` experiences for ``page``."""
@@ -219,6 +380,41 @@ class BroadcastSchedule:
         return total
 
     # -- slot iteration -------------------------------------------------------
+    @property
+    def nonempty_slots(self) -> np.ndarray:
+        """Sorted slot offsets (one period) that carry a page.
+
+        Built lazily on first use and cached; the channel uses it to
+        jump straight to the next interesting completion instead of
+        scanning the period slot by slot.
+        """
+        index = self._nonempty_slots
+        if index is None:
+            index = np.asarray(
+                [s for s, page in enumerate(self._slots) if page != EMPTY_SLOT],
+                dtype=np.int64,
+            )
+            index.flags.writeable = False
+            self._nonempty_slots = index
+        return index
+
+    def next_nonempty_completion(self, time: float) -> float:
+        """First completion instant strictly after ``time`` of any page.
+
+        The non-empty analogue of :meth:`next_arrival`: the first
+        integer ``c > time`` whose slot ``(c-1) % period`` carries a
+        page, found by a searchsorted into :attr:`nonempty_slots` with
+        a period wrap — O(log period) instead of the O(period) forward
+        scan the channel used to do.
+        """
+        index = self.nonempty_slots
+        base = math.floor(time) + 1
+        slot = (base - 1) % self.period
+        position = int(np.searchsorted(index, slot, side="left"))
+        if position == len(index):
+            return float(base + self.period - slot + int(index[0]))
+        return float(base + int(index[position]) - slot)
+
     def page_at(self, slot_time: float) -> Optional[int]:
         """Page occupying the slot that contains instant ``slot_time``.
 

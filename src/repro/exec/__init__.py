@@ -27,6 +27,7 @@ from repro.exec.executor import (
     ParallelExecutor,
     SerialExecutor,
     resolve_executor,
+    usable_cores,
 )
 from repro.exec.plan import RunPlan, derive_seed, plan_for, plan_sweep
 from repro.exec.run import execute_plan
@@ -45,4 +46,5 @@ __all__ = [
     "resolve_executor",
     "structural_hash",
     "structural_key",
+    "usable_cores",
 ]

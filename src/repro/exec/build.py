@@ -13,6 +13,13 @@ nothing else.  Both objects are immutable after construction (the
 schedule's occurrence arrays are built once in ``__init__``), so
 sharing them across runs cannot perturb results; the equivalence is
 asserted by ``tests/test_exec_plan.py``.
+
+Because the schedule object itself is shared, its lazily-built timing
+structures — the fixed-gap entries, wait tables, and non-empty-slot
+index of ``docs/PERFORMANCE.md`` — are built once per broadcast
+structure and reused by every sweep point that shares it.
+:meth:`BuildCache.timing_stats` exposes their occupancy so tests (and
+the curious) can assert the reuse actually happens.
 """
 
 from __future__ import annotations
@@ -69,6 +76,31 @@ class BuildCache:
         else:
             self.hits += 1
         return entry
+
+    def timing_stats(self) -> Dict[str, int]:
+        """Timing-structure occupancy summed over the cached schedules.
+
+        The per-schedule breakdown comes from
+        :meth:`~repro.core.schedule.BroadcastSchedule.timing_stats`;
+        summing it here makes "one set of tables per broadcast
+        structure, not per sweep point" directly assertable.
+        """
+        totals = {
+            "schedules": len(self._built),
+            "fixed_gap_entries": 0,
+            "wait_tables": 0,
+            "wait_table_bytes": 0,
+            "wait_tables_declined": 0,
+            "nonempty_indexes_built": 0,
+        }
+        for _layout, schedule in self._built.values():
+            stats = schedule.timing_stats()
+            totals["fixed_gap_entries"] += stats["fixed_gap_entries"]
+            totals["wait_tables"] += stats["wait_tables"]
+            totals["wait_table_bytes"] += stats["wait_table_bytes"]
+            totals["wait_tables_declined"] += stats["wait_tables_declined"]
+            totals["nonempty_indexes_built"] += stats["nonempty_index_built"]
+        return totals
 
     def __len__(self) -> int:
         return len(self._built)

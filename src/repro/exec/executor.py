@@ -30,6 +30,7 @@ structure skip schedule construction.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, List, Optional, Protocol, Sequence
 
@@ -41,6 +42,24 @@ from repro.exec.run import ExperimentResult, execute_plan
 
 #: ``progress(completed, total, result)``, fired in plan order.
 ProgressCallback = Callable[[int, int, ExperimentResult], None]
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    Respects CPU affinity masks (containers, ``taskset``) where the
+    platform exposes them; falls back to :func:`os.cpu_count`.  Worker
+    processes beyond this count time-share cores and — as
+    ``BENCH_sweep.json`` recorded before the clamp — turn the pool into
+    a pessimization, so :class:`ParallelExecutor` never exceeds it.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 class Executor(Protocol):
@@ -112,15 +131,22 @@ def _execute_in_worker(plan: RunPlan) -> ExperimentResult:
 class ParallelExecutor:
     """Run plans on a :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-    ``jobs`` is the worker-process count.  ``jobs=1`` (and any run with
-    an enabled tracer attached) degrades to the serial in-process path,
-    which is byte-identical anyway and skips the pool overhead.
+    ``jobs`` is the *requested* worker-process count; at ``run()`` time
+    it is clamped to :func:`usable_cores` so oversubscription never
+    turns the pool into a pessimization.  ``jobs=1``, a host with a
+    single usable core, and any run with an enabled tracer attached all
+    degrade to the serial in-process path, which is byte-identical
+    anyway and skips the pool overhead.
     """
 
     def __init__(self, jobs: int = 2):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+
+    def effective_jobs(self) -> int:
+        """The worker count a run will actually use: jobs ∧ usable cores."""
+        return min(self.jobs, usable_cores())
 
     def run(
         self,
@@ -132,9 +158,11 @@ class ParallelExecutor:
     ) -> List[ExperimentResult]:
         plans = list(plans)
         tracing = tracer is not None and tracer.enabled
-        if tracing or self.jobs == 1 or len(plans) <= 1:
-            # Enabled tracing needs one sink in simulation order; tiny
-            # or single-worker runs gain nothing from a pool.
+        jobs = self.effective_jobs()
+        if tracing or jobs == 1 or len(plans) <= 1:
+            # Enabled tracing needs one sink in simulation order; tiny,
+            # single-worker, or single-core runs gain nothing from a
+            # pool — on a 1-core host the pool *costs* wall clock.
             return _run_in_order(plans, tracer, progress, checkpoint)
 
         results: List[Optional[ExperimentResult]] = [None] * len(plans)
@@ -161,7 +189,7 @@ class ParallelExecutor:
             flush_progress()
             return list(results)  # type: ignore[arg-type]
 
-        workers = min(self.jobs, len(pending))
+        workers = min(jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_execute_in_worker, plans[position]): position

@@ -2,11 +2,31 @@
 
 Because the §2.2 program gives every page a *fixed* inter-arrival time,
 the wait a cache miss experiences is fully determined by the request
-instant: ``next_completion(page, t) - t``, found by bisection into the
-page's occurrence list.  The engine therefore advances directly from
-request to request instead of ticking through broadcast slots, which is
-what makes full paper-scale parameter sweeps (48 design points x 15,000
-measured requests each) practical in pure Python.
+instant: ``next_completion(page, t) - t``.  The engine therefore
+advances directly from request to request instead of ticking through
+broadcast slots, which is what makes full paper-scale parameter sweeps
+(48 design points x 15,000 measured requests each) practical in pure
+Python.
+
+The inner loop is written to be allocation-free (see
+``docs/PERFORMANCE.md``):
+
+* the trace is materialised once as a plain python list, so the loop
+  never boxes ``np.int64`` scalars;
+* every attribute lookup (cache protocol methods, stats accumulators,
+  the schedule's tables) is hoisted to a local before the loop;
+* the warm-up and measured phases run as two separate loops, so the
+  per-request ``warming`` branching disappears entirely;
+* waits come from the schedule's precomputed timing structures: the
+  §2.1 fixed-inter-arrival property in closed form
+  (:meth:`repro.core.schedule.BroadcastSchedule.fixed_gap` — two
+  integer ops per miss, inlined below) for every page of a §2.2
+  program, with a transparent fallback to ``next_arrival`` (wait table
+  or bisection) for irregular schedules;
+* tracing runs in a separate loop (:meth:`FastEngine._run_trace_traced`)
+  so the hot path carries no tracer branches; the traced loop is also
+  the *reference loop* (:meth:`FastEngine.run_trace_reference`) that the
+  perf gate and the equivalence tests compare against.
 
 The engine is semantically identical to the process-oriented engine in
 :mod:`repro.experiments.simengine` — the test suite feeds both the same
@@ -22,7 +42,7 @@ beginning our measurements only after the cache was full"), after which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.cache.base import CacheCounters, CachePolicy
 from repro.core.disks import DiskLayout
@@ -74,7 +94,8 @@ class FastEngine:
         self.now = 0.0
         #: Optional :class:`repro.obs.trace.Tracer` emitting the same
         #: ``client.*`` records as the process engine's client; ``None``
-        #: (the default) adds one branch per request and nothing else.
+        #: (the default) adds nothing to the hot loop — the traced run
+        #: takes a separate code path entirely.
         self.tracer = tracer
 
     def run_trace(
@@ -94,23 +115,187 @@ class FastEngine:
         response times of the measured phase are retained on the outcome
         (``outcome.samples``) for engine cross-validation.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return self._run_trace_traced(
+                trace,
+                warmup_requests=warmup_requests,
+                collect_responses=collect_responses,
+                extra_warmup=extra_warmup,
+                tracer=tracer,
+            )
+
+        schedule = self.schedule
+        cache = self.cache
+        think = self.think_time
+
+        # Hoist every per-request attribute lookup out of the loops.
+        cache_lookup = cache.lookup
+        cache_admit = cache.admit
+        to_physical = self.mapping.to_physical
+        disk_of_physical = self.layout.disk_of_page
+        next_arrival = schedule.next_arrival
+        fixed_gap = schedule.fixed_gap
+
+        response = RunningStats()
+        counters = CacheCounters()
+        response_add = response.add
+        record_hit = counters.record_hit
+        record_miss = counters.record_miss
+        samples: Optional[List[float]] = [] if collect_responses else None
+
+        # One plain-python materialisation of the trace: list indexing
+        # returns cached ints instead of boxing an np.int64 per request.
+        pages = trace.pages.tolist()
+        total = len(pages)
+        now = self.now
+
+        # Per-run cache of each physical page's (residue, gap) pair —
+        # the §2.1 fixed-inter-arrival property in closed form, so a
+        # miss costs one dict probe and two integer ops.  ``False``
+        # marks irregular pages, which go through
+        # ``schedule.next_arrival`` (wait table or bisection).
+        gaps: Dict[int, object] = {}
+        gaps_get = gaps.get
+        # Same trick for the miss counters' disk attribution:
+        # ``disk_of_page`` bounds-checks and scans the disk sizes on
+        # every call, but a page's disk never changes.
+        disks: Dict[int, int] = {}
+        disks_get = disks.get
+
+        # ---- warm-up phase -------------------------------------------------
+        # Measurement starts after ``warmup_requests`` requests when
+        # given, else once the cache is full plus ``extra_warmup`` more.
+        limit = total if warmup_requests is None else min(warmup_requests, total)
+        extra_left = extra_warmup
+        index = 0
+        while index < limit:
+            if warmup_requests is None and cache.is_full:
+                if extra_left <= 0:
+                    break
+                extra_left -= 1
+            page = pages[index]
+            index += 1
+            now += think
+            if cache_lookup(page, now):
+                continue
+            physical = to_physical(page)
+            entry = gaps_get(physical)
+            if entry is None:
+                entry = fixed_gap(physical)
+                gaps[physical] = entry if entry is not None else False
+            if entry:
+                residue, gap = entry
+                base = int(now) + 1
+                now = float(base + (residue - base) % gap)
+            else:
+                now = next_arrival(physical, now)
+            cache_admit(page, now)
+        warmup_seen = index
+
+        # ---- measured phase ------------------------------------------------
+        for index in range(warmup_seen, total):
+            page = pages[index]
+            now += think
+            if cache_lookup(page, now):
+                response_add(0.0)
+                record_hit()
+                if samples is not None:
+                    samples.append(0.0)
+                continue
+            physical = to_physical(page)
+            entry = gaps_get(physical)
+            if entry is None:
+                entry = fixed_gap(physical)
+                gaps[physical] = entry if entry is not None else False
+            if entry:
+                residue, gap = entry
+                base = int(now) + 1
+                arrival = float(base + (residue - base) % gap)
+            else:
+                arrival = next_arrival(physical, now)
+            wait = arrival - now
+            now = arrival
+            cache_admit(page, now)
+            response_add(wait)
+            disk = disks_get(physical)
+            if disk is None:
+                disk = disk_of_physical(physical)
+                disks[physical] = disk
+            record_miss(disk)
+            if samples is not None:
+                samples.append(wait)
+
+        self.now = now
+        return EngineOutcome(
+            response=response,
+            counters=counters,
+            measured_requests=response.count,
+            warmup_requests=warmup_seen,
+            final_time=now,
+            samples=samples,
+        )
+
+    def run_trace_reference(
+        self,
+        trace: RequestTrace,
+        warmup_requests: Optional[int] = None,
+        collect_responses: bool = False,
+        extra_warmup: int = 0,
+    ) -> EngineOutcome:
+        """The pre-optimisation loop, kept verbatim as the golden model.
+
+        One request at a time through the single general-purpose loop,
+        waits from :meth:`~repro.core.schedule.BroadcastSchedule.
+        next_arrival_bisect`.  ``benchmarks/bench_engine.py`` and the
+        equivalence tests run this against :meth:`run_trace` and demand
+        byte-identical measurements; it is registered as the
+        ``fast-reference`` engine for plan-level comparisons.
+        """
+        return self._run_trace_traced(
+            trace,
+            warmup_requests=warmup_requests,
+            collect_responses=collect_responses,
+            extra_warmup=extra_warmup,
+            tracer=None,
+            reference_arithmetic=True,
+        )
+
+    def _run_trace_traced(
+        self,
+        trace: RequestTrace,
+        *,
+        warmup_requests: Optional[int],
+        collect_responses: bool,
+        extra_warmup: int,
+        tracer,
+        reference_arithmetic: bool = False,
+    ) -> EngineOutcome:
+        """The general-purpose loop: tracing hooks, one request at a time.
+
+        Used for traced runs (where per-request emit calls dominate
+        anyway) and, with ``reference_arithmetic=True``, as the frozen
+        reference implementation for the perf gate.
+        """
         schedule = self.schedule
         mapping = self.mapping
         cache = self.cache
         think = self.think_time
         disk_of_physical = self.layout.disk_of_page
+        next_arrival = (
+            schedule.next_arrival_bisect
+            if reference_arithmetic
+            else schedule.next_arrival
+        )
 
         response = RunningStats()
         counters = CacheCounters()
-        samples: list[float] = [] if collect_responses else None  # type: ignore[assignment]
+        samples: Optional[List[float]] = [] if collect_responses else None
 
         warming = True
         warmup_seen = 0
         extra_left = extra_warmup
         now = self.now
-        tracer = self.tracer
-        if tracer is not None and not tracer.enabled:
-            tracer = None
 
         for index in range(len(trace)):
             page = trace[index]
@@ -145,7 +330,7 @@ class FastEngine:
                 continue
 
             physical = mapping.to_physical(page)
-            arrival = schedule.next_arrival(physical, now)
+            arrival = next_arrival(physical, now)
             wait = arrival - now
             if tracer is not None:
                 tracer.emit("client.miss", now, page=int(page),

@@ -133,6 +133,34 @@ def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
     )
 
 
+def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
+                             cache, trace, tracer=None):
+    """Drive the frozen pre-optimisation fast loop for one plan.
+
+    Same engine object as ``fast`` but through
+    :meth:`~repro.experiments.engine.FastEngine.run_trace_reference`:
+    the original single general-purpose loop with bisection arithmetic.
+    ``benchmarks/bench_engine.py`` runs it as the baseline arm of the
+    byte-identity perf gate.
+    """
+    from repro.experiments.engine import FastEngine
+
+    fast = FastEngine(
+        schedule=schedule,
+        mapping=mapping,
+        layout=layout,
+        cache=cache,
+        think_time=config.think_time,
+        tracer=tracer,
+    )
+    return fast.run_trace_reference(
+        trace,
+        warmup_requests=config.warmup_requests,
+        collect_responses=plan.collect_responses,
+        extra_warmup=config.extra_warmup,
+    )
+
+
 def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
                       trace, tracer=None):
     """Drive the process-oriented engine for one plan."""
@@ -166,6 +194,13 @@ register_engine(EngineSpec(
     summary="analytic-stepping single-client engine (full-scale sweeps)",
     executes_plans=True,
     run_plan=_run_plan_fast,
+))
+
+register_engine(EngineSpec(
+    name="fast-reference",
+    summary="frozen pre-optimisation fast loop (perf-gate baseline)",
+    executes_plans=True,
+    run_plan=_run_plan_fast_reference,
 ))
 
 register_engine(EngineSpec(

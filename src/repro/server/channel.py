@@ -21,10 +21,10 @@ property the engine cross-validation tests rely on.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.schedule import BroadcastSchedule
-from repro.errors import ScheduleError
 from repro.sim.kernel import Event, Simulator
 
 
@@ -36,6 +36,11 @@ class BroadcastChannel:
         self.schedule = schedule
         # (due_time, physical_page) -> events to fire with that arrival.
         self._waiters: Dict[Tuple[float, int], List[Event]] = {}
+        # Min-heap over the waiter keys, cleaned lazily: delivered keys
+        # stay in the heap until they surface and are popped, so finding
+        # the earliest due time is O(log n) instead of min() over all
+        # keys on every server wake-up.
+        self._waiter_heap: List[Tuple[float, int]] = []
         self._snoopers: List[Callable[[float, int], None]] = []
         self._demand_event: Optional[Event] = None
         #: Pages delivered so far (for reporting/tests).
@@ -55,7 +60,13 @@ class BroadcastChannel:
         """
         due = self.schedule.next_arrival(physical_page, self.sim.now)
         event = self.sim.event()
-        self._waiters.setdefault((due, physical_page), []).append(event)
+        key = (due, physical_page)
+        pending = self._waiters.get(key)
+        if pending is None:
+            self._waiters[key] = [event]
+            heapq.heappush(self._waiter_heap, key)
+        else:
+            pending.append(event)
         self._signal_demand()
         return event
 
@@ -94,17 +105,15 @@ class BroadcastChannel:
         only the earliest waiter due time does.
         """
         if self._snoopers:
-            # Scan forward (bounded by one period) for the next slot that
-            # actually carries a page.
-            for probe in range(self.schedule.period + 1):
-                candidate = float(int(now) + probe) + 1.0
-                if candidate <= now:
-                    continue
-                if self.schedule.page_at(candidate - 0.5) is not None:
-                    return candidate
-            raise ScheduleError("schedule has no non-empty slots")  # pragma: no cover
-        if self._waiters:
-            return min(due for due, _page in self._waiters)
+            # One searchsorted over the precomputed sorted non-empty
+            # slot offsets replaces the old O(period) forward probe.
+            return self.schedule.next_nonempty_completion(now)
+        heap = self._waiter_heap
+        waiters = self._waiters
+        while heap and heap[0] not in waiters:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
     def deliver_at(self, now: float) -> None:

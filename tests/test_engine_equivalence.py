@@ -6,14 +6,22 @@ response times for every single request, across policies and parameter
 corners (noise, offset, padding slots, flat and skewed layouts).
 """
 
+import random
+
 import pytest
 
+from repro.cache.base import PolicyContext
+from repro.cache.lru import LRUPolicy
+from repro.core.chunks import EMPTY_SLOT
+from repro.core.disks import DiskLayout
+from repro.core.schedule import BroadcastSchedule
 from repro.exec import execute_plan, plan_for
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import FastEngine
 from repro.experiments.runner import _warmup_trace_allowance, run_experiment
 from repro.experiments.simengine import run_single_client
-from repro.workload.trace import generate_trace
+from repro.workload.mapping import LogicalPhysicalMapping
+from repro.workload.trace import RequestTrace, generate_trace
 
 
 def small_config(**overrides):
@@ -81,6 +89,87 @@ class TestEngineEquivalence:
         assert_engines_agree(
             small_config(disk_sizes=(90, 410), delta=4, offset=50)
         )
+
+
+# Irregular spacing for every page (no count divides the period
+# evenly in an arithmetic progression), so the fast engine's fixed-gap
+# shortcut declines and misses go through the wait tables — the path
+# §2.2 programs never reach.
+IRREGULAR_SLOTS = [
+    0, 1, 0, 2, 0, EMPTY_SLOT, 1, 3, 2, 0, 3, EMPTY_SLOT, 1, 2,
+]
+
+
+class TestOptimizedPathCrossValidation:
+    """ISSUE 5: the optimized timing paths vs the process engine."""
+
+    def _run_both(self, *, wait_table_budget):
+        schedule = BroadcastSchedule(
+            IRREGULAR_SLOTS, wait_table_budget=wait_table_budget
+        )
+        layout = DiskLayout.flat(4)
+        rng = random.Random(3)
+        trace = RequestTrace.from_pages(
+            [rng.randrange(4) for _ in range(300)]
+        )
+        fast = FastEngine(
+            schedule,
+            LogicalPhysicalMapping(layout),
+            layout,
+            LRUPolicy(2, PolicyContext()),
+            think_time=0.7,
+        ).run_trace(trace, collect_responses=True)
+        process = run_single_client(
+            schedule=BroadcastSchedule(
+                IRREGULAR_SLOTS, wait_table_budget=wait_table_budget
+            ),
+            layout=layout,
+            mapping=LogicalPhysicalMapping(layout),
+            cache=LRUPolicy(2, PolicyContext()),
+            trace=trace,
+            think_time=0.7,
+            collect_responses=True,
+        )
+        return schedule, fast, process
+
+    def test_wait_tables_vs_process_engine(self):
+        schedule, fast, process = self._run_both(
+            wait_table_budget=64 * 1024
+        )
+        assert fast.samples == process.samples
+        assert fast.counters.hits == process.counters.hits
+        assert fast.final_time == process.final_time
+        stats = schedule.timing_stats()
+        # The fast run really did take the wait-table path.
+        assert stats["wait_tables"] == 4
+        assert all(
+            schedule.fixed_gap(page) is None for page in schedule.pages
+        )
+
+    def test_memory_budget_fallback_vs_process_engine(self):
+        schedule, fast, process = self._run_both(wait_table_budget=0)
+        assert fast.samples == process.samples
+        assert fast.counters.hits == process.counters.hits
+        stats = schedule.timing_stats()
+        # Over budget: every page declined, bisection served the run.
+        assert stats["wait_tables"] == 0
+        assert stats["wait_tables_declined"] == 4
+
+    def test_budget_does_not_change_measurements(self):
+        _schedule, tabled, _ = self._run_both(wait_table_budget=64 * 1024)
+        _schedule, declined, _ = self._run_both(wait_table_budget=0)
+        assert tabled.samples == declined.samples
+        assert tabled.final_time == declined.final_time
+
+    def test_fast_reference_plan_engine_agrees(self):
+        config = small_config(num_requests=300)
+        fast = execute_plan(plan_for(config, collect_responses=True))
+        reference = execute_plan(
+            plan_for(config, engine="fast-reference", collect_responses=True)
+        )
+        assert fast.samples == reference.samples
+        assert fast.mean_response_time == reference.mean_response_time
+        assert fast.hit_rate == reference.hit_rate
 
 
 def _build_run_inputs(config):

@@ -19,7 +19,9 @@ from repro.exec import (
     SweepCheckpoint,
     plan_sweep,
     resolve_executor,
+    usable_cores,
 )
+from repro.exec import executor as executor_module
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import sweep_results
@@ -133,6 +135,50 @@ class TestExecutorEquivalence:
             r.mean_response_time for r in parallel
         ]
         assert [r.samples for r in serial] == [r.samples for r in parallel]
+
+
+class TestCoreClamp:
+    """The 1-core pessimization fix: jobs never exceed usable cores."""
+
+    def test_usable_cores_is_positive(self):
+        assert usable_cores() >= 1
+
+    def test_effective_jobs_clamps_to_usable_cores(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "usable_cores", lambda: 2)
+        assert ParallelExecutor(jobs=16).effective_jobs() == 2
+        assert ParallelExecutor(jobs=2).effective_jobs() == 2
+        assert ParallelExecutor(jobs=1).effective_jobs() == 1
+
+    def test_single_core_host_never_creates_a_pool(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "usable_cores", lambda: 1)
+
+        def forbidden_pool(*args, **kwargs):
+            raise AssertionError("pool created on a single-core host")
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", forbidden_pool
+        )
+        plans = plan_sweep(small_grid(), collect_responses=True)
+        results = ParallelExecutor(jobs=4).run(plans)
+        reference = SerialExecutor().run(plans)
+        assert [r.samples for r in results] == [
+            r.samples for r in reference
+        ]
+
+    def test_oversubscribed_jobs_use_clamped_worker_count(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "usable_cores", lambda: 2)
+        seen = {}
+        real_pool = executor_module.ProcessPoolExecutor
+
+        class SpyPool(real_pool):
+            def __init__(self, max_workers=None, **kwargs):
+                seen["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", SpyPool)
+        plans = plan_sweep(small_grid())
+        ParallelExecutor(jobs=16).run(plans)
+        assert seen["max_workers"] == 2
 
 
 class TestTracerFallback:

@@ -123,6 +123,23 @@ class TestBuildCache:
         cache.layout_and_schedule(small_config(delta=4))
         assert cache.misses == 2 and len(cache) == 2
 
+    def test_timing_structures_shared_across_sweep_points(self):
+        # Running several sweep points that share a broadcast structure
+        # must build the timing structures (fixed gaps, non-empty
+        # index) once on the shared schedule, not once per point.
+        cache = BuildCache()
+        configs = [small_config(noise=noise) for noise in (0.0, 0.15, 0.45)]
+        for config in configs:
+            execute_plan(plan_for(config), builds=cache)
+        stats = cache.timing_stats()
+        assert stats["schedules"] == 1
+        assert stats["fixed_gap_entries"] > 0
+        _layout, schedule = cache.layout_and_schedule(configs[0])
+        before = schedule.timing_stats()
+        execute_plan(plan_for(small_config(noise=0.45)), builds=cache)
+        # The repeated point reused the already-built structures.
+        assert schedule.timing_stats() == before
+
     def test_cached_builds_do_not_change_results(self):
         configs = [small_config(noise=noise) for noise in (0.0, 0.15, 0.45)]
         fresh = [execute_plan(plan_for(config)) for config in configs]

@@ -18,10 +18,35 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.analysis import multidisk_expected_delay
-from repro.core.chunks import ChunkPlan
+from repro.core.chunks import EMPTY_SLOT, ChunkPlan
 from repro.core.disks import DiskLayout
 from repro.core.programs import multidisk_program
 from repro.core.schedule import BroadcastSchedule
+
+
+@st.composite
+def raw_slot_lists(draw):
+    """Arbitrary slot lists — irregular spacing, padding, everything."""
+    slots = draw(
+        st.lists(
+            st.one_of(
+                st.just(EMPTY_SLOT),
+                st.integers(min_value=0, max_value=8),
+            ),
+            min_size=1,
+            max_size=48,
+        )
+    )
+    if all(slot == EMPTY_SLOT for slot in slots):
+        slots = slots + [0]
+    return slots
+
+
+#: Query instants: fractional, exactly integral, and boundary-adjacent.
+query_instants = st.one_of(
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    st.integers(min_value=0, max_value=300).map(float),
+)
 
 
 @st.composite
@@ -164,6 +189,91 @@ class TestNextArrivalProperties:
                 if completion > time and (brute is None or completion < brute):
                     brute = completion
         assert math.isclose(arrival, brute)
+
+
+class TestTimingStructureEquivalence:
+    """ISSUE 5: the table-driven arithmetic IS the bisection reference.
+
+    ``next_arrival`` dispatches fixed-gap closed form → wait table →
+    bisection; each path must return the exact float the frozen
+    ``next_arrival_bisect`` returns, for arbitrary schedules (irregular
+    spacing, padding slots) and arbitrary query instants.
+    """
+
+    @given(raw_slot_lists(), query_instants)
+    @settings(max_examples=150, deadline=None)
+    def test_dispatch_matches_bisection_reference(self, slots, time):
+        program = BroadcastSchedule(slots)
+        for page in program.pages:
+            assert program.next_arrival(page, time) == (
+                program.next_arrival_bisect(page, time)
+            )
+
+    @given(raw_slot_lists(), query_instants)
+    @settings(max_examples=150, deadline=None)
+    def test_wait_table_arithmetic_matches_bisection(self, slots, time):
+        # Drive the table directly, so fixed-gap pages (which the
+        # dispatch would short-circuit) exercise it too.
+        program = BroadcastSchedule(slots)
+        for page in program.pages:
+            table = program.wait_table(page)
+            assert table is not None  # default budget covers tiny schedules
+            base = math.floor(time) + 1
+            arrival = float(base + table[(base - 1) % program.period])
+            assert arrival == program.next_arrival_bisect(page, time)
+
+    @given(raw_slot_lists(), query_instants)
+    @settings(max_examples=150, deadline=None)
+    def test_fixed_gap_closed_form_matches_bisection(self, slots, time):
+        program = BroadcastSchedule(slots)
+        for page in program.pages:
+            entry = program.fixed_gap(page)
+            if entry is None:
+                continue
+            residue, gap = entry
+            base = math.floor(time) + 1
+            arrival = float(base + (residue - base) % gap)
+            assert arrival == program.next_arrival_bisect(page, time)
+
+    @given(raw_slot_lists())
+    @settings(max_examples=150, deadline=None)
+    def test_request_at_completion_instant_misses_it(self, slots):
+        # The channel edge (§2.1): a request issued exactly at a
+        # completion boundary has missed that transmission.
+        program = BroadcastSchedule(slots)
+        for page in program.pages:
+            for slot in program.occurrences(page):
+                completion = float(int(slot) + 1)
+                arrival = program.next_arrival(page, completion)
+                assert arrival > completion
+                assert arrival == program.next_arrival_bisect(page, completion)
+
+    @given(raw_slot_lists(), query_instants)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_budget_falls_back_to_bisection(self, slots, time):
+        program = BroadcastSchedule(slots, wait_table_budget=0)
+        for page in program.pages:
+            assert program.wait_table(page) is None
+            assert program.next_arrival(page, time) == (
+                program.next_arrival_bisect(page, time)
+            )
+        stats = program.timing_stats()
+        assert stats["wait_tables"] == 0
+        assert stats["wait_table_bytes"] == 0
+        assert stats["wait_tables_declined"] == len(program.pages)
+
+    @given(raw_slot_lists(), query_instants)
+    @settings(max_examples=100, deadline=None)
+    def test_nonempty_completion_matches_scan(self, slots, time):
+        program = BroadcastSchedule(slots)
+        fast = program.next_nonempty_completion(time)
+        assert fast > time
+        assert program.page_at(fast - 0.5) is not None
+        # No earlier non-empty completion exists.
+        probe = math.floor(time) + 1.0
+        while probe < fast:
+            assert program.page_at(probe - 0.5) is None
+            probe += 1.0
 
 
 class TestScheduleConstructionProperties:
