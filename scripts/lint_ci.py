@@ -1,0 +1,116 @@
+"""CI lint gate: SARIF artifact plus the incremental-cache contract.
+
+Runs the whole-program linter twice over the full tree:
+
+1. **cold** — against a cleared cache directory: every file is parsed,
+   the cross-module phase runs from scratch, and the findings are
+   written to ``lint-results.sarif`` for upload to code scanning;
+2. **warm** — immediately again: the run must re-parse *nothing*
+   (``parsed == 0``, every file a cache hit, cross-module phase served
+   from cache) and must not be slower than the cold run.
+
+Any lint finding, a cache miss on the warm run, or a warm run slower
+than the cold one fails the job.  Wall time is measured through the
+sanctioned ``repro.obs.clock`` gateway — this script *is* a timing
+harness, the one place wall-clock belongs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_ci.py [--out lint-results.sarif]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import (  # noqa: E402
+    LintStats,
+    format_diagnostics,
+    lint_paths,
+    load_config,
+)
+from repro.obs.clock import perf_counter  # noqa: E402
+
+LINT_TREES = ("src", "tests", "scripts", "benchmarks")
+
+
+def run_once(cache_dir: Path):
+    config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
+    stats = LintStats()
+    started = perf_counter()
+    diagnostics = lint_paths(
+        [REPO_ROOT / tree for tree in LINT_TREES],
+        config,
+        cache_dir=cache_dir,
+        stats=stats,
+    )
+    return diagnostics, stats, perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("lint-results.sarif"),
+        help="where to write the SARIF log (default: lint-results.sarif)",
+    )
+    args = parser.parse_args(argv)
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-lint-ci-"))
+    try:
+        cold_diags, cold_stats, cold_seconds = run_once(cache_dir)
+        print(f"cold: {cold_stats.describe()} ({cold_seconds:.3f}s)")
+
+        args.out.write_text(
+            format_diagnostics(cold_diags, "sarif") + "\n", encoding="utf-8"
+        )
+        print(f"SARIF log written to {args.out}")
+
+        warm_diags, warm_stats, warm_seconds = run_once(cache_dir)
+        print(f"warm: {warm_stats.describe()} ({warm_seconds:.3f}s)")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    failures = []
+    if cold_diags:
+        failures.append(
+            "lint findings:\n" + format_diagnostics(cold_diags, "text")
+        )
+    if warm_diags != cold_diags:
+        failures.append("warm run diagnostics differ from cold run")
+    if warm_stats.parsed != 0:
+        failures.append(
+            f"warm run re-parsed {warm_stats.parsed} file(s); "
+            "the cache must serve every unchanged file"
+        )
+    if warm_stats.cache_hits != warm_stats.files:
+        failures.append(
+            f"warm run hit cache on {warm_stats.cache_hits}/"
+            f"{warm_stats.files} files"
+        )
+    if not warm_stats.project_from_cache:
+        failures.append("warm run re-ran the cross-module phase")
+    if warm_seconds > cold_seconds:
+        failures.append(
+            f"warm run ({warm_seconds:.3f}s) slower than cold "
+            f"({cold_seconds:.3f}s); the cache is not paying for itself"
+        )
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"- {f}" for f in failures))
+        return 1
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(f"PASS: clean tree, warm run parsed nothing ({speedup:.1f}x faster)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,17 +30,27 @@ each rule to reproducibility.
 from __future__ import annotations
 
 from repro.lint.config import LintConfig, load_config
-from repro.lint.diagnostics import Diagnostic, format_diagnostics
-from repro.lint.engine import collect_files, lint_paths, lint_source
+from repro.lint.diagnostics import Diagnostic, format_diagnostics, to_sarif
+from repro.lint.engine import (
+    LintStats,
+    collect_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.project import ProjectModel, summarize_module
 from repro.lint.registry import available_rules
 
 __all__ = [
     "Diagnostic",
     "LintConfig",
+    "LintStats",
+    "ProjectModel",
     "available_rules",
     "collect_files",
     "format_diagnostics",
     "lint_paths",
     "lint_source",
     "load_config",
+    "summarize_module",
+    "to_sarif",
 ]

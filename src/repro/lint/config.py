@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 try:
     import tomllib
@@ -28,7 +28,7 @@ except ImportError:  # pragma: no cover - Python < 3.11
     tomllib = None  # type: ignore[assignment]
 
 #: Files every configuration excludes from collection.
-ALWAYS_EXCLUDE = ("__pycache__", ".egg-info")
+ALWAYS_EXCLUDE = ("__pycache__", ".egg-info", ".repro-lint-cache")
 
 #: Built-in allowlists, mirrored by the shipped ``pyproject.toml`` so
 #: behaviour is identical whether or not a config file is found.
@@ -50,13 +50,28 @@ def _split_parts(pattern: str) -> Tuple[str, ...]:
     return tuple(p for p in pattern.replace("\\", "/").split("/") if p)
 
 
-def path_matches(path: str, pattern: str) -> bool:
-    """True if ``path`` ends with the path components of ``pattern``.
+def _contains_parts(path: str, pattern: str) -> bool:
+    """True if ``pattern``'s components appear contiguously in ``path``."""
+    path_parts = _split_parts(path)
+    pattern_parts = _split_parts(pattern)
+    span = len(pattern_parts)
+    return any(
+        path_parts[i : i + span] == pattern_parts
+        for i in range(len(path_parts) - span + 1)
+    )
 
-    Matching on trailing components keeps allowlists working no matter
-    which directory the linter is invoked from (absolute paths, ``src``
-    vs ``./src``, etc.).
+
+def path_matches(path: str, pattern: str) -> bool:
+    """True if ``path`` matches an allowlist ``pattern``.
+
+    A pattern naming a file (ending in ``.py``) matches on trailing
+    path components, so allowlists work no matter which directory the
+    linter is invoked from (absolute paths, ``src`` vs ``./src``).  A
+    pattern naming a directory (anything else, e.g. ``benchmarks``)
+    matches every file under it.
     """
+    if not pattern.endswith(".py"):
+        return bool(pattern) and _contains_parts(path, pattern)
     path_parts = _split_parts(path)
     pattern_parts = _split_parts(pattern)
     if not pattern_parts or len(pattern_parts) > len(path_parts):
@@ -64,19 +79,22 @@ def path_matches(path: str, pattern: str) -> bool:
     return path_parts[-len(pattern_parts):] == pattern_parts
 
 
-def path_in_scope(path: str, scope: str) -> bool:
-    """True if ``path`` lies under the ``scope`` component sequence.
+#: A scope is one component sequence or several of them.
+ScopeSpec = Union[str, Tuple[str, ...]]
 
-    An empty scope means "everywhere" (useful for fixture tests).
+
+def path_in_scope(path: str, scope: ScopeSpec) -> bool:
+    """True if ``path`` lies under any of the ``scope`` trees.
+
+    ``scope`` is one component sequence (``"src/repro"``) or a tuple of
+    them.  An empty scope means "everywhere" (useful for fixture
+    tests).
     """
     if not scope:
         return True
-    path_parts = _split_parts(path)
-    scope_parts = _split_parts(scope)
-    span = len(scope_parts)
-    return any(
-        path_parts[i : i + span] == scope_parts
-        for i in range(len(path_parts) - span + 1)
+    scopes = (scope,) if isinstance(scope, str) else scope
+    return any(_contains_parts(path, s) for s in scopes if s) or not any(
+        s for s in scopes
     )
 
 
@@ -85,7 +103,7 @@ class LintConfig:
     """Effective linter settings after merging defaults and pyproject."""
 
     enabled: Optional[Tuple[str, ...]] = None  # None → all registered rules
-    scope: str = DEFAULT_SCOPE
+    scope: ScopeSpec = DEFAULT_SCOPE
     allow: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_ALLOW)
     )
@@ -146,6 +164,8 @@ def load_config(
     scope = table.get("scope")
     if isinstance(scope, str):
         config.scope = scope
+    elif isinstance(scope, Sequence):
+        config.scope = tuple(str(tree) for tree in scope)
     exclude = table.get("exclude")
     if isinstance(exclude, Sequence) and not isinstance(exclude, str):
         config.exclude = tuple(str(token) for token in exclude)

@@ -1,0 +1,1202 @@
+"""The whole-program project model behind the cross-module rules.
+
+Per-file analysis (one parse, one walk) distils each module into a
+JSON-serialisable :class:`ModuleSummary` — imports, symbol table,
+call-site facts, taint origins, state-write facts.  The
+:class:`ProjectModel` then stitches the summaries into a module graph
+(who imports whom), a symbol resolver that follows ``from x import y``
+re-export chains across modules, and an approximate call graph with
+reachability queries.
+
+Because summaries carry everything the cross-module rules consume,
+the incremental cache (:mod:`repro.lint.engine`) can persist them and
+rebuild the model on a warm run *without re-parsing a single file* —
+the model is plain-data all the way down.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Bump when the summary shape changes so stale caches self-invalidate.
+SUMMARY_VERSION = 1
+
+#: Mutating container methods: calling one on a module-level name is a
+#: write to shared module state.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+    }
+)
+
+#: Constructors whose module-level result cannot cross a process
+#: boundary (pickle fails or the copy is useless).
+_UNPICKLABLE_CALLS = {
+    "threading.Lock": "a thread lock",
+    "threading.RLock": "a thread lock",
+    "threading.Condition": "a thread condition",
+    "threading.Semaphore": "a thread semaphore",
+    "threading.Event": "a thread event",
+    "multiprocessing.Lock": "a multiprocessing lock",
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+    "gzip.open": "an open file handle",
+    "bz2.open": "an open file handle",
+}
+
+#: Builtin constructors / displays that create mutable containers.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict",
+                            "OrderedDict", "deque", "Counter"})
+
+#: Module-level dict names treated as registries (shared with RL006).
+REGISTRY_NAMES = frozenset(
+    {"_FACTORIES", "FACTORIES", "_REGISTRY", "REGISTRY", "_POLICIES",
+     "POLICIES"}
+)
+
+#: Calls returning filesystem listings in OS-dependent order.
+LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Ubiquitous method names excluded from the over-approximate
+#: "unresolved method call → every same-named method" call-graph edge.
+_COMMON_METHODS = frozenset(
+    {
+        "get",
+        "keys",
+        "values",
+        "items",
+        "append",
+        "add",
+        "update",
+        "extend",
+        "pop",
+        "copy",
+        "sort",
+        "split",
+        "join",
+        "strip",
+        "read",
+        "write",
+        "close",
+        "open",
+        "format",
+        "mean",
+        "sum",
+        "count",
+        "index",
+        "stream",
+        "encode",
+        "decode",
+    }
+)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path``, src-layout aware.
+
+    ``src/repro/exec/run.py`` → ``repro.exec.run``;
+    ``.../pkg/__init__.py`` → ``...pkg``.  Paths outside a ``src``
+    layout keep every component, and resolution matches on dotted
+    *suffixes*, so absolute tmp-dir prefixes are harmless.
+    """
+    parts = [p for p in path.replace("\\", "/").split("/") if p]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    return ".".join(p for p in parts if p)
+
+
+# ---------------------------------------------------------------------------
+# Summary records (all JSON-serialisable via to_dict / from_dict)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClassInfo:
+    """Statically extracted shape of one class definition."""
+
+    name: str
+    lineno: int = 1
+    col: int = 1
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    abstract: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "col": self.col,
+            "bases": self.bases,
+            "methods": self.methods,
+            "abstract": self.abstract,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClassInfo":
+        return cls(**data)
+
+
+@dataclass
+class CallFact:
+    """One call site: who is called, with which argument origins.
+
+    ``callee`` is the import-resolved dotted target (``None`` when the
+    base is a local object); ``attr`` carries the method name for those
+    unresolved ``obj.method(...)`` calls.  ``arg_origins`` holds, per
+    positional-then-keyword argument, the resolved origin of the value
+    (the dotted callee that produced it) or ``None`` when unknown.
+    """
+
+    lineno: int
+    col: int
+    callee: Optional[str] = None
+    attr: Optional[str] = None
+    arg_origins: List[Optional[str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "lineno": self.lineno,
+            "col": self.col,
+            "callee": self.callee,
+            "attr": self.attr,
+            "arg_origins": self.arg_origins,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CallFact":
+        return cls(**data)
+
+
+@dataclass
+class StateWrite:
+    """A write to (potentially) module-level state inside a function."""
+
+    name: str  # resolved dotted name of the written target
+    lineno: int
+    col: int
+    how: str  # "global-assign" | "mutation" | "subscript-store"
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "col": self.col,
+            "how": self.how,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StateWrite":
+        return cls(**data)
+
+
+@dataclass
+class SymbolRef:
+    """A Load reference to a module-level / imported symbol."""
+
+    name: str  # resolved dotted name
+    lineno: int
+    col: int
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "lineno": self.lineno, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SymbolRef":
+        return cls(**data)
+
+
+@dataclass
+class OrderHazard:
+    """An RL013 candidate: iteration order leaking into a result."""
+
+    lineno: int
+    col: int
+    kind: str  # "listing" | "set"
+    detail: str  # the call / expression that produced the unordered data
+
+    def to_dict(self) -> Dict:
+        return {
+            "lineno": self.lineno,
+            "col": self.col,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OrderHazard":
+        return cls(**data)
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function facts the cross-module rules consume."""
+
+    qualname: str  # module-relative, e.g. "execute_plan" or "Engine.run"
+    lineno: int = 1
+    col: int = 1
+    calls: List[CallFact] = field(default_factory=list)
+    returns: List[str] = field(default_factory=list)  # origins of returns
+    state_writes: List[StateWrite] = field(default_factory=list)
+    symbol_refs: List[SymbolRef] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "col": self.col,
+            "calls": [c.to_dict() for c in self.calls],
+            "returns": self.returns,
+            "state_writes": [w.to_dict() for w in self.state_writes],
+            "symbol_refs": [r.to_dict() for r in self.symbol_refs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FunctionInfo":
+        return cls(
+            qualname=data["qualname"],
+            lineno=data["lineno"],
+            col=data["col"],
+            calls=[CallFact.from_dict(c) for c in data["calls"]],
+            returns=list(data["returns"]),
+            state_writes=[StateWrite.from_dict(w) for w in data["state_writes"]],
+            symbol_refs=[SymbolRef.from_dict(r) for r in data["symbol_refs"]],
+        )
+
+
+@dataclass
+class RegistryEntry:
+    """One ``_FACTORIES``-style registry mapping: key → class name."""
+
+    key: str
+    class_name: str
+    lineno: int
+    col: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "class_name": self.class_name,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RegistryEntry":
+        return cls(**data)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project model knows about one module."""
+
+    path: str
+    module: str
+    imports: List[str] = field(default_factory=list)
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    module_frame: Optional[FunctionInfo] = None  # top-level statements
+    module_mutables: Dict[str, str] = field(default_factory=dict)
+    module_unpicklables: Dict[str, str] = field(default_factory=dict)
+    registry_entries: List[RegistryEntry] = field(default_factory=list)
+    roots: List[str] = field(default_factory=list)  # worker entry refs
+    order_hazards: List[OrderHazard] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": self.imports,
+            "from_imports": self.from_imports,
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "functions": {k: v.to_dict() for k, v in self.functions.items()},
+            "module_frame": (
+                self.module_frame.to_dict() if self.module_frame else None
+            ),
+            "module_mutables": self.module_mutables,
+            "module_unpicklables": self.module_unpicklables,
+            "registry_entries": [e.to_dict() for e in self.registry_entries],
+            "roots": self.roots,
+            "order_hazards": [h.to_dict() for h in self.order_hazards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ModuleSummary":
+        return cls(
+            path=data["path"],
+            module=data["module"],
+            imports=list(data["imports"]),
+            from_imports=dict(data["from_imports"]),
+            classes={
+                k: ClassInfo.from_dict(v) for k, v in data["classes"].items()
+            },
+            functions={
+                k: FunctionInfo.from_dict(v)
+                for k, v in data["functions"].items()
+            },
+            module_frame=(
+                FunctionInfo.from_dict(data["module_frame"])
+                if data["module_frame"]
+                else None
+            ),
+            module_mutables=dict(data["module_mutables"]),
+            module_unpicklables=dict(data["module_unpicklables"]),
+            registry_entries=[
+                RegistryEntry.from_dict(e) for e in data["registry_entries"]
+            ],
+            roots=list(data["roots"]),
+            order_hazards=[
+                OrderHazard.from_dict(h) for h in data["order_hazards"]
+            ],
+        )
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+        if self.module_frame is not None:
+            yield self.module_frame
+
+
+# ---------------------------------------------------------------------------
+# Extraction: one walk over a parsed module
+# ---------------------------------------------------------------------------
+
+class _Frame:
+    """Per-function extraction state (locals, origins, globals)."""
+
+    def __init__(self, info: FunctionInfo):
+        self.info = info
+        self.local_names: Set[str] = set()
+        self.origins: Dict[str, str] = {}  # var → origin of last assignment
+        self.globals_declared: Set[str] = set()
+        self.seen_refs: Set[str] = set()
+
+
+class _Extractor(ast.NodeVisitor):
+    """Builds a :class:`ModuleSummary` in a single AST walk."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.summary = ModuleSummary(
+            path=path, module=module_name_for(path)
+        )
+        self.module_aliases: Dict[str, str] = {}
+        self._class_stack: List[str] = []
+        module_frame = FunctionInfo(qualname="<module>")
+        self.summary.module_frame = module_frame
+        self._frames: List[_Frame] = [_Frame(module_frame)]
+        self._sorted_wrapped: Set[int] = set()
+        self._index_imports(tree)
+        self.visit(tree)
+
+    # -- import table (mirrors engine.FileContext) -------------------------
+    def _index_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.summary.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        self.summary.imports = sorted(
+            set(self.module_aliases.values())
+            | {origin.rsplit(".", 1)[0]
+               for origin in self.summary.from_imports.values()}
+        )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name for a Name/Attribute chain, import-aware."""
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            return f"{base}.{node.attr}" if base else None
+        if isinstance(node, ast.Name):
+            if node.id in self.summary.from_imports:
+                return self.summary.from_imports[node.id]
+            if node.id in self.module_aliases:
+                return self.module_aliases[node.id]
+            return node.id
+        return None
+
+    # -- expression origins ------------------------------------------------
+    def _origin(self, node: ast.AST) -> Optional[str]:
+        """The dotted producer of ``node``'s value, if statically known."""
+        if isinstance(node, ast.Call):
+            return self.resolve(node.func)
+        if isinstance(node, ast.Name):
+            frame = self._frames[-1]
+            if node.id in frame.origins:
+                return frame.origins[node.id]
+            if node.id in frame.local_names:
+                return None
+            if len(self._frames) > 1:
+                module_origins = self._frames[0].origins
+                if node.id in module_origins:
+                    return module_origins[node.id]
+            if node.id in self.summary.from_imports:
+                return self.summary.from_imports[node.id]
+            return None
+        if isinstance(node, ast.Subscript):
+            base = self._origin(node.value)
+            return f"{base}[...]" if base else None
+        if isinstance(node, ast.Attribute):
+            return self.resolve(node)
+        if isinstance(node, ast.Lambda):
+            return "<lambda>"
+        return None
+
+    def _root_name(self, node: ast.AST) -> Optional[ast.Name]:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node if isinstance(node, ast.Name) else None
+
+    # -- scope bookkeeping -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node) -> None:
+        prefix = ".".join(self._class_stack)
+        qualname = f"{prefix}.{node.name}" if prefix else node.name
+        nested = any(
+            frame.info.qualname != "<module>" for frame in self._frames
+        )
+        info = FunctionInfo(
+            qualname=qualname,
+            lineno=node.lineno,
+            col=node.col_offset + 1,
+        )
+        if not nested:
+            self.summary.functions[qualname] = info
+        frame = _Frame(info)
+        for arg in (
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ):
+            frame.local_names.add(arg.arg)
+        if node.args.vararg:
+            frame.local_names.add(node.args.vararg.arg)
+        if node.args.kwarg:
+            frame.local_names.add(node.args.kwarg.arg)
+        self._frames.append(frame)
+        for statement in node.body:
+            self.visit(statement)
+        self._frames.pop()
+        if nested:
+            # Fold a nested function's facts into its enclosing function:
+            # the closure runs as part of the outer call for our purposes.
+            outer = self._frames[-1].info
+            outer.calls.extend(info.calls)
+            outer.state_writes.extend(info.state_writes)
+            outer.symbol_refs.extend(info.symbol_refs)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            name=node.name, lineno=node.lineno, col=node.col_offset + 1
+        )
+        for base in node.bases:
+            name = (
+                base.id if isinstance(base, ast.Name)
+                else getattr(base, "attr", None)
+            )
+            if name:
+                info.bases.append(name)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_abstract(item):
+                    info.abstract.append(item.name)
+                else:
+                    info.methods.append(item.name)
+        if not self._class_stack and len(self._frames) == 1:
+            self.summary.classes[node.name] = info
+        self._class_stack.append(node.name)
+        for statement in node.body:
+            self.visit(statement)
+        self._class_stack.pop()
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._frames[-1].globals_declared.update(node.names)
+
+    # -- assignments -------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        frame = self._frames[-1]
+        at_module = len(self._frames) == 1 and not self._class_stack
+        origin = self._origin(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._record_name_binding(
+                    target.id, node.value, origin, node, at_module
+                )
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record_store(target, node)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        frame.local_names.add(element.id)
+        if at_module:
+            self._record_registry(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        at_module = len(self._frames) == 1 and not self._class_stack
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            origin = self._origin(node.value)
+            self._record_name_binding(
+                node.target.id, node.value, origin, node, at_module
+            )
+            if at_module:
+                self._record_registry(node)
+        elif isinstance(node.target, (ast.Subscript, ast.Attribute)):
+            self._record_store(node.target, node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        frame = self._frames[-1]
+        if isinstance(node.target, ast.Name):
+            if node.target.id in frame.globals_declared:
+                frame.info.state_writes.append(
+                    StateWrite(
+                        name=self._qualify(node.target.id),
+                        lineno=node.lineno,
+                        col=node.col_offset + 1,
+                        how="global-assign",
+                    )
+                )
+            else:
+                frame.local_names.add(node.target.id)
+        elif isinstance(node.target, (ast.Subscript, ast.Attribute)):
+            self._record_store(node.target, node)
+
+    def _record_name_binding(
+        self,
+        name: str,
+        value: ast.AST,
+        origin: Optional[str],
+        node: ast.AST,
+        at_module: bool,
+    ) -> None:
+        frame = self._frames[-1]
+        if name in frame.globals_declared:
+            frame.info.state_writes.append(
+                StateWrite(
+                    name=self._qualify(name),
+                    lineno=node.lineno,
+                    col=node.col_offset + 1,
+                    how="global-assign",
+                )
+            )
+        else:
+            frame.local_names.add(name)
+        if origin is not None:
+            frame.origins[name] = origin
+        else:
+            frame.origins.pop(name, None)
+        if at_module:
+            kind = _mutable_kind(value, self)
+            if kind is not None:
+                self.summary.module_mutables[name] = kind
+            unpicklable = _unpicklable_kind(value, self)
+            if unpicklable is not None:
+                self.summary.module_unpicklables[name] = unpicklable
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.summary.module}.{name}" if self.summary.module else name
+
+    def _record_store(self, target: ast.AST, node: ast.AST) -> None:
+        """A ``base[...] = v`` / ``base.attr = v`` store seen in a function."""
+        if len(self._frames) == 1:
+            return  # module-level initialisation is fine
+        root = self._root_name(
+            target.value if isinstance(target, (ast.Subscript, ast.Attribute))
+            else target
+        )
+        if root is None:
+            return
+        frame = self._frames[-1]
+        if root.id in frame.local_names and \
+                root.id not in frame.globals_declared:
+            return
+        resolved = self.resolve(
+            target.value
+            if isinstance(target, (ast.Subscript, ast.Attribute))
+            else target
+        )
+        if resolved is None:
+            return
+        if "." not in resolved:
+            resolved = self._qualify(resolved)
+        frame.info.state_writes.append(
+            StateWrite(
+                name=resolved,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                how="subscript-store",
+            )
+        )
+
+    def _record_registry(self, node) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        value = node.value
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if not (names & REGISTRY_NAMES) or not isinstance(value, ast.Dict):
+            return
+        for key_node, value_node in zip(value.keys, value.values):
+            key = (
+                key_node.value
+                if isinstance(key_node, ast.Constant)
+                else "<dynamic>"
+            )
+            class_name = _value_class_name(value_node)
+            if class_name:
+                self.summary.registry_entries.append(
+                    RegistryEntry(
+                        key=str(key),
+                        class_name=class_name,
+                        lineno=value_node.lineno,
+                        col=value_node.col_offset + 1,
+                    )
+                )
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        frame = self._frames[-1]
+        callee = self.resolve(node.func)
+        attr = None
+        if callee is None and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+        if callee == "sorted":
+            for arg in node.args:
+                self._sorted_wrapped.add(id(arg))
+        arg_origins: List[Optional[str]] = [
+            self._origin(arg) for arg in node.args
+            if not isinstance(arg, ast.Starred)
+        ] + [
+            self._origin(keyword.value)
+            for keyword in node.keywords
+            if keyword.arg is not None
+        ]
+        frame.info.calls.append(
+            CallFact(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                callee=callee,
+                attr=attr,
+                arg_origins=arg_origins,
+            )
+        )
+        self._record_worker_roots(node, callee, attr)
+        self._record_mutator(node, callee, attr)
+        self._record_listing(node, callee, attr)
+        self.generic_visit(node)
+
+    def _record_worker_roots(
+        self, node: ast.Call, callee: Optional[str], attr: Optional[str]
+    ) -> None:
+        """Callables handed to pools / registered as plan engines."""
+        candidates: List[ast.AST] = []
+        tail = (callee or "").rsplit(".", 1)[-1]
+        if attr in ("submit", "map", "apply_async") or tail in (
+            "submit", "map", "apply_async"
+        ):
+            if node.args:
+                candidates.append(node.args[0])
+        for keyword in node.keywords:
+            if keyword.arg in ("target", "run_plan", "initializer"):
+                candidates.append(keyword.value)
+        for candidate in candidates:
+            resolved = self.resolve(candidate)
+            if resolved:
+                self.summary.roots.append(resolved)
+
+    def _record_mutator(
+        self, node: ast.Call, callee: Optional[str], attr: Optional[str]
+    ) -> None:
+        """``X.append(...)``-style mutation of a non-local container."""
+        if len(self._frames) == 1:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in MUTATOR_METHODS:
+            return
+        root = self._root_name(func.value)
+        if root is None:
+            return
+        frame = self._frames[-1]
+        if root.id in frame.local_names and \
+                root.id not in frame.globals_declared:
+            return
+        resolved = self.resolve(func.value)
+        if resolved is None:
+            return
+        if "." not in resolved:
+            resolved = self._qualify(resolved)
+        frame.info.state_writes.append(
+            StateWrite(
+                name=resolved,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                how="mutation",
+            )
+        )
+
+    def _record_listing(
+        self, node: ast.Call, callee: Optional[str], attr: Optional[str]
+    ) -> None:
+        detail = None
+        if callee in LISTING_CALLS:
+            detail = f"{callee}()"
+        elif attr in LISTING_METHODS or (
+            callee and callee.rsplit(".", 1)[-1] in LISTING_METHODS
+            and "." in (callee or "")
+        ):
+            detail = f".{attr or callee.rsplit('.', 1)[-1]}()"
+        if detail is None:
+            return
+        if id(node) in self._sorted_wrapped:
+            return
+        self.summary.order_hazards.append(
+            OrderHazard(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                kind="listing",
+                detail=detail,
+            )
+        )
+
+    # -- unordered-iteration hazards ----------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        detail = self._set_origin(node.iter)
+        if detail is not None and _accumulates(node.body):
+            self.summary.order_hazards.append(
+                OrderHazard(
+                    lineno=node.iter.lineno,
+                    col=node.iter.col_offset + 1,
+                    kind="set",
+                    detail=detail,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._comprehension_hazard(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._comprehension_hazard(node)
+        self.generic_visit(node)
+
+    def _comprehension_hazard(self, node) -> None:
+        for generator in node.generators:
+            detail = self._set_origin(generator.iter)
+            if detail is not None:
+                self.summary.order_hazards.append(
+                    OrderHazard(
+                        lineno=generator.iter.lineno,
+                        col=generator.iter.col_offset + 1,
+                        kind="set",
+                        detail=detail,
+                    )
+                )
+
+    def _set_origin(self, node: ast.AST) -> Optional[str]:
+        """Describe ``node`` if it evaluates to an unordered set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set display"
+        if isinstance(node, ast.Call):
+            resolved = self.resolve(node.func) or ""
+            if resolved in ("set", "frozenset"):
+                return f"{resolved}()"
+        if isinstance(node, ast.Name):
+            origin = self._frames[-1].origins.get(node.id)
+            if origin in ("set", "frozenset"):
+                return f"{origin}() (via {node.id!r})"
+        return None
+
+    # -- symbol references ---------------------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if not isinstance(node.ctx, ast.Load) or len(self._frames) == 1:
+            return
+        frame = self._frames[-1]
+        name = node.id
+        if name in frame.local_names or name in frame.seen_refs:
+            return
+        resolved = None
+        if name in self.summary.module_unpicklables:
+            resolved = self._qualify(name)
+        elif name in self.summary.from_imports:
+            resolved = self.summary.from_imports[name]
+        if resolved is None:
+            return
+        frame.seen_refs.add(name)
+        frame.info.symbol_refs.append(
+            SymbolRef(
+                name=resolved, lineno=node.lineno, col=node.col_offset + 1
+            )
+        )
+
+    # -- returns -------------------------------------------------------------
+    def visit_Return(self, node: ast.Return) -> None:
+        self.generic_visit(node)
+        if node.value is None or len(self._frames) == 1:
+            return
+        origin = self._origin(node.value)
+        if origin is not None:
+            self._frames[-1].info.returns.append(origin)
+
+
+def _accumulates(body: Sequence[ast.stmt]) -> bool:
+    """True when a loop body folds values into an accumulator.
+
+    The heuristic: an augmented assignment (``total += v``), a store
+    into a subscript (``out[k] = v``), or a mutating container method
+    (``results.append(v)``).  A loop that merely *reads* each element
+    (e.g. membership checks) is order-insensitive and not flagged.
+    """
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if any(isinstance(t, ast.Subscript) for t in targets):
+                    return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+            ):
+                return True
+    return False
+
+
+def _is_abstract(func: ast.AST) -> bool:
+    for decorator in getattr(func, "decorator_list", []):
+        name = (
+            decorator.id
+            if isinstance(decorator, ast.Name)
+            else getattr(decorator, "attr", "")
+        )
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def _value_class_name(node: ast.AST) -> Optional[str]:
+    """The class a registry value constructs: Name, lambda, or partial."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Lambda):
+        for inner in ast.walk(node.body):
+            if isinstance(inner, ast.Call):
+                func = inner.func
+                return (
+                    func.id if isinstance(func, ast.Name)
+                    else getattr(func, "attr", None)
+                )
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        func_name = (
+            func.id if isinstance(func, ast.Name)
+            else getattr(func, "attr", None)
+        )
+        if func_name == "partial" and node.args:
+            first = node.args[0]
+            return (
+                first.id if isinstance(first, ast.Name)
+                else getattr(first, "attr", None)
+            )
+        return func_name
+    return None
+
+
+def _mutable_kind(node: ast.AST, extractor: _Extractor) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        tail = (extractor.resolve(node.func) or "").rsplit(".", 1)[-1]
+        if tail in _MUTABLE_CALLS:
+            return tail
+    return None
+
+
+def _unpicklable_kind(node: ast.AST, extractor: _Extractor) -> Optional[str]:
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.Call):
+        resolved = extractor.resolve(node.func) or ""
+        return _UNPICKLABLE_CALLS.get(resolved)
+    return None
+
+
+def summarize_module(path: str, tree: ast.Module) -> ModuleSummary:
+    """Distil ``tree`` into the plain-data summary the model consumes."""
+    return _Extractor(path, tree).summary
+
+
+# ---------------------------------------------------------------------------
+# The model: module graph + symbol resolution + call graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Resolved:
+    """Where a dotted name landed: which module, which kind of symbol."""
+
+    path: str
+    module: str
+    kind: str  # "function" | "class" | "module" | "value"
+    name: str  # qualname within the module ("" for modules)
+
+
+class ProjectModel:
+    """Whole-program view stitched from per-module summaries."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]):
+        self.summaries: Dict[str, ModuleSummary] = {
+            s.path: s for s in summaries
+        }
+        self._by_module: Dict[str, str] = {}  # dotted name → path
+        for summary in summaries:
+            if summary.module:
+                self._by_module.setdefault(summary.module, summary.path)
+        self._method_index: Dict[str, List[Tuple[str, str]]] = {}
+        for summary in summaries:
+            for qualname in summary.functions:
+                tail = qualname.rsplit(".", 1)[-1]
+                self._method_index.setdefault(tail, []).append(
+                    (summary.path, qualname)
+                )
+        self._edges: Optional[Dict[str, Set[str]]] = None
+        self._reverse: Optional[Dict[str, Set[str]]] = None
+
+    # -- module graph --------------------------------------------------------
+    def find_module(self, dotted: str) -> Optional[str]:
+        """Path of the module ``dotted`` names, matching on suffixes."""
+        if dotted in self._by_module:
+            return self._by_module[dotted]
+        tail = "." + dotted
+        matches = sorted(
+            name for name in self._by_module if name.endswith(tail)
+        )
+        return self._by_module[matches[0]] if matches else None
+
+    def imported_paths(self, summary: ModuleSummary) -> Set[str]:
+        """Project paths this module's imports resolve to."""
+        found: Set[str] = set()
+        for target in summary.imports:
+            path = self.find_module(target)
+            if path is not None and path != summary.path:
+                found.add(path)
+        for origin in summary.from_imports.values():
+            resolved = self.resolve(origin)
+            if resolved is not None and resolved.path != summary.path:
+                found.add(resolved.path)
+        return found
+
+    def reverse_dependencies(self, paths: Sequence[str]) -> Set[str]:
+        """Every module that (transitively) imports one of ``paths``."""
+        if self._reverse is None:
+            reverse: Dict[str, Set[str]] = {}
+            for summary in self.summaries.values():
+                for imported in self.imported_paths(summary):
+                    reverse.setdefault(imported, set()).add(summary.path)
+            self._reverse = reverse
+        affected: Set[str] = set()
+        queue = [p for p in paths if p in self.summaries]
+        while queue:
+            current = queue.pop()
+            for dependant in self._reverse.get(current, ()):
+                if dependant not in affected:
+                    affected.add(dependant)
+                    queue.append(dependant)
+        return affected
+
+    # -- symbol resolution ----------------------------------------------------
+    def resolve(self, dotted: str, *, _depth: int = 0) -> Optional[Resolved]:
+        """Resolve ``dotted`` to a project symbol, chasing re-exports.
+
+        ``repro.exec.RunPlan`` resolves through ``exec/__init__.py``'s
+        ``from repro.exec.plan import RunPlan`` to the class in
+        ``plan.py``; bare names resolve only when qualified by the
+        caller (use :meth:`resolve_from`).
+        """
+        if not dotted or _depth > 8:
+            return None
+        direct = self.find_module(dotted)
+        if direct is not None:
+            summary = self.summaries[direct]
+            return Resolved(direct, summary.module, "module", "")
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            path = self.find_module(prefix)
+            if path is None:
+                continue
+            summary = self.summaries[path]
+            symbol = ".".join(parts[split:])
+            found = self._resolve_in(summary, symbol, _depth)
+            if found is not None:
+                return found
+        return None
+
+    def resolve_from(
+        self, summary: ModuleSummary, dotted: str
+    ) -> Optional[Resolved]:
+        """Resolve a name as written inside ``summary``'s module."""
+        if "." not in dotted:
+            found = self._resolve_in(summary, dotted, 0)
+            if found is not None:
+                return found
+        return self.resolve(dotted)
+
+    def _resolve_in(
+        self, summary: ModuleSummary, symbol: str, depth: int
+    ) -> Optional[Resolved]:
+        if symbol in summary.functions:
+            return Resolved(summary.path, summary.module, "function", symbol)
+        if symbol in summary.classes:
+            return Resolved(summary.path, summary.module, "class", symbol)
+        head, _, rest = symbol.partition(".")
+        if head in summary.classes and rest:
+            qualname = f"{head}.{rest}"
+            if qualname in summary.functions:
+                return Resolved(
+                    summary.path, summary.module, "function", qualname
+                )
+            return Resolved(summary.path, summary.module, "class", head)
+        if head in summary.from_imports:
+            origin = summary.from_imports[head]
+            target = origin + (f".{rest}" if rest else "")
+            return self.resolve(target, _depth=depth + 1)
+        if head in summary.module_mutables or \
+                head in summary.module_unpicklables:
+            return Resolved(summary.path, summary.module, "value", head)
+        return None
+
+    # -- call graph ------------------------------------------------------------
+    def _function_key(self, path: str, qualname: str) -> str:
+        return f"{path}::{qualname}"
+
+    def function(self, key: str) -> Optional[FunctionInfo]:
+        path, _, qualname = key.partition("::")
+        summary = self.summaries.get(path)
+        if summary is None:
+            return None
+        if qualname == "<module>":
+            return summary.module_frame
+        return summary.functions.get(qualname)
+
+    def call_edges(self) -> Dict[str, Set[str]]:
+        """Approximate call graph: function key → callee function keys."""
+        if self._edges is not None:
+            return self._edges
+        edges: Dict[str, Set[str]] = {}
+        for summary in self.summaries.values():
+            for info in summary.all_functions():
+                key = self._function_key(summary.path, info.qualname)
+                targets = edges.setdefault(key, set())
+                for fact in info.calls:
+                    if fact.callee is not None:
+                        resolved = self.resolve_from(summary, fact.callee)
+                        if resolved is not None and \
+                                resolved.kind == "function":
+                            targets.add(
+                                self._function_key(
+                                    resolved.path, resolved.name
+                                )
+                            )
+                        elif resolved is not None and resolved.kind == "class":
+                            init = f"{resolved.name}.__init__"
+                            target_summary = self.summaries[resolved.path]
+                            if init in target_summary.functions:
+                                targets.add(
+                                    self._function_key(resolved.path, init)
+                                )
+                    elif fact.attr and fact.attr not in _COMMON_METHODS:
+                        # Unresolved method call: over-approximate with
+                        # every same-named method in the project.
+                        for path, qualname in self._method_index.get(
+                            fact.attr, ()
+                        ):
+                            if "." in qualname:  # methods only
+                                targets.add(
+                                    self._function_key(path, qualname)
+                                )
+        self._edges = edges
+        return edges
+
+    def worker_roots(self, suffixes: Sequence[str]) -> Set[str]:
+        """Function keys acting as parallel-execution entry points.
+
+        A function is a root when its dotted name ends with one of
+        ``suffixes`` (the executor-side plan runner), when it is handed
+        to a pool (``submit``/``map``/``target=``), or when it is
+        registered as an engine's ``run_plan`` implementation.
+        """
+        roots: Set[str] = set()
+        for summary in self.summaries.values():
+            for info in summary.functions.values():
+                full = (
+                    f"{summary.module}.{info.qualname}"
+                    if summary.module else info.qualname
+                )
+                if any(
+                    full == suffix or full.endswith("." + suffix)
+                    for suffix in suffixes
+                ):
+                    roots.add(self._function_key(summary.path, info.qualname))
+            for ref in summary.roots:
+                resolved = self.resolve_from(summary, ref)
+                if resolved is not None and resolved.kind == "function":
+                    roots.add(
+                        self._function_key(resolved.path, resolved.name)
+                    )
+        return roots
+
+    def reachable(self, roots: Set[str]) -> Set[str]:
+        """Function keys reachable from ``roots`` over the call graph."""
+        edges = self.call_edges()
+        seen: Set[str] = set()
+        queue = [root for root in roots if root in edges]
+        seen.update(queue)
+        while queue:
+            current = queue.pop()
+            for target in edges.get(current, ()):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen

@@ -4,9 +4,10 @@ Two kinds of rule exist:
 
 * :class:`Rule` — file-scoped, fed individual AST nodes during the
   engine's single pass over each module;
-* :class:`ProjectRule` — cross-module, handed every parsed module at
-  once (e.g. RL006's policy-protocol check, which must see both
-  ``cache/base.py`` and ``cache/registry.py``).
+* :class:`ProjectRule` — cross-module, handed the whole-program
+  :class:`~repro.lint.project.ProjectModel` (e.g. RL006's
+  policy-protocol check, which must see both ``cache/base.py`` and
+  ``cache/registry.py``, or RL010's RNG-provenance dataflow).
 
 Rules self-register via the :func:`register` decorator; importing
 :mod:`repro.lint.rules` populates the registry.
@@ -15,7 +16,7 @@ Rules self-register via the :func:`register` decorator; importing
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Tuple, Type, Union
+from typing import Iterable, Iterator, List, Tuple, Type, Union
 
 from repro.lint.diagnostics import Diagnostic
 
@@ -54,18 +55,22 @@ class Rule:
 
 
 class ProjectRule:
-    """A cross-module check run once over the whole linted file set."""
+    """A cross-module check run once over the whole linted file set.
+
+    ``check_project`` receives a
+    :class:`~repro.lint.project.ProjectModel` built from every linted
+    module's summary — plain data, so the engine can serve it from the
+    incremental cache without re-parsing anything.  Diagnostics from a
+    ``scoped`` project rule are filtered to ``config.scope`` (and the
+    per-rule allowlist) by the engine, keyed on each diagnostic's path.
+    """
 
     code: str = "RL000"
     name: str = "abstract"
     rationale: str = ""
     scoped: bool = False
 
-    def check_project(
-        self,
-        modules: Dict[str, ast.Module],
-        config,
-    ) -> Iterator[Diagnostic]:
+    def check_project(self, model, config) -> Iterator[Diagnostic]:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from repro.lint.rules import (  # noqa: F401
     api,
+    dataflow,
     determinism,
+    hygiene,
+    parallel,
     plans,
     protocol,
     robustness,

@@ -1,0 +1,184 @@
+"""Cross-module dataflow rules: RL010 RNG provenance, RL013 order folds.
+
+RL010 is a taint-style provenance check over the project model: every
+``random.Random`` / ``numpy.random`` generator that *flows into* code
+defined in this project must originate from the seeded-stream
+discipline (``RandomStreams`` / ``derive_seed``).  Unlike RL002 —
+which flags the unmanaged construction site itself — RL010 follows the
+value: through local variables, through function returns (a helper
+returning ``numpy.random.default_rng(...)`` taints every caller, across
+modules and re-exports), and into the call that hands it to simulation
+code.
+
+RL013 flags iteration whose order the platform, not the seed, decides:
+unsorted filesystem listings (``os.listdir``, ``glob.glob``,
+``Path.iterdir``/``glob``/``rglob``) and folds over ``set`` values.
+Aggregates, manifests, and JSON output built from such iteration differ
+between machines with identical seeds — the exact failure mode the
+byte-identity gates exist to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleSummary, ProjectModel
+from repro.lint.registry import ProjectRule, register
+
+#: Constructors whose result is an RNG outside the stream discipline.
+TAINTED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+#: Origin markers proving a value came from the seeded-stream gateway.
+_BLESSED_MARKERS = ("RandomStreams", "derive_seed", "build_streams")
+_BLESSED_TAILS = (".stream", ".fork")
+
+
+def _is_blessed(origin: str) -> bool:
+    base = origin[:-len("[...]")] if origin.endswith("[...]") else origin
+    return any(marker in base for marker in _BLESSED_MARKERS) or \
+        base.endswith(_BLESSED_TAILS)
+
+
+@register
+class RngProvenanceRule(ProjectRule):
+    """RL010 — every RNG reaching project code is stream-derived."""
+
+    code = "RL010"
+    name = "rng-provenance"
+    rationale = (
+        "an RNG minted outside RandomStreams/derive_seed and passed "
+        "into simulation code decouples results from the experiment "
+        "seed, across any number of module boundaries"
+    )
+    scoped = True
+
+    def check_project(
+        self,
+        model: ProjectModel,
+        config,
+    ) -> Iterator[Diagnostic]:
+        producers = self._tainted_producers(model)
+        for path in sorted(model.summaries):
+            summary = model.summaries[path]
+            for info in summary.all_functions():
+                for fact in info.calls:
+                    if fact.callee is None:
+                        continue
+                    callee = model.resolve_from(summary, fact.callee)
+                    if callee is None or callee.kind not in (
+                        "function", "class"
+                    ):
+                        continue
+                    if _is_blessed(fact.callee):
+                        continue
+                    for origin in fact.arg_origins:
+                        if origin is None:
+                            continue
+                        if not self._is_tainted(
+                            model, summary, origin, producers
+                        ):
+                            continue
+                        display = origin[:-len("[...]")] \
+                            if origin.endswith("[...]") else origin
+                        yield Diagnostic(
+                            path,
+                            fact.lineno,
+                            fact.col,
+                            self.code,
+                            f"RNG from {display}() flows into "
+                            f"{fact.callee}() without RandomStreams/"
+                            "derive_seed provenance; draw generators "
+                            "from the seeded stream factory so results "
+                            "stay coupled to the experiment seed",
+                        )
+                        break  # one diagnostic per call site
+
+    def _tainted_producers(self, model: ProjectModel) -> Set[str]:
+        """Function keys returning an unmanaged RNG, to a fixpoint.
+
+        Round one marks direct constructors (``return default_rng(7)``);
+        later rounds propagate through wrappers that return a tainted
+        producer's result, across modules.
+        """
+        producers: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for path in sorted(model.summaries):
+                summary = model.summaries[path]
+                for qualname, info in summary.functions.items():
+                    key = f"{path}::{qualname}"
+                    if key in producers:
+                        continue
+                    for origin in info.returns:
+                        if self._is_tainted(
+                            model, summary, origin, producers
+                        ):
+                            producers.add(key)
+                            changed = True
+                            break
+        return producers
+
+    def _is_tainted(
+        self,
+        model: ProjectModel,
+        summary: ModuleSummary,
+        origin: str,
+        producers: Set[str],
+    ) -> bool:
+        base = origin[:-len("[...]")] if origin.endswith("[...]") else origin
+        if base in TAINTED_CONSTRUCTORS:
+            return True
+        if _is_blessed(base):
+            return False
+        resolved = model.resolve_from(summary, base)
+        if resolved is not None and resolved.kind == "function":
+            return f"{resolved.path}::{resolved.name}" in producers
+        return False
+
+
+@register
+class UnorderedFoldRule(ProjectRule):
+    """RL013 — no platform-ordered iteration feeding results."""
+
+    code = "RL013"
+    name = "unordered-fold"
+    rationale = (
+        "filesystem listing order and set iteration order are decided "
+        "by the OS and the hash seed, not the experiment seed; folding "
+        "them into aggregates, manifests, or JSON output breaks "
+        "byte-identity between identically-seeded runs"
+    )
+    scoped = True
+
+    def check_project(
+        self,
+        model: ProjectModel,
+        config,
+    ) -> Iterator[Diagnostic]:
+        for path in sorted(model.summaries):
+            for hazard in model.summaries[path].order_hazards:
+                if hazard.kind == "listing":
+                    message = (
+                        f"unsorted filesystem listing {hazard.detail} "
+                        "yields OS-dependent order; wrap it in sorted() "
+                        "before it feeds a fold, manifest, or JSON output"
+                    )
+                else:
+                    message = (
+                        f"iterating {hazard.detail} folds results in "
+                        "nondeterministic set order; sort the elements "
+                        "before accumulating"
+                    )
+                yield Diagnostic(
+                    path, hazard.lineno, hazard.col, self.code, message
+                )

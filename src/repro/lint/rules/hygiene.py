@@ -1,0 +1,45 @@
+"""RL014 — dead ``# repro: noqa[...]`` suppressions.
+
+A suppression that no longer suppresses anything is worse than noise:
+it advertises a hazard that is not there, and it silently re-arms if
+the code around it changes.  The check itself lives in the engine
+(:func:`repro.lint.engine.lint_paths`), because deciding whether a
+suppression fires requires the complete pre-suppression diagnostic set
+— file rules *and* cross-module rules — plus the per-line noqa table.
+This class carries the rule's identity for the registry: the catalogue
+(``--list-rules``), the ``enabled`` table, and per-rule allowlists.
+
+RL014 diagnostics are deliberately *not* themselves suppressible with
+``# repro: noqa[RL014]`` — the fix for a dead suppression is deleting
+the comment, and a self-referential suppression would always be alive.
+Use the config allowlist for a file that must keep speculative noqas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ProjectModel
+from repro.lint.registry import ProjectRule, register
+
+
+@register
+class DeadNoqaRule(ProjectRule):
+    """RL014 — every ``# repro: noqa`` must suppress a live finding."""
+
+    code = "RL014"
+    name = "dead-noqa"
+    rationale = (
+        "a noqa comment whose codes never fire hides nothing today and "
+        "hides a real regression tomorrow; suppressions must stay "
+        "tied to a live finding"
+    )
+    scoped = False
+
+    #: Marker consulted by the engine: the diagnostics are produced
+    #: there, after the full pre-suppression set is known.
+    engine_implemented = True
+
+    def check_project(self, model: ProjectModel, config) -> Iterator[Diagnostic]:
+        return iter(())

@@ -1,0 +1,118 @@
+"""Parallel-safety rules: RL011 shared module state, RL012 captures.
+
+The exec layer's contract (``docs/ARCHITECTURE.md``) is that
+``ParallelExecutor`` is a pure wall-clock optimisation — byte-identical
+to the serial run.  That holds only if the code a worker executes
+neither mutates module-level state (each process would fold its own
+divergent copy) nor leans on module-level values that cannot cross a
+process boundary.  These rules generalise the file-local RL007 into a
+whole-program race detector: starting from the executor-side entry
+points, they walk the approximate call graph and inspect everything a
+worker can reach.
+
+Entry points ("worker roots") are found three ways:
+
+* the executor-side plan runner itself (``exec.run.execute_plan``);
+* callables handed to a pool (``submit``/``map``/``target=``);
+* callables registered as an engine's ``run_plan=`` implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ProjectModel
+from repro.lint.registry import ProjectRule, register
+
+#: Dotted-name suffixes that mark a function as an executor-side root.
+ROOT_SUFFIXES: Tuple[str, ...] = ("exec.run.execute_plan",)
+
+
+def _reachable(model: ProjectModel):
+    """(function key, summary, info) for every worker-reachable function."""
+    roots = model.worker_roots(ROOT_SUFFIXES)
+    keys = model.reachable(roots) | roots
+    for key in sorted(keys):
+        info = model.function(key)
+        if info is None:
+            continue
+        path = key.partition("::")[0]
+        yield key, model.summaries[path], info
+
+
+@register
+class ParallelStateRule(ProjectRule):
+    """RL011 — worker-reachable code must not write module-level state."""
+
+    code = "RL011"
+    name = "parallel-shared-state"
+    rationale = (
+        "a function reachable from ParallelExecutor that mutates "
+        "module-level state diverges silently the moment a sweep runs "
+        "with jobs > 1: each worker process folds its own copy"
+    )
+    scoped = True
+
+    def check_project(
+        self,
+        model: ProjectModel,
+        config,
+    ) -> Iterator[Diagnostic]:
+        for _key, summary, info in _reachable(model):
+            for write in info.state_writes:
+                if write.how != "global-assign":
+                    resolved = model.resolve_from(summary, write.name)
+                    if resolved is None or resolved.kind != "value":
+                        continue
+                yield Diagnostic(
+                    summary.path,
+                    write.lineno,
+                    write.col,
+                    self.code,
+                    f"{info.qualname}() is reachable from the parallel "
+                    f"executor and writes module-level state "
+                    f"({write.name}, {write.how}); workers must not "
+                    "share mutable module state — thread it through the "
+                    "plan or keep it per-call",
+                )
+
+
+@register
+class ParallelCaptureRule(ProjectRule):
+    """RL012 — worker-reachable code must not capture unpicklable values."""
+
+    code = "RL012"
+    name = "parallel-unpicklable-capture"
+    rationale = (
+        "a worker-reachable function leaning on a module-level lock, "
+        "open handle, or lambda breaks (or silently diverges) when the "
+        "executor ships it to another process — the value cannot cross "
+        "the boundary, generalising the plan-field check RL007"
+    )
+    scoped = True
+
+    def check_project(
+        self,
+        model: ProjectModel,
+        config,
+    ) -> Iterator[Diagnostic]:
+        for _key, summary, info in _reachable(model):
+            for ref in info.symbol_refs:
+                resolved = model.resolve_from(summary, ref.name)
+                if resolved is None or resolved.kind != "value":
+                    continue
+                target = model.summaries[resolved.path]
+                kind = target.module_unpicklables.get(resolved.name)
+                if kind is None:
+                    continue
+                yield Diagnostic(
+                    summary.path,
+                    ref.lineno,
+                    ref.col,
+                    self.code,
+                    f"{info.qualname}() is reachable from the parallel "
+                    f"executor and captures {kind} ({ref.name}) defined "
+                    "at module level; it cannot cross a process "
+                    "boundary — construct it inside the call",
+                )

@@ -4,120 +4,22 @@ The engines drive policies through the abstract protocol declared in
 ``cache/base.py`` (``lookup``/``admit``/``discard``/...).  A policy
 that reaches the registry with a method missing fails *at runtime*,
 deep inside a long simulation — or worse, inherits a sibling's
-behaviour silently.  This cross-module rule statically visits both
-``cache/base.py`` and ``cache/registry.py``, resolves each registered
-class (following the registry's imports to sibling modules when
-needed), and compares method sets across the inheritance chain.
+behaviour silently.  This cross-module rule consumes the
+:class:`~repro.lint.project.ProjectModel`: registry entries and class
+shapes come from the per-module summaries (so a warm cached run needs
+no re-parse), and a class the linted file set never saw is resolved by
+following the registry's own imports to the sibling file on disk.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ClassInfo, ProjectModel, summarize_module
 from repro.lint.registry import ProjectRule, register
-
-#: Module-level dict names treated as policy registries.
-_REGISTRY_NAMES = frozenset(
-    {"_FACTORIES", "FACTORIES", "_REGISTRY", "REGISTRY", "_POLICIES", "POLICIES"}
-)
-
-
-@dataclass
-class _ClassInfo:
-    """Statically extracted shape of one class definition."""
-
-    name: str
-    bases: List[str] = field(default_factory=list)
-    methods: Set[str] = field(default_factory=set)  # concrete defs
-    abstract: Set[str] = field(default_factory=set)  # @abstractmethod defs
-
-
-def _is_abstract(func: ast.AST) -> bool:
-    for decorator in getattr(func, "decorator_list", []):
-        name = (
-            decorator.id
-            if isinstance(decorator, ast.Name)
-            else getattr(decorator, "attr", "")
-        )
-        if name in ("abstractmethod", "abstractproperty"):
-            return True
-    return False
-
-
-def _base_name(node: ast.AST) -> Optional[str]:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
-
-
-def _classes_in(tree: ast.Module) -> Iterator[Tuple[_ClassInfo, ast.ClassDef]]:
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
-        info = _ClassInfo(name=node.name)
-        for base in node.bases:
-            name = _base_name(base)
-            if name:
-                info.bases.append(name)
-        for item in node.body:
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if _is_abstract(item):
-                    info.abstract.add(item.name)
-                else:
-                    info.methods.add(item.name)
-        yield info, node
-
-
-def _registered_policies(
-    tree: ast.Module,
-) -> Iterator[Tuple[str, str, ast.AST]]:
-    """(registry key, class name, value node) for each registry entry."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-            value = node.value
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-            value = node.value
-        else:
-            continue
-        names = {
-            target.id for target in targets if isinstance(target, ast.Name)
-        }
-        if not (names & _REGISTRY_NAMES) or not isinstance(value, ast.Dict):
-            continue
-        for key_node, value_node in zip(value.keys, value.values):
-            key = (
-                key_node.value
-                if isinstance(key_node, ast.Constant)
-                else "<dynamic>"
-            )
-            class_name = _value_class_name(value_node)
-            if class_name:
-                yield str(key), class_name, value_node
-
-
-def _value_class_name(node: ast.AST) -> Optional[str]:
-    """The class a registry value constructs: Name, lambda, or partial."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Lambda):
-        for inner in ast.walk(node.body):
-            if isinstance(inner, ast.Call):
-                return _base_name(inner.func)
-        return None
-    if isinstance(node, ast.Call):
-        func_name = _base_name(node.func)
-        if func_name == "partial" and node.args:
-            return _base_name(node.args[0])
-        return func_name
-    return None
 
 
 @register
@@ -135,37 +37,37 @@ class PolicyProtocolRule(ProjectRule):
 
     def check_project(
         self,
-        modules: Dict[str, ast.Module],
+        model: ProjectModel,
         config,
     ) -> Iterator[Diagnostic]:
-        base_path = _find(modules, "cache/base.py")
-        registry_path = _find(modules, "cache/registry.py")
+        base_path = _find(model, "cache/base.py")
+        registry_path = _find(model, "cache/registry.py")
         if base_path is None or registry_path is None:
             return  # cache package not part of this lint run
 
-        classes: Dict[str, _ClassInfo] = {}
+        classes: Dict[str, ClassInfo] = {}
         # Cache-package classes take precedence on name collisions, so
         # index the other modules first and let cache/* overwrite.
-        cache_paths = [p for p in modules if "cache/" in p or p == base_path]
-        for path in [*modules, *cache_paths]:
-            for info, _node in _classes_in(modules[path]):
-                classes[info.name] = info
+        paths = sorted(model.summaries)
+        cache_paths = [p for p in paths if "cache/" in p or p == base_path]
+        for path in [*paths, *cache_paths]:
+            classes.update(model.summaries[path].classes)
 
-        registry_tree = modules[registry_path]
-        for key, class_name, value_node in _registered_policies(registry_tree):
-            info = classes.get(class_name)
+        registry = model.summaries[registry_path]
+        for entry in registry.registry_entries:
+            info = classes.get(entry.class_name)
             if info is None:
                 info = _load_sibling_class(
-                    Path(registry_path), registry_tree, class_name, classes
+                    Path(registry_path), registry, entry.class_name, classes
                 )
             if info is None:
                 yield Diagnostic(
                     registry_path,
-                    value_node.lineno,
-                    value_node.col_offset + 1,
+                    entry.lineno,
+                    entry.col,
                     self.code,
-                    f"policy {key!r} maps to unresolvable class "
-                    f"{class_name!r}; cannot verify the CachePolicy "
+                    f"policy {entry.key!r} maps to unresolvable class "
+                    f"{entry.class_name!r}; cannot verify the CachePolicy "
                     "protocol",
                 )
                 continue
@@ -174,24 +76,25 @@ class PolicyProtocolRule(ProjectRule):
             if missing:
                 yield Diagnostic(
                     registry_path,
-                    value_node.lineno,
-                    value_node.col_offset + 1,
+                    entry.lineno,
+                    entry.col,
                     self.code,
-                    f"policy {key!r} ({class_name}) does not implement "
-                    f"required protocol method(s): {', '.join(missing)}",
+                    f"policy {entry.key!r} ({entry.class_name}) does not "
+                    "implement required protocol method(s): "
+                    f"{', '.join(missing)}",
                 )
 
 
-def _find(modules: Dict[str, ast.Module], suffix: str) -> Optional[str]:
-    for path in modules:
+def _find(model: ProjectModel, suffix: str) -> Optional[str]:
+    for path in sorted(model.summaries):
         if path.endswith(suffix):
             return path
     return None
 
 
 def _flatten(
-    info: _ClassInfo,
-    classes: Dict[str, _ClassInfo],
+    info: ClassInfo,
+    classes: Dict[str, ClassInfo],
 ) -> Tuple[Set[str], Set[str]]:
     """(abstract requirements, concrete implementations) over the MRO."""
     required: Set[str] = set()
@@ -214,33 +117,36 @@ def _flatten(
 
 def _load_sibling_class(
     registry_path: Path,
-    registry_tree: ast.Module,
+    registry,
     class_name: str,
-    classes: Dict[str, _ClassInfo],
-) -> Optional[_ClassInfo]:
+    classes: Dict[str, ClassInfo],
+) -> Optional[ClassInfo]:
     """Resolve ``class_name`` through the registry's own imports.
 
     When the linted file set did not include the defining module (e.g.
-    a single-file lint of registry.py), follow the ``from x import Y``
+    a single-file lint of registry.py), follow the ``from x import y``
     that brought the class in and parse the sibling file on demand.
     """
-    for node in ast.walk(registry_tree):
-        if not isinstance(node, ast.ImportFrom) or node.module is None:
-            continue
-        if not any(alias.name == class_name for alias in node.names):
-            continue
-        module_file = registry_path.parent / (
-            node.module.rsplit(".", 1)[-1] + ".py"
-        )
+    origins: List[str] = [
+        origin
+        for name, origin in registry.from_imports.items()
+        if name == class_name or origin.endswith("." + class_name)
+    ]
+    for origin in origins:
+        module_tail = origin.rsplit(".", 2)[-2] if "." in origin else origin
+        module_file = registry_path.parent / f"{module_tail}.py"
         if not module_file.is_file():
-            return None
+            continue
         try:
             tree = ast.parse(
-                module_file.read_text(encoding="utf-8"), filename=str(module_file)
+                module_file.read_text(encoding="utf-8"),
+                filename=str(module_file),
             )
         except (OSError, SyntaxError):
-            return None
-        for info, _node in _classes_in(tree):
-            classes.setdefault(info.name, info)
-        return classes.get(class_name)
+            continue
+        sibling = summarize_module(str(module_file), tree)
+        for name, info in sibling.classes.items():
+            classes.setdefault(name, info)
+        if class_name in sibling.classes:
+            return classes.get(class_name)
     return None

@@ -124,10 +124,14 @@ class TestLintCLI:
 
     def test_exit_zero_on_clean_tree(self, tree, capsys):
         clean = tree / "src" / "repro" / "clean.py"
-        assert lint_cli.main([str(clean)]) == lint_cli.EXIT_CLEAN
+        assert lint_cli.main(
+            ["--no-cache", str(clean)]
+        ) == lint_cli.EXIT_CLEAN
 
     def test_exit_one_on_findings(self, tree, capsys):
-        assert lint_cli.main([str(tree / "src")]) == lint_cli.EXIT_FINDINGS
+        assert lint_cli.main(
+            ["--no-cache", str(tree / "src")]
+        ) == lint_cli.EXIT_FINDINGS
         out = capsys.readouterr().out
         assert "RL002" in out
         # The canonical file:line:col CODE diagnostic shape.
@@ -151,7 +155,7 @@ class TestLintCLI:
 
     def test_json_format_is_machine_readable(self, tree, capsys):
         assert lint_cli.main(
-            ["--format", "json", str(tree / "src")]
+            ["--no-cache", "--format", "json", str(tree / "src")]
         ) == lint_cli.EXIT_FINDINGS
         document = json.loads(capsys.readouterr().out)
         assert document["count"] == 1
@@ -159,6 +163,30 @@ class TestLintCLI:
         assert finding["code"] == "RL002"
         assert finding["path"].endswith("dirty.py")
         assert (finding["line"], finding["col"]) == (1, 1)
+
+    def test_sarif_format_is_a_2_1_0_log(self, tree, capsys):
+        assert lint_cli.main(
+            ["--no-cache", "--format", "sarif", str(tree / "src")]
+        ) == lint_cli.EXIT_FINDINGS
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        results = document["runs"][0]["results"]
+        assert results[0]["ruleId"] == "RL002"
+        assert results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"].endswith("dirty.py")
+
+    def test_cache_dir_flag_and_stats(self, tree, tmp_path, capsys):
+        cache = tmp_path / "lint-cache"
+        args = ["--cache-dir", str(cache), "--stats", str(tree / "src")]
+        assert lint_cli.main(args) == lint_cli.EXIT_FINDINGS
+        cold = capsys.readouterr().err
+        assert "cache-hits=0" in cold
+        assert (cache / "cache.json").is_file()
+        assert lint_cli.main(args) == lint_cli.EXIT_FINDINGS
+        warm = capsys.readouterr().err
+        assert "parsed=0" in warm
+        assert "cross-module: cached" in warm
 
     def test_help_documents_exit_codes(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -171,5 +199,9 @@ class TestLintCLI:
     def test_list_rules_covers_catalogue(self, capsys):
         assert lint_cli.main(["--list-rules"]) == lint_cli.EXIT_CLEAN
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for code in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL010", "RL011", "RL012", "RL013",
+            "RL014",
+        ):
             assert code in out

@@ -1,0 +1,193 @@
+"""The incremental cache: correctness first, then the speed contract.
+
+The cache must be invisible — a warm run returns byte-identical
+diagnostics to a cold run — while doing strictly less work: zero
+re-parsing on an unchanged tree, and only the edited file plus its
+transitive reverse dependencies re-entering the cross-module phase
+after an edit.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, LintStats, lint_paths
+from repro.lint.engine import LintCache
+
+FILES = {
+    "src/repro/a.py": """
+        def helper():
+            return 1
+    """,
+    "src/repro/b.py": """
+        from repro.a import helper
+
+
+        def mid():
+            return helper()
+    """,
+    "src/repro/c.py": """
+        from repro.b import mid
+
+
+        def top():
+            return mid()
+    """,
+    "src/repro/lone.py": """
+        def isolated():
+            return 42
+    """,
+    "src/repro/dirty.py": """
+        import random
+
+        r = random.Random()
+    """,
+}
+
+
+def make_tree(tmp_path: Path, files=FILES) -> Path:
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def lint(root: Path, cache_dir: Path, config=None):
+    config = config or LintConfig(scope="src/repro")
+    stats = LintStats()
+    diagnostics = lint_paths(
+        [root], config, cache_dir=cache_dir, stats=stats
+    )
+    return diagnostics, stats
+
+
+class TestWarmRuns:
+    def test_warm_run_parses_nothing(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        _, cold = lint(root, cache)
+        assert cold.parsed == len(FILES)
+        assert cold.cache_hits == 0
+        assert not cold.project_from_cache
+
+        _, warm = lint(root, cache)
+        assert warm.parsed == 0
+        assert warm.cache_hits == len(FILES)
+        assert warm.project_from_cache
+
+    def test_warm_diagnostics_are_byte_identical(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        cold_diags, _ = lint(root, cache)
+        warm_diags, _ = lint(root, cache)
+        assert cold_diags  # dirty.py guarantees at least one finding
+        assert warm_diags == cold_diags
+        cold_json = json.dumps([d.to_dict() for d in cold_diags])
+        warm_json = json.dumps([d.to_dict() for d in warm_diags])
+        assert cold_json == warm_json
+
+    def test_uncached_runs_match_cached_runs(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        plain = lint_paths([root], LintConfig(scope="src/repro"))
+        cached, _ = lint(root, tmp_path / "cache")
+        assert plain == cached
+
+
+class TestInvalidation:
+    def test_edit_reanalyzes_file_and_reverse_deps(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        lint(root, cache)
+
+        target = root / "src/repro/a.py"
+        target.write_text(
+            "def helper():\n    return 2\n", encoding="utf-8"
+        )
+        _, stats = lint(root, cache)
+        assert stats.parsed == 1
+        assert stats.cache_hits == len(FILES) - 1
+        assert not stats.project_from_cache
+        reanalyzed = {Path(p).name for p in stats.reanalyzed}
+        # The edited module plus everything that transitively imports it.
+        assert {"a.py", "b.py", "c.py"} <= reanalyzed
+        assert "lone.py" not in reanalyzed
+
+    def test_edit_changes_diagnostics(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        before, _ = lint(root, cache)
+
+        target = root / "src/repro/lone.py"
+        target.write_text(
+            "import time\n\n\ndef isolated():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        after, _ = lint(root, cache)
+        new_codes = [d.code for d in after if d.path.endswith("lone.py")]
+        assert new_codes == ["RL001"]
+        assert len(after) == len(before) + 1
+
+    def test_config_change_invalidates_everything(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        lint(root, cache)
+        _, stats = lint(
+            root, cache, config=LintConfig(scope="src/repro", enabled=("RL002",))
+        )
+        assert stats.parsed == len(FILES)
+        assert stats.cache_hits == 0
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        cold, _ = lint(root, cache)
+        (cache / LintCache.FILENAME).write_text(
+            "{not json", encoding="utf-8"
+        )
+        recovered, stats = lint(root, cache)
+        assert recovered == cold
+        assert stats.parsed == len(FILES)
+
+    def test_noqa_edit_invalidates_suppression(self, tmp_path):
+        files = dict(FILES)
+        files["src/repro/dirty.py"] = """
+            import random  # repro: noqa[RL002]
+
+            r = random.Random()  # repro: noqa[RL002]
+        """
+        root = make_tree(tmp_path / "tree", files)
+        cache = tmp_path / "cache"
+        before, _ = lint(root, cache)
+        assert "RL002" not in {d.code for d in before}
+
+        target = root / "src/repro/dirty.py"
+        target.write_text(
+            "import random\n\nr = random.Random()\n", encoding="utf-8"
+        )
+        after, _ = lint(root, cache)
+        assert "RL002" in {d.code for d in after}
+
+
+class TestCacheHygiene:
+    def test_cache_entries_for_deleted_files_are_pruned(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        cache = tmp_path / "cache"
+        lint(root, cache)
+        (root / "src/repro/lone.py").unlink()
+        lint(root, cache)
+        document = json.loads(
+            (cache / LintCache.FILENAME).read_text(encoding="utf-8")
+        )
+        assert not any("lone.py" in key for key in document["files"])
+
+    def test_cache_directory_is_never_linted(self, tmp_path):
+        root = make_tree(tmp_path / "tree")
+        # A cache living *inside* the linted tree must not be collected
+        # even though `.py` is absent — guard the directory wholesale.
+        cache = root / ".repro-lint-cache"
+        first, _ = lint(root, cache)
+        second, _ = lint(root, cache)
+        assert first == second

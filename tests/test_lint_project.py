@@ -1,0 +1,462 @@
+"""Whole-program analysis: the project model and rules RL010-RL014.
+
+Each rule gets the ISSUE-mandated trio — a seeded bug that must fire,
+a clean variant that must not, and a suppression check — exercised
+through ``lint_paths`` over a temporary package tree so the
+cross-module machinery (module graph, re-export resolution, call-graph
+reachability) is what is actually under test.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import (
+    LintConfig,
+    ProjectModel,
+    lint_paths,
+    summarize_module,
+    to_sarif,
+)
+from repro.lint.project import module_name_for
+
+
+def make_tree(tmp_path: Path, files: dict) -> Path:
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def run(tmp_path: Path, files: dict, enabled=None) -> list:
+    root = make_tree(tmp_path, files)
+    config = LintConfig(scope="src/repro", enabled=enabled)
+    return lint_paths([root], config)
+
+
+def codes(diagnostics) -> list:
+    return [d.code for d in diagnostics]
+
+
+def model_for(files: dict) -> ProjectModel:
+    summaries = [
+        summarize_module(path, ast.parse(textwrap.dedent(source)))
+        for path, source in files.items()
+    ]
+    return ProjectModel(summaries)
+
+
+class TestModuleNames:
+    def test_src_layout_is_stripped(self):
+        assert module_name_for("src/repro/exec/run.py") == "repro.exec.run"
+
+    def test_absolute_prefixes_are_harmless(self):
+        name = module_name_for("/tmp/x/src/repro/sim/rng.py")
+        assert name == "repro.sim.rng"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/exec/__init__.py") == "repro.exec"
+
+
+class TestProjectModel:
+    def test_find_module_matches_dotted_suffix(self):
+        model = model_for({"src/repro/sim/rng.py": "x = 1\n"})
+        assert model.find_module("repro.sim.rng") == "src/repro/sim/rng.py"
+        assert model.find_module("sim.rng") == "src/repro/sim/rng.py"
+        assert model.find_module("nowhere.rng") is None
+
+    def test_resolution_chases_reexport_chain(self):
+        model = model_for(
+            {
+                "src/repro/exec/plan.py": "class RunPlan:\n    pass\n",
+                "src/repro/exec/__init__.py": (
+                    "from repro.exec.plan import RunPlan\n"
+                ),
+                "src/repro/top.py": "from repro.exec import RunPlan\n",
+            }
+        )
+        resolved = model.resolve("repro.exec.RunPlan")
+        assert resolved is not None
+        assert resolved.kind == "class"
+        assert resolved.path == "src/repro/exec/plan.py"
+        summary = model.summaries["src/repro/top.py"]
+        via_import = model.resolve_from(summary, "RunPlan")
+        assert via_import is not None
+        assert via_import.path == "src/repro/exec/plan.py"
+
+    def test_reverse_dependencies_are_transitive(self):
+        model = model_for(
+            {
+                "src/repro/a.py": "def helper():\n    return 1\n",
+                "src/repro/b.py": (
+                    "from repro.a import helper\n"
+                    "def mid():\n    return helper()\n"
+                ),
+                "src/repro/c.py": (
+                    "from repro.b import mid\n"
+                    "def top():\n    return mid()\n"
+                ),
+                "src/repro/lone.py": "x = 3\n",
+            }
+        )
+        affected = model.reverse_dependencies(["src/repro/a.py"])
+        assert affected == {"src/repro/b.py", "src/repro/c.py"}
+
+    def test_reachability_crosses_module_boundaries(self):
+        model = model_for(
+            {
+                "src/repro/exec/run.py": (
+                    "from repro.work import step\n"
+                    "def execute_plan(plan):\n"
+                    "    return step(plan)\n"
+                ),
+                "src/repro/work.py": (
+                    "def step(plan):\n    return inner(plan)\n"
+                    "def inner(plan):\n    return plan\n"
+                    "def unrelated():\n    return 0\n"
+                ),
+            }
+        )
+        roots = model.worker_roots(("exec.run.execute_plan",))
+        assert roots == {"src/repro/exec/run.py::execute_plan"}
+        reached = model.reachable(roots)
+        assert "src/repro/work.py::step" in reached
+        assert "src/repro/work.py::inner" in reached
+        assert "src/repro/work.py::unrelated" not in reached
+
+
+class TestRngProvenance:
+    """RL010: unmanaged generators flowing into project code."""
+
+    BUG = {
+        "src/repro/helpers.py": """
+            import numpy
+
+
+            def make_rng(seed):
+                return numpy.random.default_rng(seed)
+        """,
+        "src/repro/sim.py": """
+            from repro.helpers import make_rng
+
+
+            def simulate(rng):
+                return rng.random()
+
+
+            def drive():
+                rng = make_rng(7)
+                return simulate(rng)
+        """,
+    }
+
+    def test_cross_module_taint_fires(self, tmp_path):
+        diagnostics = run(tmp_path, self.BUG, enabled=("RL010",))
+        assert codes(diagnostics) == ["RL010"]
+        assert diagnostics[0].path.endswith("src/repro/sim.py")
+        assert "make_rng" in diagnostics[0].message
+
+    def test_stream_derived_rng_is_clean(self, tmp_path):
+        files = {
+            "src/repro/sim.py": """
+                from repro.rngmod import RandomStreams
+
+
+                def simulate(rng):
+                    return rng.random()
+
+
+                def drive(streams: RandomStreams):
+                    rng = streams.stream("clients")
+                    return simulate(rng)
+            """,
+            "src/repro/rngmod.py": """
+                class RandomStreams:
+                    def stream(self, name):
+                        return name
+            """,
+        }
+        assert run(tmp_path, files, enabled=("RL010",)) == []
+
+    def test_noqa_suppresses_the_call_site(self, tmp_path):
+        files = dict(self.BUG)
+        files["src/repro/sim.py"] = files["src/repro/sim.py"].replace(
+            "return simulate(rng)",
+            "return simulate(rng)  # repro: noqa[RL010]",
+        )
+        assert run(tmp_path, files, enabled=("RL010",)) == []
+
+    def test_out_of_scope_tree_is_ignored(self, tmp_path):
+        files = {
+            f"experiments/{p.split('/')[-1]}": s for p, s in self.BUG.items()
+        }
+        root = make_tree(tmp_path, files)
+        config = LintConfig(scope="src/repro", enabled=("RL010",))
+        assert lint_paths([root], config) == []
+
+
+class TestParallelSafety:
+    """RL011/RL012: what pool-reachable code may not touch."""
+
+    BUG = {
+        "src/repro/workers.py": """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            _CACHE = {}
+            _LOCK = threading.Lock()
+
+
+            def work(plan):
+                _CACHE[plan] = 1
+                with _LOCK:
+                    pass
+                return plan
+
+
+            def launch(plans):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, plans))
+        """,
+    }
+
+    def test_pool_mapped_worker_is_flagged(self, tmp_path):
+        diagnostics = run(
+            tmp_path, self.BUG, enabled=("RL011", "RL012")
+        )
+        assert codes(diagnostics) == ["RL011", "RL012"]
+        assert "_CACHE" in diagnostics[0].message
+        assert "_LOCK" in diagnostics[1].message
+
+    def test_executor_suffix_root_is_discovered(self, tmp_path):
+        files = {
+            "src/repro/exec/run.py": """
+                from repro.state import bump
+
+
+                def execute_plan(plan):
+                    return bump(plan)
+            """,
+            "src/repro/state.py": """
+                _COUNTS = {}
+
+
+                def bump(plan):
+                    _COUNTS[plan] = _COUNTS.get(plan, 0) + 1
+                    return _COUNTS[plan]
+            """,
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL011",))
+        assert codes(diagnostics) == ["RL011"]
+        assert diagnostics[0].path.endswith("src/repro/state.py")
+
+    def test_per_call_state_is_clean(self, tmp_path):
+        files = {
+            "src/repro/workers.py": """
+                import threading
+                from concurrent.futures import ProcessPoolExecutor
+
+
+                def work(plan):
+                    cache = {}
+                    cache[plan] = 1
+                    lock = threading.Lock()
+                    with lock:
+                        pass
+                    return plan
+
+
+                def launch(plans):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(work, plans))
+            """,
+        }
+        assert run(tmp_path, files, enabled=("RL011", "RL012")) == []
+
+    def test_unreachable_mutation_is_clean(self, tmp_path):
+        files = {
+            "src/repro/tooling.py": """
+                _SEEN = []
+
+
+                def record(item):
+                    _SEEN.append(item)
+            """,
+        }
+        assert run(tmp_path, files, enabled=("RL011", "RL012")) == []
+
+    def test_noqa_suppresses_both(self, tmp_path):
+        files = dict(self.BUG)
+        files["src/repro/workers.py"] = (
+            files["src/repro/workers.py"]
+            .replace("_CACHE[plan] = 1", "_CACHE[plan] = 1  # repro: noqa[RL011]")
+            .replace("with _LOCK:", "with _LOCK:  # repro: noqa[RL012]")
+        )
+        assert run(tmp_path, files, enabled=("RL011", "RL012")) == []
+
+
+class TestUnorderedFolds:
+    """RL013: platform-ordered iteration feeding results."""
+
+    def test_unsorted_glob_into_manifest_is_flagged(self, tmp_path):
+        files = {
+            "src/repro/manifest.py": """
+                import glob
+                import json
+
+
+                def build_manifest():
+                    files = glob.glob("results/*.json")
+                    return json.dumps(files)
+            """,
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL013",))
+        assert codes(diagnostics) == ["RL013"]
+        assert "glob.glob" in diagnostics[0].message
+
+    def test_set_fold_is_flagged(self, tmp_path):
+        files = {
+            "src/repro/fold.py": """
+                def fold(values):
+                    total = []
+                    for v in {1, 2, 3}:
+                        total.append(v)
+                    return total
+            """,
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL013",))
+        assert codes(diagnostics) == ["RL013"]
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        files = {
+            "src/repro/manifest.py": """
+                import glob
+
+
+                def build_manifest():
+                    return sorted(glob.glob("results/*.json"))
+            """,
+        }
+        assert run(tmp_path, files, enabled=("RL013",)) == []
+
+    def test_order_insensitive_set_read_is_clean(self, tmp_path):
+        files = {
+            "src/repro/scan.py": """
+                def any_even(values):
+                    for v in {1, 2, 3}:
+                        if v % 2 == 0:
+                            return True
+                    return False
+            """,
+        }
+        assert run(tmp_path, files, enabled=("RL013",)) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        files = {
+            "src/repro/manifest.py": """
+                import glob
+
+
+                def build_manifest():
+                    return glob.glob("x/*")  # repro: noqa[RL013]
+            """,
+        }
+        assert run(tmp_path, files, enabled=("RL013",)) == []
+
+
+class TestDeadNoqa:
+    """RL014: suppressions must stay tied to a live finding."""
+
+    def test_dead_scoped_suppression_is_flagged(self, tmp_path):
+        files = {
+            "src/repro/stale.py": (
+                "import os\n\nvalue = os.getpid()  # repro: noqa[RL001]\n"
+            ),
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL001", "RL014"))
+        assert codes(diagnostics) == ["RL014"]
+        assert "RL001" in diagnostics[0].message
+
+    def test_live_suppression_is_not_flagged(self, tmp_path):
+        files = {
+            "src/repro/live.py": (
+                "import time\n\n"
+                "started = time.time()  # repro: noqa[RL001]\n"
+            ),
+        }
+        assert run(tmp_path, files, enabled=("RL001", "RL014")) == []
+
+    def test_blanket_noqa_on_clean_line_is_flagged(self, tmp_path):
+        files = {
+            "src/repro/blanket.py": "value = 1  # repro: noqa\n",
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL001", "RL014"))
+        assert codes(diagnostics) == ["RL014"]
+
+    def test_partially_dead_list_reports_the_dead_code(self, tmp_path):
+        files = {
+            "src/repro/partial.py": (
+                "import time\n\n"
+                "started = time.time()  # repro: noqa[RL001, RL005]\n"
+            ),
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL001", "RL005", "RL014"))
+        assert codes(diagnostics) == ["RL014"]
+        assert "RL005" in diagnostics[0].message
+        assert "RL001" not in diagnostics[0].message.replace(
+            "RL001, RL005", ""
+        )
+
+    def test_rl014_is_not_self_suppressible(self, tmp_path):
+        files = {
+            "src/repro/meta.py": "value = 1  # repro: noqa[RL014]\n",
+        }
+        diagnostics = run(tmp_path, files, enabled=("RL014",))
+        assert codes(diagnostics) == ["RL014"]
+
+    def test_noqa_text_inside_string_is_ignored(self, tmp_path):
+        # tokenize-based scanning: a string *mentioning* the marker is
+        # neither a suppression nor a dead-suppression candidate.
+        files = {
+            "src/repro/doc.py": (
+                'EXAMPLE = "x = 1  # repro: noqa[RL001]"\n'
+            ),
+        }
+        assert run(tmp_path, files, enabled=("RL001", "RL014")) == []
+
+
+class TestSarifOutput:
+    def test_sarif_log_matches_2_1_0_shape(self, tmp_path):
+        files = {
+            "src/repro/dirty.py": "import random\n\nr = random.Random()\n",
+        }
+        root = make_tree(tmp_path, files)
+        config = LintConfig(scope="src/repro", enabled=("RL002",))
+        diagnostics = lint_paths([root], config)
+        assert diagnostics, "fixture must produce findings"
+
+        document = to_sarif(diagnostics)
+        assert document["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in document["$schema"]
+        (sarif_run,) = document["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "repro.lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for required in ("RL010", "RL011", "RL012", "RL013", "RL014"):
+            assert required in rule_ids
+        for result in sarif_run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert driver["rules"][result["ruleIndex"]]["id"] == \
+                result["ruleId"]
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(".py")
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+        # The log must round-trip through JSON unchanged (plain data).
+        assert json.loads(json.dumps(document)) == document
