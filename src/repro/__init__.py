@@ -43,6 +43,7 @@ from repro.core import (
 )
 from repro.errors import (
     ConfigurationError,
+    MonitorError,
     PolicyError,
     ReproError,
     ScheduleError,
@@ -59,6 +60,8 @@ from repro.experiments import (
 from repro.experiments.engines import EngineSpec, engine_names, register_engine
 from repro.experiments.simengine import run_clients
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import MonitorSuite
+from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer
 from repro.population import (
     PopulationResult,
@@ -80,9 +83,12 @@ __all__ = [
     "ExperimentResult",
     "LogicalPhysicalMapping",
     "MetricsRegistry",
+    "MonitorError",
+    "MonitorSuite",
     "PolicyError",
     "PopulationResult",
     "PopulationSpec",
+    "Profiler",
     "ReproError",
     "ScheduleError",
     "SegmentSpec",

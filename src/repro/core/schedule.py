@@ -91,6 +91,9 @@ class BroadcastSchedule:
         self._wait_tables: Dict[int, np.ndarray] = {}
         self._wait_tables_declined: Set[int] = set()
         self._nonempty_slots: Optional[np.ndarray] = None
+        # Per-tier query counters for profiling; None (the default) means
+        # disabled and costs next_arrival a single identity check.
+        self._tier_queries: Optional[Dict[str, int]] = None
 
     # -- structure ---------------------------------------------------------
     @property
@@ -170,10 +173,13 @@ class BroadcastSchedule:
         All three return the exact same instant (asserted by the
         hypothesis property tests).
         """
+        queries = self._tier_queries
         entry = self._fixed_gaps.get(page)
         if entry is None and page not in self._fixed_gaps:
             entry = self.fixed_gap(page)
         if entry is not None:
+            if queries is not None:
+                queries["closed_form"] += 1
             residue, gap = entry
             base = math.floor(time) + 1
             return float(base + (residue - base) % gap)
@@ -181,7 +187,11 @@ class BroadcastSchedule:
         if table is None:
             table = self.wait_table(page)
             if table is None:
+                if queries is not None:
+                    queries["bisect"] += 1
                 return self.next_arrival_bisect(page, time)
+        if queries is not None:
+            queries["wait_table"] += 1
         base = math.floor(time) + 1
         return float(base + table[(base - 1) % len(self._slots)])
 
@@ -271,12 +281,36 @@ class BroadcastSchedule:
         """Byte budget for lazily-built wait tables on this schedule."""
         return self._wait_table_budget
 
-    def timing_stats(self) -> Dict[str, int]:
+    def enable_timing_counters(self) -> None:
+        """Start counting :meth:`next_arrival` queries per timing tier.
+
+        Off by default: the counters cost the hot path a dict increment
+        per query, so only profiled runs (``--profile``) switch them on.
+        Idempotent — enabling twice keeps the accumulated counts.  Note
+        that direct :meth:`next_arrival_bisect` calls (the reference
+        engine's arithmetic) bypass :meth:`next_arrival` and are not
+        counted; the counters attribute dispatched queries only.
+        """
+        if self._tier_queries is None:
+            self._tier_queries = {
+                "closed_form": 0, "wait_table": 0, "bisect": 0,
+            }
+
+    def timing_queries(self) -> Dict[str, int]:
+        """Per-tier ``next_arrival`` query counts (zeros when disabled)."""
+        if self._tier_queries is None:
+            return {"closed_form": 0, "wait_table": 0, "bisect": 0}
+        return dict(self._tier_queries)
+
+    def timing_stats(self) -> Dict[str, object]:
         """Occupancy of the lazily-built timing structures.
 
         Useful for asserting that a shared schedule (via
         :class:`~repro.exec.build.BuildCache`) reuses its tables across
-        sweep points instead of rebuilding them.
+        sweep points instead of rebuilding them.  The ``queries``
+        sub-dict carries the per-tier dispatch counts of
+        :meth:`next_arrival` — all zeros unless
+        :meth:`enable_timing_counters` was called.
         """
         return {
             "fixed_gap_entries": len(self._fixed_gaps),
@@ -285,6 +319,7 @@ class BroadcastSchedule:
             "wait_table_budget": self._wait_table_budget,
             "wait_tables_declined": len(self._wait_tables_declined),
             "nonempty_index_built": int(self._nonempty_slots is not None),
+            "queries": self.timing_queries(),
         }
 
     def wait_time(self, page: int, time: float) -> float:

@@ -37,6 +37,15 @@ class SimulationError(ReproError):
     """
 
 
+class MonitorError(ReproError):
+    """An invariant monitor observed a violation in strict mode.
+
+    Raised by :meth:`repro.obs.monitor.MonitorSuite.end_run` when a run
+    broke a simulation invariant (periodicity, occupancy, conservation)
+    and the suite was configured with ``mode="strict"``.
+    """
+
+
 class PolicyError(ReproError):
     """A cache replacement policy was used incorrectly.
 

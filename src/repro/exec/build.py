@@ -77,15 +77,18 @@ class BuildCache:
             self.hits += 1
         return entry
 
-    def timing_stats(self) -> Dict[str, int]:
+    def timing_stats(self) -> Dict[str, object]:
         """Timing-structure occupancy summed over the cached schedules.
 
         The per-schedule breakdown comes from
         :meth:`~repro.core.schedule.BroadcastSchedule.timing_stats`;
         summing it here makes "one set of tables per broadcast
-        structure, not per sweep point" directly assertable.
+        structure, not per sweep point" directly assertable.  The
+        ``queries`` sub-dict sums the per-tier ``next_arrival`` dispatch
+        counts (all zeros unless the schedules had
+        ``enable_timing_counters()`` switched on by a profiled run).
         """
-        totals = {
+        totals: Dict[str, object] = {
             "schedules": len(self._built),
             "fixed_gap_entries": 0,
             "wait_tables": 0,
@@ -93,6 +96,7 @@ class BuildCache:
             "wait_tables_declined": 0,
             "nonempty_indexes_built": 0,
         }
+        queries = {"closed_form": 0, "wait_table": 0, "bisect": 0}
         for _layout, schedule in self._built.values():
             stats = schedule.timing_stats()
             totals["fixed_gap_entries"] += stats["fixed_gap_entries"]
@@ -100,6 +104,9 @@ class BuildCache:
             totals["wait_table_bytes"] += stats["wait_table_bytes"]
             totals["wait_tables_declined"] += stats["wait_tables_declined"]
             totals["nonempty_indexes_built"] += stats["nonempty_index_built"]
+            for tier, count in stats["queries"].items():
+                queries[tier] += count
+        totals["queries"] = queries
         return totals
 
     def __len__(self) -> int:

@@ -72,6 +72,8 @@ class Executor(Protocol):
         tracer=None,
         progress: Optional[ProgressCallback] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
+        profile=None,
+        monitors=None,
     ) -> List[ExperimentResult]:
         ...  # pragma: no cover - protocol signature
 
@@ -81,15 +83,20 @@ def _run_in_order(
     tracer,
     progress: Optional[ProgressCallback],
     checkpoint: Optional[SweepCheckpoint],
+    profile=None,
+    monitors=None,
+    builds: Optional[BuildCache] = None,
 ) -> List[ExperimentResult]:
     """The reference execution: one plan after another, in order."""
     plans = list(plans)
-    builds = BuildCache()
+    if builds is None:
+        builds = BuildCache()
     results: List[ExperimentResult] = []
     for position, plan in enumerate(plans):
         result = None if checkpoint is None else checkpoint.lookup(plan)
         if result is None:
-            result = execute_plan(plan, tracer=tracer, builds=builds)
+            result = execute_plan(plan, tracer=tracer, builds=builds,
+                                  profile=profile, monitors=monitors)
             if checkpoint is not None:
                 checkpoint.record(plan, result)
         results.append(result)
@@ -99,7 +106,17 @@ def _run_in_order(
 
 
 class SerialExecutor:
-    """Run plans one at a time, in plan order, in this process."""
+    """Run plans one at a time, in plan order, in this process.
+
+    After a :meth:`run` the executor keeps its
+    :class:`~repro.exec.build.BuildCache` on :attr:`last_builds`, so
+    callers (the sweep manifest) can report schedule-reuse and
+    timing-tier statistics for the runs that just happened.
+    """
+
+    def __init__(self):
+        #: The build cache of the most recent :meth:`run`; None before.
+        self.last_builds: Optional[BuildCache] = None
 
     def run(
         self,
@@ -108,8 +125,13 @@ class SerialExecutor:
         tracer=None,
         progress: Optional[ProgressCallback] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
+        profile=None,
+        monitors=None,
     ) -> List[ExperimentResult]:
-        return _run_in_order(plans, tracer, progress, checkpoint)
+        builds = BuildCache()
+        self.last_builds = builds
+        return _run_in_order(plans, tracer, progress, checkpoint,
+                             profile, monitors, builds)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -143,6 +165,10 @@ class ParallelExecutor:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+        #: The build cache of the most recent serial-degraded ``run()``;
+        #: None before any run and after a genuinely pooled run, whose
+        #: caches live (and die) in the worker processes.
+        self.last_builds: Optional[BuildCache] = None
 
     def effective_jobs(self) -> int:
         """The worker count a run will actually use: jobs ∧ usable cores."""
@@ -155,15 +181,25 @@ class ParallelExecutor:
         tracer=None,
         progress: Optional[ProgressCallback] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
+        profile=None,
+        monitors=None,
     ) -> List[ExperimentResult]:
         plans = list(plans)
         tracing = tracer is not None and tracer.enabled
+        profiling = profile is not None and profile.enabled
+        monitoring = monitors is not None and monitors.enabled
         jobs = self.effective_jobs()
-        if tracing or jobs == 1 or len(plans) <= 1:
-            # Enabled tracing needs one sink in simulation order; tiny,
-            # single-worker, or single-core runs gain nothing from a
-            # pool — on a 1-core host the pool *costs* wall clock.
-            return _run_in_order(plans, tracer, progress, checkpoint)
+        if tracing or profiling or monitoring or jobs == 1 or len(plans) <= 1:
+            # Enabled tracing needs one sink in simulation order, and an
+            # enabled profiler/monitor suite accumulates in-process
+            # state a worker could not ship back; tiny, single-worker,
+            # or single-core runs gain nothing from a pool — on a 1-core
+            # host the pool *costs* wall clock.
+            builds = BuildCache()
+            self.last_builds = builds
+            return _run_in_order(plans, tracer, progress, checkpoint,
+                                 profile, monitors, builds)
+        self.last_builds = None
 
         results: List[Optional[ExperimentResult]] = [None] * len(plans)
         pending: List[int] = []

@@ -24,6 +24,8 @@ from repro.exec.plan import RunPlan
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engines import get_plan_engine
 from repro.obs.clock import perf_counter
+from repro.obs.monitor import MonitorContext
+from repro.obs.trace import Tracer
 from repro.sim.stats import RunningStats
 from repro.workload.trace import generate_trace
 
@@ -78,6 +80,8 @@ def execute_plan(
     *,
     tracer=None,
     builds: Optional[BuildCache] = None,
+    profile=None,
+    monitors=None,
 ) -> ExperimentResult:
     """Run one plan and return its measurements.
 
@@ -86,9 +90,26 @@ def execute_plan(
     cache in a :class:`~repro.cache.base.TracedCache`.  ``builds``
     supplies a :class:`~repro.exec.build.BuildCache` so plans sharing a
     broadcast structure reuse the constructed layout and schedule.
+
+    ``profile`` attaches a :class:`repro.obs.profile.Profiler`: build /
+    run phases are timed, the schedule's timing-tier counters are
+    switched on, and the per-tier ``next_arrival`` query delta of this
+    run is folded in.  ``monitors`` attaches a
+    :class:`repro.obs.monitor.MonitorSuite`, fed from the run's trace
+    stream — through the caller's enabled tracer when there is one,
+    otherwise through a private internal tracer (so monitoring needs no
+    sink plumbing).  In strict mode the suite raises
+    :class:`~repro.errors.MonitorError` after the run.  Neither hook
+    changes measured results: profiled fast-engine runs take the
+    general traced loop, which the equivalence tests hold identical to
+    the allocation-free hot path.
     """
     config = plan.config
     started = perf_counter()
+    profiling = profile is not None and profile.enabled
+    monitoring = monitors is not None and monitors.enabled
+    if profiling:
+        profile.start_phase("build")
     if builds is None:
         layout = config.build_layout()
         schedule = config.build_schedule(layout)
@@ -99,9 +120,27 @@ def execute_plan(
     distribution = config.build_distribution()
     cache = config.build_policy(schedule, mapping, distribution, layout)
 
-    tracing = tracer is not None and tracer.enabled
+    if profiling:
+        schedule.enable_timing_counters()
+        queries_before = schedule.timing_queries()
+
+    effective_tracer = tracer
+    attached_to_caller = False
+    if monitoring:
+        monitors.begin_run(MonitorContext(
+            label=config.describe(),
+            schedule=schedule,
+            cache_capacity=config.cache_size if config.has_cache else None,
+        ))
+        if tracer is not None and tracer.enabled:
+            tracer.add_sink(monitors)
+            attached_to_caller = True
+        else:
+            effective_tracer = Tracer(monitors)
+
+    tracing = effective_tracer is not None and effective_tracer.enabled
     if tracing:
-        cache = TracedCache(cache, tracer)
+        cache = TracedCache(cache, effective_tracer)
 
     allowance = _warmup_trace_allowance(config)
     total_requests = config.num_requests + allowance
@@ -117,17 +156,38 @@ def execute_plan(
         trace = generate_trace(
             distribution, total_requests, streams.stream("requests")
         )
+    if profiling:
+        profile.stop_phase("build")
+        profile.start_phase("run")
 
-    outcome = get_plan_engine(plan.engine).run_plan(
-        plan,
-        config=config,
-        schedule=schedule,
-        mapping=mapping,
-        layout=layout,
-        cache=cache,
-        trace=trace,
-        tracer=tracer,
-    )
+    try:
+        outcome = get_plan_engine(plan.engine).run_plan(
+            plan,
+            config=config,
+            schedule=schedule,
+            mapping=mapping,
+            layout=layout,
+            cache=cache,
+            trace=trace,
+            tracer=effective_tracer,
+            profile=profile,
+        )
+    finally:
+        if attached_to_caller:
+            tracer.remove_sink(monitors)
+
+    if profiling:
+        profile.stop_phase("run")
+        queries_after = schedule.timing_queries()
+        profile.add_tier_counts({
+            tier: queries_after[tier] - queries_before[tier]
+            for tier in queries_after
+        })
+        profile.count("plans", 1)
+        profile.count("requests.measured", outcome.measured_requests)
+        profile.count("requests.warmup", outcome.warmup_requests)
+    if monitoring:
+        monitors.end_run()  # raises MonitorError in strict mode
 
     if outcome.measured_requests == 0:
         raise ConfigurationError(

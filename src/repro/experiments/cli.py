@@ -108,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="fast", choices=list(plan_engine_names()),
         help="simulation engine for the paper-figure sweeps",
     )
+    figures_cmd.add_argument(
+        "--profile", action="store_true",
+        help="profile the sweeps (phase timings, engine counters, "
+             "timing-tier dispatch counts); forces serial execution",
+    )
 
     run_cmd = commands.add_parser("run", help="run one experiment")
     run_cmd.add_argument("--disks", type=_parse_sizes, default=(500, 2000, 2500),
@@ -125,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--seed", type=int, default=42)
     run_cmd.add_argument("--engine", default="fast",
                          choices=list(plan_engine_names()))
+    run_cmd.add_argument(
+        "--profile", action="store_true",
+        help="print the run's profile (phase timings, engine counters, "
+             "timing-tier dispatch counts)",
+    )
 
     inspect_cmd = commands.add_parser(
         "inspect", help="show a broadcast program's properties"
@@ -163,7 +173,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", default=None,
         help="JSONL journal; an interrupted fleet resumes client-by-client",
     )
+    population_cmd.add_argument(
+        "--profile", action="store_true",
+        help="profile the fleet run; forces serial execution",
+    )
     return parser
+
+
+def _make_profiler(args):
+    """A Profiler when ``--profile`` was given, else None."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs.profile import Profiler
+
+    return Profiler()
 
 
 def _command_figures(args) -> int:
@@ -174,6 +197,7 @@ def _command_figures(args) -> int:
         return 2
     if args.csv_dir:
         os.makedirs(args.csv_dir, exist_ok=True)
+    profiler = _make_profiler(args)
     for name in names:
         builder, scalable, parallel = ARTIFACTS[name]
         kwargs = {}
@@ -184,12 +208,19 @@ def _command_figures(args) -> int:
         if parallel:
             kwargs["jobs"] = args.jobs
             kwargs["engine"] = args.engine
+            if profiler is not None:
+                kwargs["profile"] = profiler
+        elif profiler is not None:
+            print(f"note: {name} does not support --profile; "
+                  "profiling the sweep-based artifacts only")
         data = builder(**kwargs)
         print(format_table(data))
         if args.csv_dir:
             path = os.path.join(args.csv_dir, f"{name}.csv")
             write_csv(data, path)
             print(f"wrote {path}\n")
+    if profiler is not None:
+        print(profiler.report())
     return 0
 
 
@@ -207,7 +238,8 @@ def _command_run(args) -> int:
         theta=args.theta,
         seed=args.seed,
     )
-    result = run_experiment(config, engine=args.engine)
+    profiler = _make_profiler(args)
+    result = run_experiment(config, engine=args.engine, profile=profiler)
     print(result.summary())
     print(f"  measured requests : {result.measured_requests}")
     print(f"  warm-up requests  : {result.warmup_requests}")
@@ -218,6 +250,8 @@ def _command_run(args) -> int:
     )
     print(f"  access locations  : {locations}")
     print(f"  wall time         : {result.wall_seconds:.2f} s")
+    if profiler is not None:
+        print(profiler.report())
     return 0
 
 
@@ -308,11 +342,13 @@ def _command_population(args) -> int:
     if checkpoint is not None and checkpoint.resumed:
         print(f"checkpoint: resuming past {checkpoint.resumed} "
               f"journalled clients")
+    profiler = _make_profiler(args)
     result = run_population(
         spec,
         jobs=args.jobs,
         checkpoint=checkpoint,
         manifest=args.manifest,
+        profile=profiler,
     )
     print(result.summary())
     header = (
@@ -334,6 +370,8 @@ def _command_population(args) -> int:
         )
     if args.manifest:
         print(f"wrote {args.manifest}")
+    if profiler is not None:
+        print(profiler.report())
     return 0
 
 

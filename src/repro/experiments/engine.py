@@ -83,6 +83,7 @@ class FastEngine:
         cache: CachePolicy,
         think_time: float,
         tracer=None,
+        profile=None,
     ):
         if think_time < 0:
             raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
@@ -97,6 +98,12 @@ class FastEngine:
         #: (the default) adds nothing to the hot loop — the traced run
         #: takes a separate code path entirely.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.profile.Profiler`.  An enabled
+        #: profiler routes :meth:`run_trace` through the general loop so
+        #: every miss dispatches through ``schedule.next_arrival`` and is
+        #: tier-attributed; the allocation-free hot path stays free of
+        #: profiling branches entirely.
+        self.profile = profile
 
     def run_trace(
         self,
@@ -123,6 +130,21 @@ class FastEngine:
                 collect_responses=collect_responses,
                 extra_warmup=extra_warmup,
                 tracer=tracer,
+            )
+        profile = self.profile
+        if profile is not None and profile.enabled:
+            # Profiled runs take the general loop too: its misses all
+            # dispatch through ``schedule.next_arrival`` and are counted
+            # per timing tier, where the hot loop below inlines the
+            # closed form and would under-attribute.  The equivalence
+            # tests hold the two loops byte-identical, so profiling
+            # never changes measurements — only wall time.
+            return self._run_trace_traced(
+                trace,
+                warmup_requests=warmup_requests,
+                collect_responses=collect_responses,
+                extra_warmup=extra_warmup,
+                tracer=None,
             )
 
         schedule = self.schedule
@@ -252,12 +274,15 @@ class FastEngine:
         byte-identical measurements; it is registered as the
         ``fast-reference`` engine for plan-level comparisons.
         """
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         return self._run_trace_traced(
             trace,
             warmup_requests=warmup_requests,
             collect_responses=collect_responses,
             extra_warmup=extra_warmup,
-            tracer=None,
+            tracer=tracer,
             reference_arithmetic=True,
         )
 
@@ -296,6 +321,8 @@ class FastEngine:
         warmup_seen = 0
         extra_left = extra_warmup
         now = self.now
+        total_hits = 0
+        total_misses = 0
 
         for index in range(len(trace)):
             page = trace[index]
@@ -320,6 +347,7 @@ class FastEngine:
                 )
 
             if cache.lookup(page, now):
+                total_hits += 1
                 if tracer is not None:
                     tracer.emit("client.hit", now, page=int(page))
                 if measuring:
@@ -329,6 +357,7 @@ class FastEngine:
                         samples.append(0.0)
                 continue
 
+            total_misses += 1
             physical = mapping.to_physical(page)
             arrival = next_arrival(physical, now)
             wait = arrival - now
@@ -344,6 +373,13 @@ class FastEngine:
                 counters.record_miss(disk_of_physical(physical))
                 if samples is not None:
                     samples.append(wait)
+
+        profile = self.profile
+        if profile is not None and profile.enabled:
+            name = "reference" if reference_arithmetic else "fast"
+            profile.count(f"engine.{name}.loop_iterations", len(trace))
+            profile.count(f"engine.{name}.hits", total_hits)
+            profile.count(f"engine.{name}.misses", total_misses)
 
         self.now = now
         return EngineOutcome(

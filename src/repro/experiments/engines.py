@@ -113,7 +113,7 @@ def get_plan_engine(name: str) -> EngineSpec:
 # ---------------------------------------------------------------------------
 
 def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
-                   tracer=None):
+                   tracer=None, profile=None):
     """Drive the analytic-stepping engine for one plan."""
     from repro.experiments.engine import FastEngine
 
@@ -124,6 +124,7 @@ def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
         cache=cache,
         think_time=config.think_time,
         tracer=tracer,
+        profile=profile,
     )
     return fast.run_trace(
         trace,
@@ -134,7 +135,7 @@ def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
 
 
 def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
-                             cache, trace, tracer=None):
+                             cache, trace, tracer=None, profile=None):
     """Drive the frozen pre-optimisation fast loop for one plan.
 
     Same engine object as ``fast`` but through
@@ -152,6 +153,7 @@ def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
         cache=cache,
         think_time=config.think_time,
         tracer=tracer,
+        profile=profile,
     )
     return fast.run_trace_reference(
         trace,
@@ -162,7 +164,7 @@ def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
 
 
 def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
-                      trace, tracer=None):
+                      trace, tracer=None, profile=None):
     """Drive the process-oriented engine for one plan."""
     from repro.experiments.engine import EngineOutcome
     from repro.experiments.simengine import run_single_client
@@ -178,6 +180,7 @@ def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
         collect_responses=plan.collect_responses,
         extra_warmup=config.extra_warmup,
         tracer=tracer,
+        profile=profile,
     )
     return EngineOutcome(
         response=report.response,

@@ -109,6 +109,8 @@ def figure5(
     presets: Sequence[str] = ("D1", "D2", "D3", "D4", "D5"),
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """Client response time vs Δ for the five disk configurations.
 
@@ -140,7 +142,8 @@ def figure5(
     ]
     means = [
         result.mean_response_time
-        for result in sweep_results(configs, engine=engine, jobs=jobs)
+        for result in sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     ]
     for position, preset in enumerate(presets):
         sizes = ",".join(str(s) for s in _preset_layout(preset))
@@ -167,6 +170,8 @@ def _noise_sensitivity(
     noises: Sequence[float],
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     sizes = ",".join(str(s) for s in _preset_layout(preset))
     data = FigureData(
@@ -196,7 +201,8 @@ def _noise_sensitivity(
     ]
     means = [
         result.mean_response_time
-        for result in sweep_results(configs, engine=engine, jobs=jobs)
+        for result in sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     ]
     for position, noise in enumerate(noises):
         start = position * len(deltas)
@@ -213,6 +219,8 @@ def figure6(
     noises: Sequence[float] = NOISE_LEVELS,
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """Noise sensitivity of D3⟨2500,2500⟩ with no cache.
 
@@ -221,7 +229,7 @@ def figure6(
     """
     return _noise_sensitivity(
         "Figure 6", "D3", 1, "LRU", 0, num_requests, seed, deltas, noises,
-        jobs=jobs, engine=engine,
+        jobs=jobs, engine=engine, profile=profile, monitors=monitors,
     )
 
 
@@ -232,11 +240,13 @@ def figure7(
     noises: Sequence[float] = NOISE_LEVELS,
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """Noise sensitivity of D5⟨500,2000,2500⟩ with no cache."""
     return _noise_sensitivity(
         "Figure 7", "D5", 1, "LRU", 0, num_requests, seed, deltas, noises,
-        jobs=jobs, engine=engine,
+        jobs=jobs, engine=engine, profile=profile, monitors=monitors,
     )
 
 
@@ -253,6 +263,8 @@ def figure8(
     cache_size: int = 500,
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """P policy, D5, CacheSize=Offset=500, noise sweep.
 
@@ -262,7 +274,7 @@ def figure8(
     """
     return _noise_sensitivity(
         "Figure 8", "D5", cache_size, "P", cache_size,
-        num_requests, seed, deltas, noises, jobs=jobs, engine=engine,
+        num_requests, seed, deltas, noises, jobs=jobs, engine=engine, profile=profile, monitors=monitors,
     )
 
 
@@ -274,6 +286,8 @@ def figure9(
     cache_size: int = 500,
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """PIX policy, same setting as Figure 8.
 
@@ -282,7 +296,7 @@ def figure9(
     """
     return _noise_sensitivity(
         "Figure 9", "D5", cache_size, "PIX", cache_size,
-        num_requests, seed, deltas, noises, jobs=jobs, engine=engine,
+        num_requests, seed, deltas, noises, jobs=jobs, engine=engine, profile=profile, monitors=monitors,
     )
 
 
@@ -298,6 +312,8 @@ def figure10(
     cache_size: int = 500,
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """P vs PIX with varying noise (D5, CacheSize=500, Offset=500).
 
@@ -345,7 +361,8 @@ def figure10(
     )
     means = [
         result.mean_response_time
-        for result in sweep_results(configs, engine=engine, jobs=jobs)
+        for result in sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     ]
     for position, (policy, delta) in enumerate(curves):
         start = position * len(noises)
@@ -368,6 +385,8 @@ def figure11(
     delta: int = 3,
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """Access locations (cache, disk 1..3) for P vs PIX.
 
@@ -398,7 +417,8 @@ def figure11(
         )
         for policy in policies
     ]
-    results = sweep_results(configs, engine=engine, jobs=jobs)
+    results = sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     for policy, result in zip(policies, results):
         data.add_series(
             policy,
@@ -420,6 +440,8 @@ def figure13(
     policies: Sequence[str] = ("LRU", "L", "LIX", "PIX"),
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """LRU vs L vs LIX (vs the PIX ideal) across Δ.
 
@@ -450,7 +472,8 @@ def figure13(
     ]
     means = [
         result.mean_response_time
-        for result in sweep_results(configs, engine=engine, jobs=jobs)
+        for result in sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     ]
     for position, policy in enumerate(policies):
         start = position * len(deltas)
@@ -467,6 +490,8 @@ def figure14(
     policies: Sequence[str] = ("LRU", "L", "LIX"),
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """Access locations for the implementable policies (Δ=3, Noise=30%).
 
@@ -495,7 +520,8 @@ def figure14(
         )
         for policy in policies
     ]
-    results = sweep_results(configs, engine=engine, jobs=jobs)
+    results = sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     for policy, result in zip(policies, results):
         data.add_series(
             policy,
@@ -513,6 +539,8 @@ def figure15(
     policies: Sequence[str] = ("LRU", "L", "LIX"),
     jobs: int = 1,
     engine: str = "fast",
+    profile=None,
+    monitors=None,
 ) -> FigureData:
     """LRU vs L vs LIX with varying noise at Δ=3.
 
@@ -542,7 +570,8 @@ def figure15(
     ]
     means = [
         result.mean_response_time
-        for result in sweep_results(configs, engine=engine, jobs=jobs)
+        for result in sweep_results(configs, engine=engine, jobs=jobs,
+                                profile=profile, monitors=monitors)
     ]
     for position, policy in enumerate(policies):
         start = position * len(noises)

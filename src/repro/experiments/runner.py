@@ -36,6 +36,7 @@ from repro.exec.run import (  # noqa: F401 - re-exported for compatibility
 )
 from repro.experiments.config import ExperimentConfig
 from repro.obs.manifest import build_manifest, write_manifest, write_sweep_manifest
+from repro.obs.profile import record_profile_metrics
 
 
 def _merge_legacy_positionals(
@@ -92,6 +93,8 @@ def run_experiment(
     tracer=None,
     metrics=None,
     manifest: Optional[str] = None,
+    profile=None,
+    monitors=None,
 ) -> ExperimentResult:
     """Run one fully-specified experiment and return its measurements.
 
@@ -101,8 +104,13 @@ def run_experiment(
     :class:`~repro.cache.base.TracedCache`.  ``metrics`` fills a
     :class:`repro.obs.metrics.MetricsRegistry` with the run's headline
     counters and gauges.  ``manifest`` names a JSON file to write the
-    run manifest to (also attached to the result).  All three default
-    to off and leave the measured behaviour untouched.
+    run manifest to (also attached to the result).  ``profile`` attaches
+    a :class:`repro.obs.profile.Profiler` (phase timings, engine
+    counters, timing-tier attribution); ``monitors`` a
+    :class:`repro.obs.monitor.MonitorSuite` checking the paper's
+    invariants against the run's trace stream (strict mode raises
+    :class:`~repro.errors.MonitorError`).  All default to off and leave
+    the measured behaviour untouched.
     """
     if legacy:
         merged = _merge_legacy_positionals(
@@ -116,13 +124,22 @@ def run_experiment(
         metrics = merged["metrics"]
         manifest = merged["manifest"]
     plan = plan_for(config, engine=engine, collect_responses=collect_responses)
-    result = execute_plan(plan, tracer=tracer)
+    result = execute_plan(plan, tracer=tracer, profile=profile,
+                          monitors=monitors)
+    profiling = profile is not None and profile.enabled
+    if profiling:
+        profile.start_phase("aggregate")
     if metrics is not None:
         _record_metrics(metrics, result)
+        if profiling:
+            record_profile_metrics(metrics, profile)
     if manifest is not None:
         result.manifest = build_manifest(result, metrics=metrics,
-                                         tracer=tracer)
+                                         tracer=tracer, profile=profile,
+                                         monitors=monitors)
         write_manifest(result.manifest, manifest)
+    if profiling:
+        profile.stop_phase("aggregate")
     return result
 
 
@@ -208,6 +225,8 @@ def sweep_results(
     collect_responses: bool = False,
     executor: Optional[Executor] = None,
     checkpoint: Optional[SweepCheckpoint] = None,
+    profile=None,
+    monitors=None,
 ) -> List[ExperimentResult]:
     """Run every configuration; return the full results, in order.
 
@@ -225,6 +244,14 @@ def sweep_results(
     Metrics are folded into the registry in plan order after execution —
     counters commute and gauges keep last-plan-wins semantics, so the
     final snapshot matches a serial in-run recording exactly.
+
+    ``profile`` attaches a :class:`repro.obs.profile.Profiler` and
+    ``monitors`` a :class:`repro.obs.monitor.MonitorSuite`; either being
+    *enabled* forces in-process serial execution (like an enabled
+    tracer), because both accumulate state a worker process could not
+    ship back.  With a profiler attached the sweep manifest also embeds
+    the executor's build-cache statistics (schedule reuse and
+    timing-tier dispatch counts).
     """
     if legacy:
         merged = _merge_legacy_positionals(
@@ -248,12 +275,24 @@ def sweep_results(
     )
     runner = executor if executor is not None else resolve_executor(jobs)
     results = runner.run(
-        plans, tracer=tracer, progress=progress, checkpoint=checkpoint
+        plans, tracer=tracer, progress=progress, checkpoint=checkpoint,
+        profile=profile, monitors=monitors,
     )
+    profiling = profile is not None and profile.enabled
+    if profiling:
+        profile.start_phase("aggregate")
     if metrics is not None:
         for result in results:
             _record_metrics(metrics, result)
+        if profiling:
+            record_profile_metrics(metrics, profile)
     if manifest is not None:
-        write_sweep_manifest(results, manifest, metrics=metrics,
-                             tracer=tracer)
+        builds = getattr(runner, "last_builds", None)
+        write_sweep_manifest(
+            results, manifest, metrics=metrics, tracer=tracer,
+            profile=profile, monitors=monitors,
+            build_cache=None if builds is None else builds.timing_stats(),
+        )
+    if profiling:
+        profile.stop_phase("aggregate")
     return results

@@ -45,7 +45,7 @@ class ProcessEngine:
     """Run one or many clients against a shared broadcast."""
 
     def __init__(self, schedule: BroadcastSchedule, layout: DiskLayout,
-                 tracer=None):
+                 tracer=None, profile=None):
         self.schedule = schedule
         self.layout = layout
         self.sim = Simulator()
@@ -58,6 +58,10 @@ class ProcessEngine:
         if tracer is not None:
             self.sim.trace = tracer
             self.channel.tracer = tracer
+        #: Optional :class:`repro.obs.profile.Profiler`; :meth:`run`
+        #: reports kernel event counts and the event-heap high-water
+        #: mark into it.
+        self.profile = profile
 
     def add_client(self, spec: ClientSpec) -> Client:
         """Attach a client process built from ``spec``."""
@@ -83,8 +87,15 @@ class ProcessEngine:
         if not self.clients:
             raise SimulationError("no clients attached to the process engine")
         pending = [client.process for client in self.clients]
+        events_before = self.sim.events_processed
         for process in pending:
             self.sim.run_until_event(process, limit=time_limit)
+        profile = self.profile
+        if profile is not None and profile.enabled:
+            profile.count("engine.process.events",
+                          self.sim.events_processed - events_before)
+            profile.count("engine.process.clients", len(self.clients))
+            profile.peak("engine.process.heap_peak", self.sim.heap_peak)
         return [client.report for client in self.clients]
 
 
@@ -99,9 +110,10 @@ def run_single_client(
     collect_responses: bool = False,
     extra_warmup: int = 0,
     tracer=None,
+    profile=None,
 ) -> ClientReport:
     """Convenience wrapper: one client, one broadcast, run to completion."""
-    engine = ProcessEngine(schedule, layout, tracer=tracer)
+    engine = ProcessEngine(schedule, layout, tracer=tracer, profile=profile)
     engine.add_client(
         ClientSpec(
             mapping=mapping,

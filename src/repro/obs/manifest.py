@@ -43,12 +43,18 @@ def config_hash(config) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def build_manifest(result, *, metrics=None, tracer=None) -> Dict:
+def build_manifest(result, *, metrics=None, tracer=None, profile=None,
+                   monitors=None) -> Dict:
     """The manifest dict for one :class:`ExperimentResult`-shaped object.
 
     ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) and
     ``tracer`` (a :class:`repro.obs.trace.Tracer`) contribute their
-    snapshot / emission totals when provided.
+    snapshot / emission totals when provided; ``profile`` (a
+    :class:`repro.obs.profile.Profiler`) and ``monitors`` (a
+    :class:`repro.obs.monitor.MonitorSuite`) embed their schema-tagged
+    snapshots — so a manifest carries the run's phase timings,
+    timing-tier attribution, and any invariant violations alongside the
+    measurements they describe.
     """
     config = result.config
     stats = result.response_stats
@@ -81,6 +87,10 @@ def build_manifest(result, *, metrics=None, tracer=None) -> Dict:
             "enabled": tracer.enabled,
             "records_emitted": tracer.emitted,
         }
+    if profile is not None:
+        manifest["profile"] = profile.snapshot()
+    if monitors is not None:
+        manifest["monitors"] = monitors.snapshot()
     return manifest
 
 
@@ -92,12 +102,18 @@ def write_manifest(manifest: Dict, path: str) -> None:
 
 
 def build_sweep_manifest(results: Iterable, *, metrics=None,
-                         tracer=None, name: str = "sweep") -> Dict:
+                         tracer=None, name: str = "sweep",
+                         profile=None, monitors=None,
+                         build_cache: Optional[Dict] = None) -> Dict:
     """Aggregate per-run manifests into one sweep document.
 
     The summary block carries the cross-run totals a bench trajectory
     wants in one glance (total wall time, request volume, response-time
     extremes); ``runs`` holds the full per-configuration manifests.
+    ``profile``/``monitors`` embed their snapshots like
+    :func:`build_manifest`; ``build_cache`` takes a pre-computed
+    :meth:`repro.exec.build.BuildCache.timing_stats` dict (schedule
+    reuse and timing-tier totals for the whole sweep).
     """
     runs: List[Dict] = [build_manifest(result) for result in results]
     means = [run["mean_response_time"] for run in runs]
@@ -123,15 +139,24 @@ def build_sweep_manifest(results: Iterable, *, metrics=None,
             "enabled": tracer.enabled,
             "records_emitted": tracer.emitted,
         }
+    if profile is not None:
+        sweep["profile"] = profile.snapshot()
+    if monitors is not None:
+        sweep["monitors"] = monitors.snapshot()
+    if build_cache is not None:
+        sweep["build_cache"] = build_cache
     return sweep
 
 
 def write_sweep_manifest(results: Iterable, path: str,
                          *, name: str = "sweep",
-                         metrics=None, tracer=None) -> Dict:
+                         metrics=None, tracer=None,
+                         profile=None, monitors=None,
+                         build_cache: Optional[Dict] = None) -> Dict:
     """Build and write a sweep manifest; returns the written dict."""
     sweep = build_sweep_manifest(results, metrics=metrics, tracer=tracer,
-                                 name=name)
+                                 name=name, profile=profile,
+                                 monitors=monitors, build_cache=build_cache)
     with open(path, "w") as handle:
         json.dump(sweep, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -146,7 +171,10 @@ def read_manifest(path: str) -> Dict:
 
 #: Manifest fields that measure elapsed wall time — the only fields
 #: allowed to differ between a serial and a parallel run of one sweep.
-WALL_CLOCK_FIELDS = frozenset({"wall_seconds", "total_wall_seconds"})
+#: ``phase_seconds`` is the profiler's per-phase wall-time block.
+WALL_CLOCK_FIELDS = frozenset({
+    "wall_seconds", "total_wall_seconds", "phase_seconds",
+})
 
 
 def strip_wall_clock(document):

@@ -59,7 +59,20 @@ class TimeWeightedGauge:
         self._stat = TimeWeightedStat(start_time, initial_value)
 
     def set(self, time: float, value: float) -> None:
-        """The signal changed to ``value`` at simulation ``time``."""
+        """The signal changed to ``value`` at simulation ``time``.
+
+        Time-weighted means are only defined over a non-decreasing time
+        series, so a timestamp behind the last recorded change is a
+        caller bug and raises :class:`ConfigurationError` naming the
+        gauge — catching it here beats a silently negative span.
+        """
+        if time < self._stat.last_time:
+            raise ConfigurationError(
+                f"time-weighted gauge {self.name!r}: timestamp {time} "
+                f"precedes the last recorded change at "
+                f"{self._stat.last_time}; feed the signal in "
+                f"non-decreasing time order"
+            )
         self._stat.record(time, value)
 
     def mean(self, now: Optional[float] = None) -> float:

@@ -36,6 +36,7 @@ tracing is a no-op by construction (benchmarked by
 from __future__ import annotations
 
 import json
+import warnings
 from collections import deque
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
@@ -131,19 +132,42 @@ class Tracer:
     Hooks must test ``tracer is not None and tracer.enabled`` before
     calling :meth:`emit`, so a disabled tracer (or none at all) costs a
     branch and nothing else.
+
+    A sink whose ``write`` or ``close`` raises is **quarantined**: it is
+    detached with a single :class:`RuntimeWarning` and the run carries
+    on with the remaining sinks — a full disk must not abort a
+    half-hour simulation that was otherwise healthy.  The
+    :attr:`quarantined` counter records how many sinks were dropped.
     """
 
-    __slots__ = ("_sinks", "enabled", "emitted")
+    __slots__ = ("_sinks", "enabled", "emitted", "quarantined")
 
     def __init__(self, *sinks, enabled: bool = True):
         self._sinks: List[Any] = list(sinks)
         self.enabled = enabled
         #: Records emitted over the tracer's lifetime (enabled periods).
         self.emitted = 0
+        #: Sinks detached after raising from ``write`` or ``close``.
+        self.quarantined = 0
 
     def add_sink(self, sink) -> None:
         """Attach another sink; it sees records from now on."""
         self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Detach ``sink`` (by identity); absent sinks are ignored."""
+        self._sinks = [s for s in self._sinks if s is not sink]
+
+    def _quarantine(self, sink, operation: str, error: BaseException) -> None:
+        self._sinks = [s for s in self._sinks if s is not sink]
+        self.quarantined += 1
+        warnings.warn(
+            f"trace sink {type(sink).__name__} raised "
+            f"{type(error).__name__} during {operation} and was "
+            f"quarantined: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def emit(self, kind: str, time: float, **fields) -> None:
         """Record one observation at simulation ``time``."""
@@ -151,13 +175,25 @@ class Tracer:
             return
         record = TraceRecord(time, kind, fields)
         self.emitted += 1
+        broken = None
         for sink in self._sinks:
-            sink.write(record)
+            try:
+                sink.write(record)
+            except Exception as error:  # repro: noqa[RL005]
+                if broken is None:
+                    broken = []
+                broken.append((sink, error))
+        if broken is not None:
+            for sink, error in broken:
+                self._quarantine(sink, "write", error)
 
     def close(self) -> None:
-        """Close every sink (flushes JSONL files)."""
-        for sink in self._sinks:
-            sink.close()
+        """Close every sink (flushes JSONL files); failures quarantine."""
+        for sink in list(self._sinks):
+            try:
+                sink.close()
+            except Exception as error:  # repro: noqa[RL005]
+                self._quarantine(sink, "close", error)
 
     def __enter__(self) -> "Tracer":
         return self

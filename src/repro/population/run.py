@@ -77,13 +77,14 @@ class PopulationResult:
 
 
 def build_population_manifest(
-    result: PopulationResult, *, metrics=None, tracer=None
+    result: PopulationResult, *, metrics=None, tracer=None,
+    profile=None, monitors=None,
 ) -> Dict:
     """The manifest dict for one :class:`PopulationResult`.
 
     Embeds the full serialised spec and its hash (the fleet analogue of
     ``config_hash``), the overall and per-segment rollup snapshots, and
-    optional metrics/trace blocks — same conventions as
+    optional metrics/trace/profile/monitor blocks — same conventions as
     :func:`repro.obs.manifest.build_manifest`.
     """
     spec_payload = spec_to_dict(result.spec)
@@ -110,6 +111,10 @@ def build_population_manifest(
             "enabled": tracer.enabled,
             "records_emitted": tracer.emitted,
         }
+    if profile is not None:
+        manifest["profile"] = profile.snapshot()
+    if monitors is not None:
+        manifest["monitors"] = monitors.snapshot()
     return manifest
 
 
@@ -146,6 +151,8 @@ def run_population(
     manifest: Optional[str] = None,
     keep_results: bool = False,
     gamma: float = DEFAULT_GAMMA,
+    profile=None,
+    monitors=None,
 ) -> PopulationResult:
     """Simulate the fleet ``spec`` describes and return its rollup.
 
@@ -159,14 +166,21 @@ def run_population(
     execution, as everywhere else); ``manifest`` names a JSON file that
     receives the population manifest.  ``keep_results=True`` retains the
     per-client result list on the returned object; ``gamma`` tunes the
-    percentile sketch's relative accuracy.
+    percentile sketch's relative accuracy.  ``profile`` attaches a
+    :class:`repro.obs.profile.Profiler` and ``monitors`` a
+    :class:`repro.obs.monitor.MonitorSuite`; either being *enabled*
+    forces serial execution, like an enabled tracer.
     """
     started = perf_counter()
     plans = expand(spec)
     runner = executor if executor is not None else resolve_executor(jobs)
     results = runner.run(
-        plans, tracer=tracer, progress=progress, checkpoint=checkpoint
+        plans, tracer=tracer, progress=progress, checkpoint=checkpoint,
+        profile=profile, monitors=monitors,
     )
+    profiling = profile is not None and profile.enabled
+    if profiling:
+        profile.start_phase("aggregate")
     overall, per_segment = fold_results(
         results, spec.segment_ranges(), gamma
     )
@@ -181,7 +195,10 @@ def run_population(
         _record_population_metrics(metrics, population)
     if manifest is not None:
         population.manifest = build_population_manifest(
-            population, metrics=metrics, tracer=tracer
+            population, metrics=metrics, tracer=tracer,
+            profile=profile, monitors=monitors,
         )
         write_manifest(population.manifest, manifest)
+    if profiling:
+        profile.stop_phase("aggregate")
     return population

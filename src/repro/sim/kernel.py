@@ -159,6 +159,8 @@ class Simulator:
         self._counter = itertools.count()
         #: Total number of events processed; useful for progress reporting.
         self.events_processed = 0
+        #: High-water mark of the pending-event heap, for profiling.
+        self.heap_peak = 0
         #: Optional :class:`repro.obs.trace.Tracer`.  When attached and
         #: enabled, :meth:`step` emits one ``sim.event`` record per
         #: dispatched event; ``None`` (the default) costs one branch.
@@ -205,10 +207,14 @@ class Simulator:
         heapq.heappush(
             self._heap, (self._now + delay, priority, next(self._counter), event)
         )
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
 
     def _enqueue_urgent(self, event: Event) -> None:
         """Queue an already-triggered event to fire now, before peers."""
         heapq.heappush(self._heap, (self._now, URGENT_PRIORITY, next(self._counter), event))
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
 
     # -- execution ---------------------------------------------------------
     def peek(self) -> float:

@@ -40,9 +40,12 @@ EXPECTED_ALL = [
     "ExperimentResult",
     "LogicalPhysicalMapping",
     "MetricsRegistry",
+    "MonitorError",
+    "MonitorSuite",
     "PolicyError",
     "PopulationResult",
     "PopulationSpec",
+    "Profiler",
     "ReproError",
     "ScheduleError",
     "SegmentSpec",
@@ -137,7 +140,8 @@ class TestKeywordOnlyContract:
         ]
         assert options == [
             "jobs", "executor", "progress", "checkpoint", "tracer",
-            "metrics", "manifest", "keep_results", "gamma",
+            "metrics", "manifest", "keep_results", "gamma", "profile",
+            "monitors",
         ]
 
 

@@ -1,0 +1,206 @@
+"""Trace analytics (repro.obs.analyze).
+
+Synthetic record streams pin each section's arithmetic exactly; a real
+traced run then checks the sections compose into one document whose
+numbers are internally consistent (occupancy bounded by the cache
+capacity, shares summing to one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.obs.analyze import (
+    ANALYZE_SCHEMA,
+    analyze,
+    client_latency,
+    render_analysis,
+    residency_timeline,
+    response_by_disk,
+    slot_utilization,
+)
+from repro.obs.trace import MemorySink, Tracer
+
+
+def wait(t, physical, amount, client=None):
+    record = {"kind": "client.wait", "t": t, "physical": physical,
+              "wait": amount}
+    if client is not None:
+        record["client"] = client
+    return record
+
+
+class TestResponseByDisk:
+    def test_cumulative_boundaries_attribute_pages(self):
+        records = [
+            wait(1.0, 0, 1.0),   # disk1: pages 0..1
+            wait(2.0, 1, 3.0),
+            wait(3.0, 2, 10.0),  # disk2: pages 2..5
+            wait(4.0, 6, 20.0),  # disk3: pages 6..13
+            wait(5.0, 99, 5.0),  # beyond the declared layout
+        ]
+        section = response_by_disk(records, disk_sizes=(2, 4, 8))
+        assert section["waits"] == 5
+        disks = section["disks"]
+        assert set(disks) == {"disk1", "disk2", "disk3", "beyond"}
+        assert disks["disk1"]["count"] == 2
+        assert disks["disk1"]["mean"] == pytest.approx(2.0)
+        assert disks["disk2"]["mean"] == pytest.approx(10.0)
+        assert disks["disk3"]["max"] == pytest.approx(20.0)
+        assert sum(b["share"] for b in disks.values()) == pytest.approx(1.0)
+
+    def test_without_sizes_everything_lands_in_one_bucket(self):
+        section = response_by_disk([wait(1.0, 3, 2.0), wait(2.0, 9, 4.0)])
+        assert set(section["disks"]) == {"all"}
+        assert section["disks"]["all"]["mean"] == pytest.approx(3.0)
+
+    def test_no_waits_no_section(self):
+        assert response_by_disk([{"kind": "sim.event", "t": 1.0}]) is None
+
+
+class TestSlotUtilization:
+    def test_full_span_is_fully_utilized(self):
+        records = [
+            {"kind": "channel.deliver", "t": float(t), "page": t % 3}
+            for t in range(1, 7)
+        ]
+        section = slot_utilization(records)
+        assert section["delivered_slots"] == 6
+        assert section["observed_span"] == pytest.approx(6.0)
+        assert section["utilization"] == pytest.approx(1.0)
+        assert section["distinct_pages"] == 3
+
+    def test_sparse_observation_lowers_utilization(self):
+        records = [
+            {"kind": "channel.deliver", "t": 1.0, "page": 0},
+            {"kind": "channel.deliver", "t": 10.0, "page": 0},
+        ]
+        section = slot_utilization(records)
+        assert section["utilization"] == pytest.approx(0.2)
+
+    def test_top_pages_ranked_by_deliveries_then_id(self):
+        records = (
+            [{"kind": "channel.deliver", "t": float(t), "page": 7}
+             for t in range(1, 4)]
+            + [{"kind": "channel.deliver", "t": float(t), "page": 2}
+               for t in range(4, 7)]
+            + [{"kind": "channel.deliver", "t": 7.0, "page": 5}]
+        )
+        section = slot_utilization(records, top=2)
+        assert [row["page"] for row in section["top_pages"]] == [2, 7]
+        assert section["top_pages"][0]["bandwidth_share"] == pytest.approx(
+            3 / 7
+        )
+
+
+class TestResidencyTimeline:
+    def test_victim_leaves_at_admission(self):
+        # capacity-1 cache: each admission names the page it displaces.
+        # The paired cache.evict record follows at the same instant; the
+        # occupancy peak must never read capacity + 1.
+        records = [
+            {"kind": "cache.admit", "t": 0.0, "page": 1, "victim": None},
+            {"kind": "cache.admit", "t": 5.0, "page": 2, "victim": 1},
+            {"kind": "cache.evict", "t": 5.0, "page": 1},
+            {"kind": "cache.admit", "t": 8.0, "page": 3, "victim": 2},
+            {"kind": "cache.evict", "t": 8.0, "page": 2},
+        ]
+        section = residency_timeline(records)
+        assert section["occupancy_max"] == pytest.approx(1.0)
+        assert section["events"] == 5
+        longest = {row["page"]: row["resident_time"]
+                   for row in section["longest_resident"]}
+        assert longest[1] == pytest.approx(5.0)
+        assert longest[2] == pytest.approx(3.0)
+
+    def test_rejected_admission_never_counts(self):
+        records = [
+            {"kind": "cache.admit", "t": 0.0, "page": 1, "victim": None},
+            {"kind": "cache.admit", "t": 1.0, "page": 2, "victim": 2},
+        ]
+        section = residency_timeline(records)
+        assert section["occupancy_max"] == pytest.approx(1.0)
+
+    def test_no_cache_records_no_section(self):
+        assert residency_timeline([{"kind": "sim.event", "t": 0.0}]) is None
+
+
+class TestClientLatency:
+    def test_equal_clients_score_perfect_fairness(self):
+        records = []
+        for client in ("a", "b"):
+            records.append({"kind": "client.request", "t": 1.0,
+                            "client": client})
+            records.append({"kind": "client.miss", "t": 1.0, "page": 0,
+                            "client": client})
+            records.append(wait(2.0, 0, 4.0, client=client))
+        section = client_latency(records)
+        assert section["clients"] == 2
+        assert section["fairness"] == pytest.approx(1.0)
+
+    def test_slowest_client_ranks_first(self):
+        records = [
+            wait(1.0, 0, 10.0, client="slow"),
+            wait(2.0, 0, 1.0, client="fast"),
+        ]
+        section = client_latency(records)
+        assert section["slowest"][0]["client"] == "slow"
+        assert section["fairness"] < 1.0
+
+    def test_hit_rate_per_client(self):
+        records = [
+            {"kind": "client.request", "t": 1.0, "client": "a"},
+            {"kind": "client.hit", "t": 1.0, "page": 0, "client": "a"},
+            {"kind": "client.request", "t": 2.0, "client": "a"},
+            {"kind": "client.miss", "t": 2.0, "page": 1, "client": "a"},
+        ]
+        (row,) = client_latency(records)["slowest"]
+        assert row["hit_rate"] == pytest.approx(0.5)
+        assert row["requests"] == 2
+
+    def test_no_client_records_no_section(self):
+        assert client_latency([{"kind": "sim.event", "t": 0.0}]) is None
+
+
+class TestAnalyzeDocument:
+    def test_only_applicable_sections_appear(self):
+        document = analyze([wait(1.0, 0, 2.0)])
+        assert document["schema"] == ANALYZE_SCHEMA
+        assert "response_by_disk" in document
+        assert "client_latency" in document
+        assert "slot_utilization" not in document
+        assert "cache_residency" not in document
+
+    def test_real_trace_is_internally_consistent(self, mini_config):
+        sink = MemorySink(capacity=None)
+        with Tracer(sink) as tracer:
+            run_experiment(mini_config, tracer=tracer)
+        records = [record.to_dict() for record in sink.records]
+        document = analyze(
+            records, disk_sizes=mini_config.disk_sizes
+        )
+        assert document["cache_residency"]["occupancy_max"] <= (
+            mini_config.cache_size
+        )
+        shares = [
+            block["share"]
+            for block in document["response_by_disk"]["disks"].values()
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+        assert document["client_latency"]["fairness"] == pytest.approx(1.0)
+
+    def test_render_covers_every_section(self, mini_config):
+        sink = MemorySink(capacity=None)
+        with Tracer(sink) as tracer:
+            run_experiment(mini_config, tracer=tracer)
+        records = [record.to_dict() for record in sink.records]
+        text = render_analysis(analyze(records, disk_sizes=(50, 200, 250)))
+        for needle in ("response time by disk", "cache residency",
+                       "client latency attribution", "Jain fairness"):
+            assert needle in text
+
+    def test_render_empty_document(self):
+        assert "no analyzable records" in render_analysis(
+            analyze([{"kind": "sim.event", "t": 0.0}])
+        )

@@ -123,3 +123,127 @@ class TestCli:
         )
         assert completed.returncode == 0
         assert "fixed gaps" in completed.stdout
+
+
+class TestAnalyzeCommand:
+    def test_text_output_attributes_by_disk(self, experiment_trace, capsys):
+        assert main(["analyze", experiment_trace,
+                     "--disk-sizes", "50,200,250"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "response time by disk" in out
+        assert "disk1" in out
+        assert "cache residency" in out
+
+    def test_json_output_is_schema_tagged(self, experiment_trace, capsys):
+        assert main(["analyze", experiment_trace, "--json"]) == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.obs.analyze/1"
+        assert "cache_residency" in document
+        # Without --disk-sizes every wait lands in the "all" bucket.
+        assert set(document["response_by_disk"]["disks"]) == {"all"}
+
+    def test_space_separated_disk_sizes(self, experiment_trace, capsys):
+        assert main(["analyze", experiment_trace,
+                     "--disk-sizes", "50 200 250", "--json"]) == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert "disk1" in document["response_by_disk"]["disks"]
+
+    @pytest.mark.parametrize("bad", ["x,y", "50,-3", "0", ""])
+    def test_bad_disk_sizes_exit_2(self, experiment_trace, bad, capsys):
+        code = main(["analyze", experiment_trace, "--disk-sizes", bad])
+        assert code == EXIT_USAGE
+        assert "--disk-sizes" in capsys.readouterr().err
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "absent.jsonl")])
+        assert code == EXIT_USAGE
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestManifestSummary:
+    def test_run_manifest_pretty_printed(self, tmp_path, mini_config,
+                                         capsys):
+        from repro.obs.monitor import MonitorSuite
+        from repro.obs.profile import Profiler
+
+        path = str(tmp_path / "run-manifest.json")
+        run_experiment(
+            mini_config.with_(num_requests=300), manifest=path,
+            profile=Profiler(), monitors=MonitorSuite(),
+        )
+        assert main(["summary", path]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "profile" in out
+        assert "monitors" in out
+        assert "OK" in out
+
+    def test_sweep_manifest_shows_build_cache(self, tmp_path, mini_config,
+                                              capsys):
+        from repro.experiments.runner import sweep_results
+        from repro.obs.profile import Profiler
+
+        path = str(tmp_path / "sweep-manifest.json")
+        sweep_results(
+            [mini_config.with_(delta=d) for d in (0, 1)],
+            manifest=path, profile=Profiler(),
+        )
+        assert main(["summary", path]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "build cache" in out
+        assert "closed_form" in out
+
+    def test_json_passthrough_echoes_the_manifest(self, tmp_path,
+                                                  mini_config, capsys):
+        path = str(tmp_path / "run-manifest.json")
+        run_experiment(mini_config.with_(num_requests=300), manifest=path)
+        assert main(["summary", path, "--json"]) == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert document == json.loads(open(path).read())
+
+
+class TestRegressCommand:
+    def _bench(self, tmp_path, name="BENCH_t.json", wall=10.0):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "benchmark": "t", "wall_seconds": wall,
+            "parameters": {"seed": 7},
+        }))
+        return str(path)
+
+    def test_green_gate_exits_0(self, tmp_path, capsys):
+        bench = self._bench(tmp_path)
+        history = str(tmp_path / "history.jsonl")
+        assert main(["regress", bench, "--history", history,
+                     "--record"]) == EXIT_OK
+        assert main(["regress", bench, "--history", history]) == EXIT_OK
+        assert "result: OK" in capsys.readouterr().out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        baseline = self._bench(tmp_path, wall=10.0)
+        history = str(tmp_path / "history.jsonl")
+        main(["regress", baseline, "--history", history, "--record"])
+        slow = self._bench(tmp_path, name="BENCH_slow.json", wall=30.0)
+        assert main(["regress", slow, "--history", history]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_markdown_and_json_formats(self, tmp_path, capsys):
+        bench = self._bench(tmp_path)
+        history = str(tmp_path / "history.jsonl")
+        assert main(["regress", bench, "--history", history,
+                     "--format", "md"]) == EXIT_OK
+        assert "| benchmark |" in capsys.readouterr().out
+        assert main(["regress", bench, "--history", history,
+                     "--format", "json"]) == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.obs.regress_report/1"
+
+    def test_missing_bench_file_exits_2(self, tmp_path, capsys):
+        code = main(["regress", str(tmp_path / "BENCH_absent.json")])
+        assert code == EXIT_USAGE
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_bench_document_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_odd.json"
+        path.write_text(json.dumps({"no_benchmark_field": True}))
+        assert main(["regress", str(path)]) == EXIT_USAGE
+        assert "benchmark" in capsys.readouterr().err

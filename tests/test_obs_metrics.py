@@ -97,3 +97,20 @@ class TestRunnerIntegration:
         run_experiment(mini_config, metrics=registry)
         snapshot = registry.snapshot()
         assert snapshot["runs"] == 2
+
+
+class TestTimeWeightedMonotonicity:
+    def test_backwards_timestamp_rejected_naming_the_gauge(self):
+        gauge = TimeWeightedGauge("cache.occupancy")
+        gauge.set(5.0, 3.0)
+        with pytest.raises(ConfigurationError, match="cache.occupancy"):
+            gauge.set(4.0, 2.0)
+        # The rejected sample left no trace on the accumulated signal.
+        assert gauge.current == 3.0
+        assert gauge.mean(10.0) == pytest.approx(1.5)
+
+    def test_equal_timestamp_is_allowed(self):
+        gauge = TimeWeightedGauge("cache.occupancy")
+        gauge.set(5.0, 3.0)
+        gauge.set(5.0, 4.0)  # zero-width step, last value wins
+        assert gauge.current == 4.0

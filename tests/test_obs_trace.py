@@ -260,3 +260,81 @@ class TestRunExperimentTracing:
         assert traced.mean_response_time == untraced.mean_response_time
         assert traced.hit_rate == untraced.hit_rate
         assert traced.access_locations == untraced.access_locations
+
+
+class _ExplodingSink:
+    """A sink that raises after accepting ``healthy`` records."""
+
+    def __init__(self, healthy=0, close_raises=False):
+        self.healthy = healthy
+        self.close_raises = close_raises
+        self.seen = 0
+        self.closed = False
+
+    def write(self, record):
+        if self.seen >= self.healthy:
+            raise OSError("disk full")
+        self.seen += 1
+
+    def close(self):
+        self.closed = True
+        if self.close_raises:
+            raise OSError("flush failed")
+
+
+class TestSinkQuarantine:
+    def test_failing_sink_detached_with_one_warning(self):
+        good = MemorySink()
+        bad = _ExplodingSink(healthy=2)
+        tracer = Tracer(good, bad)
+        for t in range(2):
+            tracer.emit("sim.event", float(t))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            tracer.emit("sim.event", 2.0)
+        # The bad sink is gone; subsequent emissions warn no more and
+        # the healthy sink misses nothing.
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            tracer.emit("sim.event", 3.0)
+        assert tracer.quarantined == 1
+        assert len(good) == 4
+        assert bad.seen == 2
+
+    def test_emit_delivers_to_later_sinks_before_quarantining(self):
+        # The failing sink sits first: the record must still reach the
+        # healthy sink behind it in the same emit call.
+        good = MemorySink()
+        tracer = Tracer(_ExplodingSink(healthy=0), good)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            tracer.emit("sim.event", 0.0)
+        assert len(good) == 1
+        assert tracer.quarantined == 1
+
+    def test_close_failure_quarantines_but_closes_the_rest(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        jsonl = JsonlSink(str(path))
+        bad = _ExplodingSink(healthy=1, close_raises=True)
+        tracer = Tracer(bad, jsonl)
+        tracer.emit("sim.event", 0.0)
+        with pytest.warns(RuntimeWarning, match="close"):
+            tracer.close()
+        assert tracer.quarantined == 1
+        assert bad.closed  # its close ran (and raised)
+        assert len(list(read_jsonl(str(path)))) == 1  # flushed cleanly
+
+    def test_unwritable_jsonl_sink_quarantines_not_crashes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()  # writes now raise ValueError on the closed handle
+        tracer = Tracer(sink)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            tracer.emit("sim.event", 0.0)
+        assert tracer.quarantined == 1
+        assert tracer.emitted == 1
+
+    def test_unopenable_jsonl_path_fails_fast(self, tmp_path):
+        # Construction (unlike a mid-run write) should fail loudly: the
+        # caller asked for a trace at a path that cannot exist.
+        with pytest.raises(OSError):
+            JsonlSink(str(tmp_path / "no-such-dir" / "trace.jsonl"))
