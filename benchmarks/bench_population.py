@@ -1,6 +1,6 @@
 """Fleet-size scaling and statistical validation for repro.population.
 
-Two studies, recorded to ``BENCH_population.json``:
+Three studies, recorded to ``BENCH_population.json``:
 
 * **Scaling** — a heterogeneous fleet at increasing sizes, each run
   serially and with ``jobs=N``: wall times, clients/second throughput,
@@ -16,6 +16,13 @@ Two studies, recorded to ``BENCH_population.json``:
   sampling error.  Checked at two Δ points of the scaled Figure-5
   setup; the gate is ``|fleet - reference| <= 4·s·sqrt(1/n_ref +
   1/n_fleet)`` with ``s`` the pooled per-client standard deviation.
+
+* **Batch engine** — the columnar fleet engine against the per-client
+  path on the 1000-client homogeneous fleet: wall time (best of
+  ``BATCH_REPEATS``), clients/second, and a >= ``MIN_BATCH_SPEEDUP``
+  gate, with the same within-sampling-error equivalence check between
+  the two arms' fleet means (the kernel draws from group-level rather
+  than per-client streams, so the contract is statistical).
 
 Runs standalone (writes ``BENCH_population.json``) or under pytest
 (tiny scale, no file output)::
@@ -77,6 +84,14 @@ REFERENCE_RUNS = 16
 #: fleet's ``derive_seed(seed=21, ...)`` stream).
 REFERENCE_SEED = 977
 
+#: Acceptance target for the batch engine against the per-client path
+#: on the 1000-client homogeneous fleet (single-threaded both sides).
+MIN_BATCH_SPEEDUP = 100.0
+
+#: Batch-arm repetitions (a kernel fleet runs in milliseconds; the
+#: best-of filters scheduler noise out of the speedup ratio).
+BATCH_REPEATS = 5
+
 
 def hetero_spec(clients: int, num_requests: int = REQUESTS) -> PopulationSpec:
     """The scaling fleet: three segments over the reduced database."""
@@ -120,13 +135,15 @@ def homogeneous_config(delta: int, num_requests: int = REQUESTS):
     )
 
 
-def homogeneous_spec(delta: int, clients: int,
-                     num_requests: int = REQUESTS) -> PopulationSpec:
+def homogeneous_spec(delta: int, clients: int, *,
+                     num_requests: int = REQUESTS,
+                     engine: str = "fast") -> PopulationSpec:
     """A homogeneous fleet of ``clients`` i.i.d. Figure-5 clients."""
     return PopulationSpec(
         name=f"bench-fig5-delta{delta}",
         base=homogeneous_config(delta, num_requests),
         seed=21,
+        engine=engine,
         segments=(SegmentSpec("uniform", clients),),
     )
 
@@ -178,7 +195,7 @@ def run_scaling(sizes, jobs: int, num_requests: int = REQUESTS):
 def run_validation(delta: int, clients: int, reference_runs: int,
                    jobs: int, num_requests: int = REQUESTS):
     """One Δ point: homogeneous fleet vs independent single-client runs."""
-    spec = homogeneous_spec(delta, clients, num_requests)
+    spec = homogeneous_spec(delta, clients, num_requests=num_requests)
     fleet = run_population(spec, jobs=jobs)
     stats = fleet.overall.response_means
 
@@ -211,7 +228,59 @@ def run_validation(delta: int, clients: int, reference_runs: int,
     }
 
 
-def build_report(scaling, validation, jobs):
+def run_batch_study(delta: int, clients: int, *,
+                    num_requests: int = REQUESTS,
+                    repeats: int = BATCH_REPEATS):
+    """The columnar batch engine vs the per-client path, one fleet.
+
+    Both arms run single-threaded; the batch arm's wall time is the
+    best of ``repeats`` (one fleet costs milliseconds, so repetition is
+    cheap and filters scheduler noise).  Equivalence uses the same
+    4-sigma sampling-error tolerance as the Figure-5 validation, with
+    both samples of size ``clients``.
+    """
+    started = perf_counter()
+    per_client = run_population(
+        homogeneous_spec(delta, clients, num_requests=num_requests), jobs=1
+    )
+    per_client_seconds = perf_counter() - started
+
+    batch_spec = homogeneous_spec(delta, clients,
+                              num_requests=num_requests, engine="batch")
+    batch_seconds = math.inf
+    batch = None
+    for _ in range(repeats):
+        started = perf_counter()
+        batch = run_population(batch_spec)
+        batch_seconds = min(batch_seconds, perf_counter() - started)
+
+    scalar_stats = per_client.overall.response_means
+    batch_stats = batch.overall.response_means
+    tolerance = 4.0 * scalar_stats.stddev * math.sqrt(2.0 / clients)
+    difference = abs(batch_stats.mean - scalar_stats.mean)
+    return {
+        "delta": delta,
+        "clients": clients,
+        "best_of": repeats,
+        "per_client": {
+            "wall_seconds": per_client_seconds,
+            "clients_per_second": clients / per_client_seconds,
+            "fleet_mean": scalar_stats.mean,
+        },
+        "columnar": {
+            "wall_seconds": batch_seconds,
+            "clients_per_second": clients / batch_seconds,
+            "fleet_mean": batch_stats.mean,
+        },
+        "speedup": per_client_seconds / batch_seconds,
+        "difference": difference,
+        "tolerance": tolerance,
+        "within_sampling_error": difference <= tolerance,
+        "min_speedup_target": MIN_BATCH_SPEEDUP,
+    }
+
+
+def build_report(scaling, validation, jobs, batch=None):
     return {
         "schema": "repro.bench.population/1",
         "benchmark": "population fleet scaling + Figure-5 validation",
@@ -224,6 +293,7 @@ def build_report(scaling, validation, jobs):
         "jobs": jobs,
         "scaling": scaling,
         "validation": validation,
+        "batch": batch,
         "min_speedup_target": MIN_SPEEDUP,
         "target_applies": usable_cores() >= jobs,
         "identical_minus_wall_clock": True,
@@ -247,6 +317,21 @@ def test_population_matches_single_client():
         f"{row['reference_mean']:.2f} exceeds tolerance "
         f"{row['tolerance']:.2f}"
     )
+
+
+def test_batch_engine_matches_per_client():
+    """Pytest entry: tiny batch fleet within sampling error of scalar.
+
+    The 100x speedup gate belongs to the full-scale ``main()`` run; at
+    pytest scale only the equivalence contract is asserted.
+    """
+    row = run_batch_study(delta=1, clients=80, num_requests=150, repeats=2)
+    assert row["within_sampling_error"], (
+        f"batch mean {row['columnar']['fleet_mean']:.2f} vs per-client "
+        f"{row['per_client']['fleet_mean']:.2f} exceeds tolerance "
+        f"{row['tolerance']:.2f}"
+    )
+    assert row["speedup"] > 1.0
 
 
 def main() -> int:
@@ -276,12 +361,34 @@ def main() -> int:
               f"tolerance {row['tolerance']:.2f}) -> "
               f"{'OK' if row['within_sampling_error'] else 'FAIL'}")
 
-    report = build_report(scaling, validation, JOBS)
+    print(f"batch engine: {VALIDATION_CLIENTS}-client homogeneous fleet, "
+          f"columnar vs per-client (best of {BATCH_REPEATS})")
+    batch = run_batch_study(delta=3, clients=VALIDATION_CLIENTS)
+    print(f"  Δ=3: per-client {batch['per_client']['wall_seconds']:.2f}s "
+          f"({batch['per_client']['clients_per_second']:.0f} clients/s), "
+          f"batch {batch['columnar']['wall_seconds'] * 1000:.1f}ms "
+          f"({batch['columnar']['clients_per_second']:.0f} clients/s) "
+          f"-> {batch['speedup']:.0f}x, "
+          f"|Δmean|={batch['difference']:.2f} "
+          f"(tolerance {batch['tolerance']:.2f}) -> "
+          f"{'OK' if batch['within_sampling_error'] else 'FAIL'}")
+
+    report = build_report(scaling, validation, JOBS, batch)
     out = Path(__file__).resolve().parent.parent / "BENCH_population.json"
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"  wrote {out}")
 
     failures = []
+    if not batch["within_sampling_error"]:
+        failures.append(
+            f"batch fleet mean off by {batch['difference']:.2f} "
+            f"(> {batch['tolerance']:.2f})"
+        )
+    if batch["speedup"] < MIN_BATCH_SPEEDUP:
+        failures.append(
+            f"batch speedup {batch['speedup']:.0f}x below the "
+            f"{MIN_BATCH_SPEEDUP:.0f}x target"
+        )
     for row in validation:
         if not row["within_sampling_error"]:
             failures.append(

@@ -1,0 +1,187 @@
+"""CI smoke run for the columnar batch engine.
+
+Three gates, one per contract the engine makes
+(``src/repro/batch/fleet.py``):
+
+* **Exactness** — a single-client ``--engine batch`` plan must be
+  byte-identical to ``fast``: result stats, collected samples, and the
+  full traced record stream.
+* **Statistical equivalence** — a 1000-client homogeneous batch fleet
+  (phase-table kernel) must sit within the 4-sigma sampling-error
+  tolerance of the per-client path, with identical client/request
+  accounting.
+* **Invariants** — a strict :class:`~repro.obs.monitor.MonitorSuite`
+  over a multi-client columnar run must observe interleaved per-client
+  records and finish with zero violations, and profiled tier counts
+  must reconcile with the engine's miss counters.
+
+Leaves the batch fleet manifest in the artifact directory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/batch_smoke.py --out batch-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.batch.fleet import run_fleet
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs.monitor import MonitorSuite
+from repro.obs.profile import Profiler
+from repro.obs.trace import MemorySink, Tracer
+from repro.population import PopulationSpec, SegmentSpec, run_population
+
+KERNEL_CLIENTS = 1000
+
+
+def single_config(**overrides):
+    defaults = dict(
+        disk_sizes=(50, 200, 250),
+        delta=3,
+        cache_size=20,
+        policy="LIX",
+        access_range=100,
+        region_size=10,
+        num_requests=400,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def kernel_spec(clients: int, engine: str) -> PopulationSpec:
+    return PopulationSpec(
+        name="batch-smoke",
+        base=single_config(cache_size=1, policy="LRU", num_requests=600),
+        seed=21,
+        engine=engine,
+        segments=(SegmentSpec("uniform", clients),),
+    )
+
+
+def check(condition: bool, message: str, failures: list) -> None:
+    print(f"  {'ok  ' if condition else 'FAIL'} {message}")
+    if not condition:
+        failures.append(message)
+
+
+def gate_exactness(failures: list) -> None:
+    print("single-client exactness (batch vs fast):")
+    traces = {}
+    results = {}
+    for engine in ("fast", "batch"):
+        sink = MemorySink(capacity=200_000)
+        results[engine] = run_experiment(
+            single_config(), engine=engine, collect_responses=True,
+            tracer=Tracer(sink),
+        )
+        traces[engine] = [
+            (record.time, record.kind, record.fields)
+            for record in sink.records
+        ]
+    fast, batch = results["fast"], results["batch"]
+    check(batch.mean_response_time == fast.mean_response_time,
+          "mean response time identical", failures)
+    check(batch.hit_rate == fast.hit_rate, "hit rate identical", failures)
+    check(batch.samples == fast.samples,
+          "per-request samples identical", failures)
+    check(
+        (batch.measured_requests, batch.warmup_requests)
+        == (fast.measured_requests, fast.warmup_requests),
+        "request accounting identical", failures,
+    )
+    check(traces["batch"] == traces["fast"] and len(traces["batch"]) > 0,
+          f"traced record streams identical "
+          f"({len(traces['fast'])} records)", failures)
+
+
+def gate_statistical(failures: list, out: Path) -> None:
+    print(f"{KERNEL_CLIENTS}-client fleet equivalence (kernel vs "
+          "per-client):")
+    per_client = run_population(kernel_spec(KERNEL_CLIENTS, "fast"))
+    batch = run_population(
+        kernel_spec(KERNEL_CLIENTS, "batch"),
+        manifest=str(out / "batch_fleet_manifest.json"),
+    )
+    scalar_stats = per_client.overall.response_means
+    batch_stats = batch.overall.response_means
+    tolerance = 4.0 * scalar_stats.stddev * math.sqrt(
+        2.0 / KERNEL_CLIENTS
+    )
+    difference = abs(batch_stats.mean - scalar_stats.mean)
+    check(batch.overall.clients == per_client.overall.clients,
+          "client counts identical", failures)
+    check(
+        batch.overall.measured_requests
+        == per_client.overall.measured_requests,
+        "measured-request totals identical", failures,
+    )
+    check(difference <= tolerance,
+          f"fleet means within sampling error "
+          f"(|{batch_stats.mean:.2f} - {scalar_stats.mean:.2f}| = "
+          f"{difference:.3f} <= {tolerance:.3f})", failures)
+    check(abs(batch.overall.hit_rate - per_client.overall.hit_rate) < 0.01,
+          "hit rates within 1%", failures)
+
+
+def gate_invariants(failures: list) -> None:
+    print("strict monitors + profiler reconciliation on a columnar run:")
+    monitors = MonitorSuite(mode="strict")
+    profile = Profiler(enabled=True)
+    spec = PopulationSpec(
+        name="batch-smoke-monitored",
+        base=single_config(num_requests=300),
+        seed=29,
+        engine="batch",
+        segments=(SegmentSpec("uniform", 8),),
+    )
+    result = run_fleet(spec, monitors=monitors, profile=profile)
+    check(monitors.ok and monitors.runs == 1,
+          f"strict invariants clean over {monitors.observed} records",
+          failures)
+    document = profile.snapshot()
+    tier_total = sum(document["tiers"].values())
+    misses = document["counters"]["engine.batch.misses"]
+    check(tier_total == misses,
+          f"tier attribution reconciles ({tier_total} queries == "
+          f"{misses} misses)", failures)
+    check(
+        document["counters"]["requests.measured"]
+        == result.overall.measured_requests,
+        "profiled request counts match the rollup", failures,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="batch-artifacts",
+                        help="artifact directory")
+    arguments = parser.parse_args()
+    out = Path(arguments.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    failures: list = []
+    gate_exactness(failures)
+    gate_statistical(failures, out)
+    gate_invariants(failures)
+
+    if failures:
+        print(f"batch smoke: {len(failures)} gate(s) failed",
+              file=sys.stderr)
+        return 1
+    print("batch smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

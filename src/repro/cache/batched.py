@@ -1,0 +1,404 @@
+"""Columnar cache policies: N clients' caches stepped as arrays.
+
+The batch engine (:mod:`repro.batch.engine`) advances a whole fleet in
+lockstep, so its cache state must be columnar too: one ``(N, C)`` page
+matrix instead of N dict-based policies.  Each class here replicates one
+scalar policy from this package *decision-for-decision* — the same
+victims in the same tie-break order — which the hypothesis property
+tests in ``tests/test_properties_batch.py`` assert against random
+request interleavings:
+
+* :class:`BatchedLRU` — recency stamps; the victim is the minimum stamp
+  (the scalar ``OrderedDict``'s bottom entry).
+* :class:`BatchedP` / :class:`BatchedPIX` — static per-page values; the
+  victim is the lexicographic ``(value, insertion stamp)`` minimum,
+  matching the scalar lazy min-heap, and a new page less valuable than
+  everything resident is declined (``admit`` returns the page itself).
+* :class:`BatchedLIX` / :class:`BatchedL` — per-disk chains encoded as
+  a disk column; candidates are each chain's minimum recency stamp and
+  the strict ``<`` comparison in ascending disk order reproduces the
+  scalar first-chain-wins tie-break.
+
+``admit`` takes a client mask (only the clients that missed admit) and
+returns a victim column using the scalar protocol's vocabulary in array
+form: :data:`FREE` where a free slot absorbed the page (scalar
+``None``), the page itself where the policy declined it, the evicted
+page otherwise, and :data:`NO_ADMIT` for clients outside the mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: ``admit`` victim sentinel: this client was outside the admit mask.
+NO_ADMIT = -2
+
+#: ``admit`` victim sentinel: a free slot absorbed the page (scalar
+#: policies return ``None`` here).
+FREE = -1
+
+#: Slot content marking an empty cache slot (page ids are >= 0).
+EMPTY = -1
+
+#: Stamp placed on non-candidate slots before an argmin, so they lose.
+_STAMP_MAX = np.iinfo(np.int64).max
+
+#: Minimum inter-access gap in the LIX estimator (mirrors the scalar
+#: module's ``_MIN_GAP``).
+_MIN_GAP = 1e-9
+
+#: Policy names (registry-normalised) with a columnar formulation.
+BATCHABLE_POLICIES = frozenset({"lru", "p", "pix", "lix", "l"})
+
+
+def _gather(table: np.ndarray, rows: np.ndarray, pages: np.ndarray):
+    """Index a per-client (N, R) or shared (1, R) oracle table."""
+    if table.shape[0] == 1:
+        return table[0, pages]
+    return table[rows, pages]
+
+
+@dataclass
+class BatchedOracles:
+    """The :class:`~repro.cache.base.PolicyContext` oracles, as arrays.
+
+    ``probability`` is indexed by logical page; ``frequency`` and
+    ``disk`` are ``(clients, pages)`` matrices (or ``(1, pages)`` when
+    every client shares one mapping — noise-free groups).
+    """
+
+    probability: Optional[np.ndarray] = None
+    frequency: Optional[np.ndarray] = None
+    disk: Optional[np.ndarray] = None
+    num_disks: int = 1
+    lix_alpha: float = 0.25
+
+
+class BatchedPolicy:
+    """Base: ``(N, C)`` slot/stamp matrices and the array protocol."""
+
+    name = "batched"
+
+    def __init__(self, num_clients: int, capacity: int):
+        if num_clients < 1:
+            raise ConfigurationError(
+                f"batched policies need >= 1 client, got {num_clients}"
+            )
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1 page, got {capacity}"
+            )
+        self.num_clients = num_clients
+        self.capacity = capacity
+        self.slots = np.full((num_clients, capacity), EMPTY, dtype=np.int64)
+        self.stamps = np.zeros((num_clients, capacity), dtype=np.int64)
+        self.count = np.zeros(num_clients, dtype=np.int64)
+        self._seq = np.zeros(num_clients, dtype=np.int64)
+        self._rows = np.arange(num_clients)
+
+    # -- protocol ----------------------------------------------------------
+    def is_full(self) -> np.ndarray:
+        """Boolean column: which clients' caches are at capacity."""
+        return self.count >= self.capacity
+
+    def _match(self, pages: np.ndarray):
+        """``(hit, position)``: where each client's page is resident."""
+        match = self.slots == pages[:, None]
+        return match.any(axis=1), match.argmax(axis=1)
+
+    def lookup(self, pages: np.ndarray, now: np.ndarray) -> np.ndarray:
+        """Hit column; recency state updated where applicable."""
+        hit, _ = self._match(pages)
+        return hit
+
+    def admit(
+        self, pages: np.ndarray, now: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Offer each masked client's page; return the victim column."""
+        raise NotImplementedError
+
+    # -- shared admit plumbing --------------------------------------------
+    def _free_positions(self, rows: np.ndarray) -> np.ndarray:
+        """First empty slot of each listed client (scalar: dict append)."""
+        return (self.slots[rows] == EMPTY).argmax(axis=1)
+
+    def _stamp(self, rows: np.ndarray) -> np.ndarray:
+        """Consume one per-client sequence number (the scalar counter)."""
+        self._seq[rows] += 1
+        return self._seq[rows]
+
+
+class BatchedLRU(BatchedPolicy):
+    """Columnar :class:`~repro.cache.lru.LRUPolicy`: min-stamp eviction."""
+
+    name = "LRU"
+
+    def lookup(self, pages: np.ndarray, now: np.ndarray) -> np.ndarray:
+        hit, position = self._match(pages)
+        rows = np.nonzero(hit)[0]
+        if len(rows):
+            self.stamps[rows, position[rows]] = self._stamp(rows)
+        return hit
+
+    def admit(self, pages, now, mask) -> np.ndarray:
+        victims = np.full(self.num_clients, NO_ADMIT, dtype=np.int64)
+        rows = np.nonzero(mask)[0]
+        if not len(rows):
+            return victims
+        full = self.count[rows] >= self.capacity
+        free_rows = rows[~full]
+        if len(free_rows):
+            position = self._free_positions(free_rows)
+            self.slots[free_rows, position] = pages[free_rows]
+            self.stamps[free_rows, position] = self._stamp(free_rows)
+            self.count[free_rows] += 1
+            victims[free_rows] = FREE
+        full_rows = rows[full]
+        if len(full_rows):
+            position = self.stamps[full_rows].argmin(axis=1)
+            victims[full_rows] = self.slots[full_rows, position]
+            self.slots[full_rows, position] = pages[full_rows]
+            self.stamps[full_rows, position] = self._stamp(full_rows)
+        return victims
+
+
+class BatchedP(BatchedPolicy):
+    """Columnar :class:`~repro.cache.p.PPolicy`: static-value eviction.
+
+    The scalar policy's lazy min-heap holds one live entry per resident
+    page (engines never ``discard``), so its victim is exactly the
+    lexicographic ``(value, insertion stamp)`` minimum — computed here
+    as a value argmin refined by a masked stamp argmin.
+    """
+
+    name = "P"
+
+    def __init__(self, num_clients: int, capacity: int,
+                 oracles: BatchedOracles):
+        super().__init__(num_clients, capacity)
+        if oracles.probability is None:
+            raise ConfigurationError(
+                "this policy requires the 'probability' oracle in its context"
+            )
+        self._oracles = oracles
+        self.values = np.zeros((num_clients, capacity), dtype=np.float64)
+
+    def _value_of(self, rows: np.ndarray, pages: np.ndarray) -> np.ndarray:
+        return self._oracles.probability[pages]
+
+    def admit(self, pages, now, mask) -> np.ndarray:
+        victims = np.full(self.num_clients, NO_ADMIT, dtype=np.int64)
+        rows = np.nonzero(mask)[0]
+        if not len(rows):
+            return victims
+        value = self._value_of(rows, pages[rows])
+        full = self.count[rows] >= self.capacity
+        free_rows = rows[~full]
+        if len(free_rows):
+            position = self._free_positions(free_rows)
+            self.slots[free_rows, position] = pages[free_rows]
+            self.values[free_rows, position] = value[~full]
+            self.stamps[free_rows, position] = self._stamp(free_rows)
+            self.count[free_rows] += 1
+            victims[free_rows] = FREE
+        full_rows = rows[full]
+        if len(full_rows):
+            resident = self.values[full_rows]
+            minimum = resident.min(axis=1)
+            # Decline when nothing resident is less valuable (scalar:
+            # ``self._resident[victim] >= value`` — no stamp consumed).
+            declined = minimum >= value[full]
+            victims[full_rows[declined]] = pages[full_rows[declined]]
+            evict_rows = full_rows[~declined]
+            if len(evict_rows):
+                candidates = (
+                    self.values[evict_rows]
+                    == minimum[~declined][:, None]
+                )
+                masked = np.where(
+                    candidates, self.stamps[evict_rows], _STAMP_MAX
+                )
+                position = masked.argmin(axis=1)
+                victims[evict_rows] = self.slots[evict_rows, position]
+                self.slots[evict_rows, position] = pages[evict_rows]
+                self.values[evict_rows, position] = value[full][~declined]
+                self.stamps[evict_rows, position] = self._stamp(evict_rows)
+        return victims
+
+
+class BatchedPIX(BatchedP):
+    """Columnar :class:`~repro.cache.pix.PIXPolicy`: probability/frequency."""
+
+    name = "PIX"
+
+    def __init__(self, num_clients: int, capacity: int,
+                 oracles: BatchedOracles):
+        super().__init__(num_clients, capacity, oracles)
+        if oracles.frequency is None:
+            raise ConfigurationError(
+                "this policy requires the 'frequency' oracle in its context"
+            )
+
+    def _value_of(self, rows: np.ndarray, pages: np.ndarray) -> np.ndarray:
+        probability = self._oracles.probability[pages]
+        frequency = _gather(self._oracles.frequency, rows, pages)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = probability / frequency
+        return np.where(frequency > 0.0, value, np.inf)
+
+
+class BatchedLIX(BatchedPolicy):
+    """Columnar :class:`~repro.cache.lix.LIXPolicy`: per-disk chains.
+
+    A slot's chain membership is its ``chain`` column entry; each
+    chain's bottom (the scalar ``next(iter(chain))``) is its minimum
+    recency stamp.  Victim search walks disks in ascending order with a
+    strict ``<``, so the earliest chain wins ties exactly as the scalar
+    ``_choose_victim`` does.
+    """
+
+    name = "LIX"
+    use_frequency = True
+
+    def __init__(self, num_clients: int, capacity: int,
+                 oracles: BatchedOracles):
+        super().__init__(num_clients, capacity)
+        if oracles.disk is None:
+            raise ConfigurationError(
+                "this policy requires the 'disk_of' oracle in its context"
+            )
+        if self.use_frequency and oracles.frequency is None:
+            raise ConfigurationError(
+                "this policy requires the 'frequency' oracle in its context"
+            )
+        if not 0.0 < oracles.lix_alpha <= 1.0:
+            raise ConfigurationError(
+                f"lix_alpha must be in (0, 1], got {oracles.lix_alpha}"
+            )
+        if oracles.num_disks < 1:
+            raise ConfigurationError(
+                f"num_disks must be >= 1, got {oracles.num_disks}"
+            )
+        self._oracles = oracles
+        self._alpha = float(oracles.lix_alpha)
+        self.estimates = np.zeros((num_clients, capacity), dtype=np.float64)
+        self.last_access = np.zeros((num_clients, capacity), dtype=np.float64)
+        self.chain = np.full((num_clients, capacity), -1, dtype=np.int64)
+
+    def _evaluate(self, estimates, last_access, now):
+        """The scalar ``_evaluate`` formula, elementwise."""
+        gap = np.maximum(now - last_access, _MIN_GAP)
+        return self._alpha / gap + (1.0 - self._alpha) * estimates
+
+    def lookup(self, pages: np.ndarray, now: np.ndarray) -> np.ndarray:
+        hit, position = self._match(pages)
+        rows = np.nonzero(hit)[0]
+        if len(rows):
+            slot = position[rows]
+            self.estimates[rows, slot] = self._evaluate(
+                self.estimates[rows, slot],
+                self.last_access[rows, slot],
+                now[rows],
+            )
+            self.last_access[rows, slot] = now[rows]
+            self.stamps[rows, slot] = self._stamp(rows)
+        return hit
+
+    def _lix_values(self, rows, slot, now):
+        value = self._evaluate(
+            self.estimates[rows, slot], self.last_access[rows, slot], now
+        )
+        if self.use_frequency:
+            frequency = _gather(
+                self._oracles.frequency, rows, self.slots[rows, slot]
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                value = value / frequency
+            value = np.where(frequency > 0.0, value, np.inf)
+        return value
+
+    def _choose_victims(self, rows: np.ndarray, now: np.ndarray) -> np.ndarray:
+        best_value = np.full(len(rows), np.inf)
+        best_position = np.zeros(len(rows), dtype=np.int64)
+        chains = self.chain[rows]
+        for disk in range(self._oracles.num_disks):
+            in_chain = chains == disk
+            present = in_chain.any(axis=1)
+            if not present.any():
+                continue
+            masked = np.where(in_chain, self.stamps[rows], _STAMP_MAX)
+            position = masked.argmin(axis=1)
+            value = self._lix_values(rows, position, now)
+            # Strict <: the scalar loop keeps the earliest chain on ties.
+            better = present & (value < best_value)
+            best_value = np.where(better, value, best_value)
+            best_position = np.where(better, position, best_position)
+        return best_position
+
+    def admit(self, pages, now, mask) -> np.ndarray:
+        victims = np.full(self.num_clients, NO_ADMIT, dtype=np.int64)
+        rows = np.nonzero(mask)[0]
+        if not len(rows):
+            return victims
+        full = self.count[rows] >= self.capacity
+        free_rows = rows[~full]
+        if len(free_rows):
+            position = self._free_positions(free_rows)
+            self._place(free_rows, position, pages[free_rows], now[free_rows])
+            self.count[free_rows] += 1
+            victims[free_rows] = FREE
+        full_rows = rows[full]
+        if len(full_rows):
+            position = self._choose_victims(full_rows, now[full_rows])
+            victims[full_rows] = self.slots[full_rows, position]
+            self._place(full_rows, position, pages[full_rows], now[full_rows])
+        return victims
+
+    def _place(self, rows, position, pages, now):
+        """Enter ``pages`` with fresh state in its own disk's chain."""
+        self.slots[rows, position] = pages
+        self.estimates[rows, position] = 0.0
+        self.last_access[rows, position] = now
+        self.stamps[rows, position] = self._stamp(rows)
+        self.chain[rows, position] = _gather(
+            self._oracles.disk, rows, pages
+        )
+
+
+class BatchedL(BatchedLIX):
+    """Columnar :class:`~repro.cache.lix.LPolicy`: LIX without frequency."""
+
+    name = "L"
+    use_frequency = False
+
+
+_BATCHED_FACTORIES = {
+    "lru": lambda n, c, oracles: BatchedLRU(n, c),
+    "p": BatchedP,
+    "pix": BatchedPIX,
+    "lix": BatchedLIX,
+    "l": BatchedL,
+}
+
+
+def make_batched_policy(
+    name: str,
+    num_clients: int,
+    capacity: int,
+    oracles: BatchedOracles,
+) -> Optional[BatchedPolicy]:
+    """A columnar policy for ``name``, or None when no batched form exists.
+
+    Callers treat ``None`` as "fall back to the scalar per-client path"
+    (LRU-K and 2Q keep history beyond residency, which has no columnar
+    formulation here).  Name normalisation matches the scalar registry.
+    """
+    factory = _BATCHED_FACTORIES.get(name.strip().lower())
+    if factory is None:
+        return None
+    return factory(num_clients, capacity, oracles)

@@ -192,6 +192,38 @@ def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
     )
 
 
+def _run_plan_batch(plan, *, config, schedule, mapping, layout, cache,
+                    trace, tracer=None, profile=None):
+    """Drive the columnar batch engine for a single plan (N == 1).
+
+    Policies without a columnar formulation fall back to ``fast`` — the
+    single-client batch loop is byte-identical to it anyway, so the
+    choice never changes results, only the execution strategy.  The
+    pre-built ``cache`` is intentionally unused on the columnar path:
+    the batch engine carries its own array-state policy.
+    """
+    from repro.batch.engine import build_columnar_engine
+
+    engine = build_columnar_engine(
+        config, schedule, layout, mapping.physical_array()[None, :], 1
+    )
+    if engine is None:
+        return _run_plan_fast(
+            plan, config=config, schedule=schedule, mapping=mapping,
+            layout=layout, cache=cache, trace=trace, tracer=tracer,
+            profile=profile,
+        )
+    outcome = engine.run(
+        trace.pages[:, None],
+        warmup_requests=config.warmup_requests,
+        extra_warmup=config.extra_warmup,
+        collect_responses=plan.collect_responses,
+        tracer=tracer,
+        profile=profile,
+    )
+    return outcome.to_engine_outcome(0)
+
+
 register_engine(EngineSpec(
     name="fast",
     summary="analytic-stepping single-client engine (full-scale sweeps)",
@@ -211,6 +243,14 @@ register_engine(EngineSpec(
     summary="process-oriented discrete-event engine (CSIM substitute)",
     executes_plans=True,
     run_plan=_run_plan_process,
+))
+
+register_engine(EngineSpec(
+    name="batch",
+    summary="columnar lockstep engine (fleet-scale batches; "
+            "single plans byte-match fast)",
+    executes_plans=True,
+    run_plan=_run_plan_batch,
 ))
 
 register_engine(EngineSpec(

@@ -58,7 +58,7 @@ _ALL_CODES = "*"
 _DEAD_NOQA_CODE = "RL014"
 
 #: Bump to invalidate every existing cache (format or semantics change).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 class FileContext:

@@ -10,6 +10,17 @@ returning ``numpy.random.default_rng(...)`` taints every caller, across
 modules and re-exports), and into the call that hands it to simulation
 code.
 
+One construction is exempt: a **seeded gateway** — a function that
+returns a ``Generator`` built from an *explicitly-seeded* bit-generator
+chain, ``Generator(PCG64(SeedSequence(<entropy>)))`` or
+``default_rng(SeedSequence(<entropy>))``.  That is the batch engine's
+array-RNG recipe (``repro.batch.rng``): the entropy argument carries
+the ``derive_seed`` provenance, so the generators it mints are as
+seed-coupled as a ``RandomStreams`` stream.  A bare ``SeedSequence()``
+(OS entropy) does not qualify, and inlining the chain at a simulation
+call site is still flagged — the exemption is for gateway *functions*,
+keeping construction auditable in one place.
+
 RL013 flags iteration whose order the platform, not the seed, decides:
 unsorted filesystem listings (``os.listdir``, ``glob.glob``,
 ``Path.iterdir``/``glob``/``rglob``) and folds over ``set`` values.
@@ -40,6 +51,12 @@ TAINTED_CONSTRUCTORS = frozenset(
 #: Origin markers proving a value came from the seeded-stream gateway.
 _BLESSED_MARKERS = ("RandomStreams", "derive_seed", "build_streams")
 _BLESSED_TAILS = (".stream", ".fork")
+
+#: Dotted names of the numpy seeding chain a gateway must thread.
+_GENERATOR = "numpy.random.Generator"
+_DEFAULT_RNG = "numpy.random.default_rng"
+_PCG64 = "numpy.random.PCG64"
+_SEED_SEQUENCE = "numpy.random.SeedSequence"
 
 
 def _is_blessed(origin: str) -> bool:
@@ -119,6 +136,8 @@ class RngProvenanceRule(ProjectRule):
                     key = f"{path}::{qualname}"
                     if key in producers:
                         continue
+                    if self._is_seeded_gateway(info):
+                        continue
                     for origin in info.returns:
                         if self._is_tainted(
                             model, summary, origin, producers
@@ -127,6 +146,41 @@ class RngProvenanceRule(ProjectRule):
                             changed = True
                             break
         return producers
+
+    @staticmethod
+    def _is_seeded_gateway(info) -> bool:
+        """True when ``info`` mints its RNG via an explicit seed chain.
+
+        The recognised shapes (arguments may flow through locals — the
+        extractor resolves variable origins back to the producing call):
+
+        * ``Generator(PCG64(SeedSequence(<entropy>)))``
+        * ``default_rng(SeedSequence(<entropy>))``
+
+        ``SeedSequence`` must receive at least one argument; a bare
+        ``SeedSequence()`` draws OS entropy and stays tainted.  Such a
+        function is excluded from the producer fixpoint, so both it and
+        wrappers returning its result are clean origins.
+        """
+        seeded_sequence = any(
+            fact.callee == _SEED_SEQUENCE and len(fact.arg_origins) >= 1
+            for fact in info.calls
+        )
+        if not seeded_sequence:
+            return False
+        for fact in info.calls:
+            if (fact.callee == _DEFAULT_RNG and fact.arg_origins
+                    and fact.arg_origins[0] == _SEED_SEQUENCE):
+                return True
+            if (fact.callee == _GENERATOR and fact.arg_origins
+                    and fact.arg_origins[0] == _PCG64):
+                if any(
+                    inner.callee == _PCG64 and inner.arg_origins
+                    and inner.arg_origins[0] == _SEED_SEQUENCE
+                    for inner in info.calls
+                ):
+                    return True
+        return False
 
     def _is_tainted(
         self,

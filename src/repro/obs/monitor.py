@@ -176,13 +176,20 @@ class FixedInterarrivalMonitor(Monitor):
 
 
 class CacheOccupancyMonitor(Monitor):
-    """Resident pages never exceed the configured capacity."""
+    """Resident pages never exceed the configured capacity.
+
+    Residency is tracked per client (``client`` record field): a
+    columnar batch run interleaves every client's ``cache.*`` records
+    in one monitored scope, and each client owns a private cache of the
+    configured capacity.  Unlabelled records share the ``""`` key, so a
+    single-client run behaves exactly as before.
+    """
 
     name = "cache_occupancy"
 
     def __init__(self) -> None:
         super().__init__()
-        self._resident: Set[int] = set()
+        self._resident: Dict[str, Set[int]] = {}
 
     def observe(self, record) -> None:
         capacity = self.context.cache_capacity
@@ -194,17 +201,25 @@ class CacheOccupancyMonitor(Monitor):
             victim = record.fields.get("victim")
             if victim == page:
                 return  # the policy declined to cache the page
+            client = record.fields.get("client", "")
+            resident = self._resident.get(client)
+            if resident is None:
+                resident = self._resident[client] = set()
             if victim is not None:
-                self._resident.discard(victim)
-            self._resident.add(page)
-            if len(self._resident) > capacity:
+                resident.discard(victim)
+            resident.add(page)
+            if len(resident) > capacity:
+                label = f" for {client}" if client else ""
                 self._violate(
                     "occupancy_bound", record.time,
-                    f"{len(self._resident)} resident pages exceed "
-                    f"capacity {capacity} after admitting {page}",
+                    f"{len(resident)} resident pages exceed "
+                    f"capacity {capacity} after admitting {page}{label}",
                 )
         elif kind in ("cache.evict", "cache.discard"):
-            self._resident.discard(record.fields["page"])
+            client = record.fields.get("client", "")
+            resident = self._resident.get(client)
+            if resident is not None:
+                resident.discard(record.fields["page"])
 
 
 class ClockMonotonicityMonitor(Monitor):
@@ -213,7 +228,9 @@ class ClockMonotonicityMonitor(Monitor):
     ``client.*`` records are checked per client (concurrent clients
     interleave legitimately); ``sim.event``, ``channel.deliver``, and
     ``cache.*`` share the simulator's global clock and are checked as
-    one stream each.
+    one stream each.  Any record carrying a ``client`` label splits its
+    stream per client — a columnar batch run interleaves per-client
+    ``cache.*`` records whose clocks advance independently.
     """
 
     name = "clock_monotonicity"
@@ -227,7 +244,7 @@ class ClockMonotonicityMonitor(Monitor):
         if kind.startswith("client."):
             key = ("client", record.fields.get("client", ""))
         else:
-            key = (kind.split(".", 1)[0],)
+            key = (kind.split(".", 1)[0], record.fields.get("client", ""))
         previous = self._last.get(key)
         if previous is not None and record.time < previous - TIME_TOLERANCE:
             self._violate(

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.sim.stats import RunningStats
 
@@ -181,6 +183,56 @@ class PopulationAggregate:
         self.warmup_requests += result.warmup_requests
         self._hit_weight += result.hit_rate * result.measured_requests
         self.total_wall_seconds += result.wall_seconds
+
+    def add_mean_block(self, means, hit_rates, measured_each: int,
+                       warmup_each: int) -> None:
+        """Fold a whole block of per-client summaries at once.
+
+        The columnar fleet kernel produces per-client means as arrays;
+        folding them one :meth:`add_result` at a time would cost more
+        than the simulation itself.  Bucket counts and fairness sums
+        are exactly what sequential adds would produce; the moment
+        accumulator uses the parallel Welford :meth:`merge` (same
+        contract, different rounding than a sequential fold).
+        ``measured_each``/``warmup_each`` are per-client counts, uniform
+        across the block.
+        """
+        means = np.asarray(means, dtype=np.float64)
+        clients = len(means)
+        if clients == 0:
+            return
+        block = RunningStats()
+        block.count = clients
+        block._mean = float(means.mean())
+        block._m2 = float(np.square(means - block._mean).sum())
+        block.minimum = float(means.min())
+        block.maximum = float(means.max())
+        self.response_means = self.response_means.merge(block)
+
+        sketch = self.percentiles
+        positive = means > 0.0
+        sketch.count += clients
+        sketch.zero_count += int(clients - np.count_nonzero(positive))
+        if positive.any():
+            indices = np.ceil(
+                np.log(means[positive]) / sketch._log_gamma
+            ).astype(np.int64)
+            buckets = sketch._buckets
+            for index, bucket_count in zip(
+                *(column.tolist()
+                  for column in np.unique(indices, return_counts=True))
+            ):
+                buckets[index] = buckets.get(index, 0) + bucket_count
+
+        self.fairness.count += clients
+        self.fairness.total += float(means.sum())
+        self.fairness.total_sq += float(np.square(means).sum())
+        self.clients += clients
+        self.measured_requests += int(measured_each) * clients
+        self.warmup_requests += int(warmup_each) * clients
+        self._hit_weight += float(
+            np.asarray(hit_rates, dtype=np.float64).sum()
+        ) * measured_each
 
     def merge(self, other: "PopulationAggregate") -> "PopulationAggregate":
         """A new aggregate equal to this one fed with both inputs."""

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.exec.checkpoint import SweepCheckpoint
-from repro.exec.executor import Executor, resolve_executor
+from repro.exec.executor import Executor, resolve_executor, usable_cores
 from repro.exec.run import ExperimentResult
 from repro.obs.clock import perf_counter
 from repro.obs.manifest import write_manifest
@@ -139,6 +139,30 @@ def _record_population_metrics(metrics, result: PopulationResult) -> None:
     metrics.counter("population.runs").inc()
 
 
+#: Minimum clients per worker before a process pool pays for itself.
+#: ``BENCH_population.json`` recorded the per-client path at 0.86x with
+#: 4 workers over a 50-client fleet — fork/pickle overhead swamped the
+#: ~70ms of simulation each worker received.  Below this density the
+#: pool degrades toward serial instead.
+_MIN_CLIENTS_PER_WORKER = 64
+
+
+def _effective_jobs(jobs: int, num_plans: int) -> int:
+    """Clamp the requested worker count to what the fleet can feed.
+
+    Never exceeds the affinity-visible cores (see
+    :func:`~repro.exec.executor.usable_cores`) nor one worker per
+    ``_MIN_CLIENTS_PER_WORKER`` clients; degrades to serial when the
+    fleet is too small to amortise process start-up.
+    """
+    if jobs is None or jobs <= 1:
+        return 1
+    return max(
+        1,
+        min(jobs, usable_cores(), num_plans // _MIN_CLIENTS_PER_WORKER),
+    )
+
+
 def run_population(
     spec: PopulationSpec,
     *,
@@ -171,9 +195,24 @@ def run_population(
     :class:`repro.obs.monitor.MonitorSuite`; either being *enabled*
     forces serial execution, like an enabled tracer.
     """
+    if (spec.engine == "batch" and executor is None and progress is None
+            and checkpoint is None and not keep_results):
+        # The batch engine executes whole homogeneous segments as
+        # columnar groups — there are no per-client plans to schedule,
+        # so the fleet path replaces the executor entirely.  Callers
+        # needing plan-level machinery (progress, checkpoints, kept
+        # per-client results, a custom executor) fall through to it:
+        # single-client batch plans produce identical results.
+        from repro.batch.fleet import run_fleet
+
+        return run_fleet(
+            spec, gamma=gamma, tracer=tracer, metrics=metrics,
+            manifest=manifest, profile=profile, monitors=monitors,
+        )
     started = perf_counter()
     plans = expand(spec)
-    runner = executor if executor is not None else resolve_executor(jobs)
+    runner = (executor if executor is not None
+              else resolve_executor(_effective_jobs(jobs, len(plans))))
     results = runner.run(
         plans, tracer=tracer, progress=progress, checkpoint=checkpoint,
         profile=profile, monitors=monitors,

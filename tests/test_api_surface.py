@@ -192,9 +192,11 @@ class TestDeprecationShim:
 class TestEngineRegistry:
     def test_names_include_builtins(self):
         assert set(engine_names()) >= {
-            "fast", "fast-reference", "process", "hybrid", "query",
+            "batch", "fast", "fast-reference", "process", "hybrid", "query",
         }
-        assert plan_engine_names() == ("fast", "fast-reference", "process")
+        assert plan_engine_names() == (
+            "batch", "fast", "fast-reference", "process"
+        )
 
     def test_unknown_engine_lists_valid_names(self):
         with pytest.raises(ConfigurationError) as excinfo:

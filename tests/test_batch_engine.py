@@ -1,0 +1,293 @@
+"""The columnar batch engine: exact where promised, fast where allowed.
+
+Two correctness regimes (``src/repro/batch/fleet.py`` docstring):
+
+* single-client ``--engine batch`` runs and ``run_fleet(kernel="never")``
+  fleets are **byte-identical** to the scalar ``fast`` path — stats,
+  samples, and the traced record stream;
+* the cache-less phase-table kernel draws from group-level streams, so
+  it is held to the BENCH_population contract instead: equal within
+  sampling error.
+
+Plus the rails around the engine: registry fallback for unbatchable
+policies, fleet fallback for heterogeneous segments, monitor keying on
+interleaved per-client records, and the process-pool clamp that stops
+small fleets from paying for workers they cannot feed.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs.monitor import MonitorSuite
+from repro.obs.profile import Profiler
+from repro.obs.trace import MemorySink, Tracer
+from repro.population import (
+    Choice,
+    Constant,
+    PopulationSpec,
+    SegmentSpec,
+    Uniform,
+    UniformInt,
+    run_population,
+)
+from repro.population.run import _MIN_CLIENTS_PER_WORKER, _effective_jobs
+
+
+def config(**overrides):
+    defaults = dict(
+        disk_sizes=(50, 200, 250),
+        delta=3,
+        cache_size=20,
+        policy="LIX",
+        access_range=100,
+        region_size=10,
+        num_requests=300,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def homogeneous_spec(clients=8, *, name="batch-fleet", seed=29, **overrides):
+    engine = overrides.pop("engine", "batch")
+    return PopulationSpec(
+        name=name,
+        base=config(**overrides),
+        seed=seed,
+        engine=engine,
+        segments=(SegmentSpec("uniform", clients),),
+    )
+
+
+def snapshot(result):
+    """Aggregate snapshots with wall-clock fields removed."""
+    documents = [result.overall.snapshot()] + [
+        result.segments[name].snapshot() for name in sorted(result.segments)
+    ]
+    for document in documents:
+        document.pop("total_wall_seconds")
+    return documents
+
+
+# ---------------------------------------------------------------------------
+# Regime 1: byte-identity with the scalar fast engine
+# ---------------------------------------------------------------------------
+
+class TestSingleClientExactness:
+    """``--engine batch`` on one plan is the fast engine, column-wise."""
+
+    @pytest.mark.parametrize("policy", ["LRU", "P", "PIX", "L", "LIX"])
+    def test_stats_identical_across_policies(self, policy):
+        base = config(policy=policy)
+        fast = run_experiment(base, engine="fast", collect_responses=True)
+        batch = run_experiment(base, engine="batch", collect_responses=True)
+        assert batch.mean_response_time == fast.mean_response_time
+        assert batch.measured_requests == fast.measured_requests
+        assert batch.warmup_requests == fast.warmup_requests
+        assert batch.hit_rate == fast.hit_rate
+        assert batch.samples == fast.samples
+
+    @pytest.mark.parametrize("overrides", [
+        dict(cache_size=1),
+        dict(cache_size=8, policy="P"),
+        dict(noise=0.3, seed=41),
+        dict(drift_rotations=1.5),
+        dict(think_time=2.5),
+        dict(warmup_requests=40),
+    ])
+    def test_stats_identical_across_configs(self, overrides):
+        base = config(**overrides)
+        fast = run_experiment(base, engine="fast")
+        batch = run_experiment(base, engine="batch")
+        assert batch.mean_response_time == fast.mean_response_time
+        assert batch.hit_rate == fast.hit_rate
+        assert batch.measured_requests == fast.measured_requests
+
+    def test_traced_record_streams_identical(self):
+        streams = {}
+        for engine in ("fast", "batch"):
+            sink = MemorySink()
+            run_experiment(config(num_requests=150), engine=engine,
+                           tracer=Tracer(sink))
+            streams[engine] = [
+                (r.time, r.kind, r.fields) for r in sink.records
+            ]
+        assert streams["batch"] == streams["fast"]
+        assert len(streams["batch"]) > 0
+
+    def test_unbatchable_policy_falls_back_to_fast(self):
+        # LRU-K has no columnar formulation; the batch plan engine must
+        # silently delegate rather than fail.
+        base = config(policy="LRU-K", num_requests=150)
+        fast = run_experiment(base, engine="fast")
+        batch = run_experiment(base, engine="batch")
+        assert batch.mean_response_time == fast.mean_response_time
+
+
+class TestFleetExactness:
+    """``kernel="never"`` fleets fold identically to run_population."""
+
+    def mixed_spec(self):
+        return PopulationSpec(
+            name="mixed-fleet",
+            base=config(num_requests=200),
+            seed=17,
+            segments=(
+                SegmentSpec("uniform", 5),
+                SegmentSpec("tuned", 4,
+                            cache_size=Constant(8), policy=Constant("P"),
+                            noise=Constant(0.25)),
+                SegmentSpec("varied", 3,
+                            cache_size=UniformInt(5, 40),
+                            policy=Choice(("LRU", "LIX"))),
+                SegmentSpec("drifting", 2,
+                            drift_rotations=Uniform(0.5, 1.5)),
+            ),
+        )
+
+    def test_batch_fleet_matches_per_client_fold(self):
+        from repro.batch.fleet import run_fleet
+
+        spec = self.mixed_spec()
+        scalar = run_population(spec)
+        fleet = run_fleet(spec, kernel="never")
+        assert snapshot(fleet) == snapshot(scalar)
+
+    def test_run_population_dispatches_batch_engine(self):
+        spec = homogeneous_spec(6, num_requests=200, engine="batch")
+        via_population = run_population(spec)
+        scalar = run_population(
+            homogeneous_spec(6, num_requests=200, engine="fast")
+        )
+        assert snapshot(via_population) == snapshot(scalar)
+
+    def test_plan_machinery_falls_back_to_plans(self):
+        # keep_results needs per-client ExperimentResults, which the
+        # fleet path never materialises — run_population must take the
+        # plan path and still agree.
+        spec = homogeneous_spec(4, num_requests=200, engine="batch")
+        kept = run_population(spec, keep_results=True)
+        assert kept.results is not None and len(kept.results) == 4
+        assert snapshot(kept) == snapshot(run_population(spec))
+
+
+# ---------------------------------------------------------------------------
+# Regime 2: the phase-table kernel, statistically
+# ---------------------------------------------------------------------------
+
+class TestKernelStatistical:
+    KERNEL = dict(cache_size=1, policy="LRU", think_time=2.0,
+                  num_requests=400)
+
+    def test_kernel_matches_columnar_within_sampling_error(self):
+        from repro.batch.fleet import run_fleet
+
+        spec = homogeneous_spec(200, **self.KERNEL)
+        auto = run_fleet(spec, kernel="auto")
+        exact = run_fleet(spec, kernel="never")
+        assert auto.overall.clients == exact.overall.clients == 200
+        assert auto.overall.measured_requests == \
+            exact.overall.measured_requests
+        assert auto.overall.warmup_requests == exact.overall.warmup_requests
+        stats_a, stats_e = auto.overall.response_means, \
+            exact.overall.response_means
+        tolerance = 6.0 * math.sqrt(
+            stats_a.stderr ** 2 + stats_e.stderr ** 2
+        )
+        assert abs(stats_a.mean - stats_e.mean) < tolerance
+        assert abs(auto.overall.hit_rate - exact.overall.hit_rate) < 0.01
+
+    def test_kernel_declines_ineligible_configs(self):
+        from repro.batch.fleet import _kernel_eligible
+
+        assert _kernel_eligible(config(**self.KERNEL))
+        assert not _kernel_eligible(config(**{**self.KERNEL,
+                                              "cache_size": 20}))
+        assert not _kernel_eligible(config(**{**self.KERNEL,
+                                              "policy": "PIX"}))
+        assert not _kernel_eligible(config(**{**self.KERNEL,
+                                              "think_time": 2.5}))
+        assert not _kernel_eligible(config(**{**self.KERNEL, "noise": 0.2}))
+        assert not _kernel_eligible(config(**{**self.KERNEL,
+                                              "drift_rotations": 1.0}))
+        assert not _kernel_eligible(config(**{**self.KERNEL,
+                                              "warmup_requests": 10}))
+
+    def test_invalid_kernel_mode_rejected(self):
+        from repro.batch.fleet import run_fleet
+
+        with pytest.raises(ConfigurationError, match="kernel"):
+            run_fleet(homogeneous_spec(2), kernel="sometimes")
+
+
+# ---------------------------------------------------------------------------
+# Observability: monitors, profiling, tier reconciliation
+# ---------------------------------------------------------------------------
+
+class TestBatchObservability:
+    def test_strict_monitors_pass_on_interleaved_fleet(self):
+        from repro.batch.fleet import run_fleet
+
+        monitors = MonitorSuite(mode="strict")
+        result = run_fleet(homogeneous_spec(5, num_requests=200),
+                           monitors=monitors)
+        assert result.num_clients == 5
+        assert monitors.ok
+        assert monitors.runs == 1
+        assert monitors.observed > 0
+
+    def test_strict_monitors_pass_with_caller_tracer(self):
+        from repro.batch.fleet import run_fleet
+
+        sink = MemorySink(capacity=50_000)
+        monitors = MonitorSuite(mode="strict")
+        run_fleet(homogeneous_spec(3, num_requests=150),
+                  tracer=Tracer(sink), monitors=monitors)
+        assert monitors.ok
+        labels = {
+            record.fields.get("client") for record in sink.records
+        }
+        assert len(labels) == 3  # every record carries its client
+
+    def test_profiler_tier_counts_reconcile(self):
+        from repro.batch.fleet import run_fleet
+
+        profile = Profiler(enabled=True)
+        result = run_fleet(homogeneous_spec(4, num_requests=200),
+                           profile=profile)
+        document = profile.snapshot()
+        tier_total = sum(document["tiers"].values())
+        counters = document["counters"]
+        assert tier_total == counters["engine.batch.misses"]
+        assert counters["requests.measured"] == \
+            result.overall.measured_requests
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the process-pool clamp
+# ---------------------------------------------------------------------------
+
+class TestEffectiveJobs:
+    def test_small_fleet_degrades_to_serial(self):
+        # The 0.86x BENCH record: 50 clients over 4 workers lost to
+        # fork overhead.  Below one worker per _MIN_CLIENTS_PER_WORKER
+        # clients the pool must shrink.
+        assert _effective_jobs(4, 50) == 1
+
+    def test_large_fleet_keeps_requested_workers(self):
+        import repro.exec.executor as executor
+
+        wanted = min(4, executor.usable_cores())
+        assert _effective_jobs(wanted,
+                               8 * _MIN_CLIENTS_PER_WORKER) == wanted
+
+    def test_serial_requests_stay_serial(self):
+        assert _effective_jobs(None, 10_000) == 1
+        assert _effective_jobs(1, 10_000) == 1
+
+    def test_clamp_scales_with_density(self):
+        assert _effective_jobs(16, 3 * _MIN_CLIENTS_PER_WORKER) <= 3

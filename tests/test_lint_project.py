@@ -182,6 +182,66 @@ class TestRngProvenance:
         }
         assert run(tmp_path, files, enabled=("RL010",)) == []
 
+    GATEWAY = {
+        "src/repro/batchrng.py": """
+            import numpy as np
+
+
+            def seeded_generator(entropy):
+                sequence = np.random.SeedSequence(entropy)
+                return np.random.Generator(np.random.PCG64(sequence))
+
+
+            def client_generator(seed, index):
+                return seeded_generator((seed, index))
+        """,
+        "src/repro/fleet.py": """
+            from repro.batchrng import client_generator
+
+
+            def simulate(rng):
+                return rng.random()
+
+
+            def drive(seed):
+                rng = client_generator(seed, 0)
+                return simulate(rng)
+        """,
+    }
+
+    def test_seeded_gateway_is_clean(self, tmp_path):
+        # Generator(PCG64(SeedSequence(entropy))) is the sanctioned
+        # array-RNG recipe; the wrapper returning its result is clean
+        # too, so the consumer in fleet.py raises no diagnostic.
+        assert run(tmp_path, self.GATEWAY, enabled=("RL010",)) == []
+
+    def test_default_rng_seeded_gateway_is_clean(self, tmp_path):
+        files = dict(self.GATEWAY)
+        files["src/repro/batchrng.py"] = """
+            import numpy as np
+
+
+            def seeded_generator(entropy):
+                return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+            def client_generator(seed, index):
+                return seeded_generator((seed, index))
+        """
+        assert run(tmp_path, files, enabled=("RL010",)) == []
+
+    def test_os_entropy_gateway_stays_flagged(self, tmp_path):
+        # A bare SeedSequence() draws OS entropy — that chain is not a
+        # seeded gateway and the taint still reaches simulate().
+        files = dict(self.GATEWAY)
+        files["src/repro/batchrng.py"] = files[
+            "src/repro/batchrng.py"
+        ].replace("np.random.SeedSequence(entropy)",
+                  "np.random.SeedSequence()")
+        diagnostics = run(tmp_path, files, enabled=("RL010",))
+        assert codes(diagnostics) == ["RL010"]
+        assert diagnostics[0].path.endswith("src/repro/fleet.py")
+
     def test_noqa_suppresses_the_call_site(self, tmp_path):
         files = dict(self.BUG)
         files["src/repro/sim.py"] = files["src/repro/sim.py"].replace(

@@ -1,0 +1,179 @@
+"""Property tests: batched cache policies == scalar policies, always.
+
+The batched formulations in :mod:`repro.cache.batched` claim to
+replicate their scalar counterparts *decision-for-decision* — the same
+hits, the same victims, the same declines, in the same tie-break order.
+Hypothesis drives both sides of that claim with random fleets over
+random request strings:
+
+* every client column of a batched policy behaves exactly like a
+  private scalar policy fed the same requests;
+* tie-heavy oracles (constant probability, single disk) force the
+  tie-break paths: P/PIX must evict the *oldest* minimum-value entry,
+  LIX/L must prefer the earliest disk chain — exactly like the scalar
+  min-heap and chain walk.
+
+Decision equality on every step subsumes evict-score agreement: a
+diverging score would pick a diverging victim somewhere in the stream.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import PolicyContext
+from repro.cache.batched import (
+    FREE,
+    NO_ADMIT,
+    BatchedOracles,
+    make_batched_policy,
+)
+from repro.cache.registry import make_policy
+
+PAGE_COUNT = 18
+NUM_DISKS = 3
+POLICIES = ("lru", "p", "pix", "lix", "l")
+
+
+def oracle_arrays(*, tie_breaking=False):
+    """Matching scalar/batched oracle pairs over PAGE_COUNT pages.
+
+    ``tie_breaking=True`` collapses every score to a constant and every
+    page onto one disk, so victim selection is decided purely by the
+    tie-break rules under test.
+    """
+    pages = np.arange(PAGE_COUNT)
+    if tie_breaking:
+        probability = np.full(PAGE_COUNT, 1.0 / PAGE_COUNT)
+        frequency = np.full(PAGE_COUNT, 0.125)
+        disk = np.zeros(PAGE_COUNT, dtype=np.int64)
+    else:
+        probability = (PAGE_COUNT - pages) / 300.0
+        frequency = 0.05 + 0.01 * (pages % 5)
+        disk = pages % NUM_DISKS
+    scalar = PolicyContext(
+        probability=lambda page: float(probability[page]),
+        frequency=lambda page: float(frequency[page]),
+        disk_of=lambda page: int(disk[page]),
+        num_disks=NUM_DISKS,
+    )
+    batched = BatchedOracles(
+        probability=probability.astype(np.float64),
+        frequency=frequency.astype(np.float64)[None, :],
+        disk=disk[None, :],
+        num_disks=NUM_DISKS,
+    )
+    return scalar, batched
+
+
+def drive_both(name, capacity, request_matrix, *, tie_breaking=False):
+    """Advance a batched fleet and per-client scalar twins in lockstep.
+
+    ``request_matrix`` is ``(steps, clients)``.  Asserts hit columns and
+    victim columns agree on every step, translating the scalar
+    vocabulary (None / page / victim) into the batched sentinels.
+    """
+    steps, clients = request_matrix.shape
+    scalar_context, batched_oracles = oracle_arrays(
+        tie_breaking=tie_breaking
+    )
+    batched = make_batched_policy(name, clients, capacity, batched_oracles)
+    assert batched is not None
+    twins = [make_policy(name, capacity, scalar_context)
+             for _ in range(clients)]
+
+    time = 0.0
+    for step in range(steps):
+        time += 2.0
+        pages = request_matrix[step]
+        now = np.full(clients, time)
+        hits = batched.lookup(pages, now)
+        scalar_hits = np.array([
+            twin.lookup(int(page), time)
+            for twin, page in zip(twins, pages)
+        ])
+        assert (hits == scalar_hits).all(), (
+            f"{name}: hit column diverged at step {step}"
+        )
+        victims = batched.admit(pages, now, ~hits)
+        for client, twin in enumerate(twins):
+            if hits[client]:
+                assert victims[client] == NO_ADMIT
+                continue
+            scalar_victim = twin.admit(int(pages[client]), time)
+            expected = FREE if scalar_victim is None else scalar_victim
+            assert victims[client] == expected, (
+                f"{name}: victim diverged at step {step} for "
+                f"client {client}: batched {victims[client]}, "
+                f"scalar {expected}"
+            )
+        assert (batched.count <= capacity).all()
+
+
+request_matrices = st.integers(min_value=1, max_value=5).flatmap(
+    lambda clients: st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=PAGE_COUNT - 1),
+            min_size=clients, max_size=clients,
+        ),
+        min_size=1, max_size=60,
+    ).map(lambda rows: np.array(rows, dtype=np.int64))
+)
+
+
+class TestBatchedEqualsScalar:
+    @given(
+        st.sampled_from(POLICIES),
+        st.integers(min_value=1, max_value=8),
+        request_matrices,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_decisions_identical(self, name, capacity, matrix):
+        drive_both(name, capacity, matrix)
+
+    @given(
+        st.sampled_from(("p", "pix")),
+        st.integers(min_value=1, max_value=6),
+        request_matrices,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_value_ties_break_by_insertion_order(self, name, capacity,
+                                                 matrix):
+        # Constant probability: every resident entry shares the minimum
+        # value, so the victim must be the oldest insertion — the scalar
+        # heap's (value, stamp) order against the batched masked argmin.
+        drive_both(name, capacity, matrix, tie_breaking=True)
+
+    @given(
+        st.sampled_from(("lix", "l", "lru")),
+        st.integers(min_value=1, max_value=6),
+        request_matrices,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chain_ties_break_by_disk_order(self, name, capacity, matrix):
+        # One disk, constant frequency: every candidate sits in chain 0
+        # and LIX's inter-access estimator alone picks the victim.
+        drive_both(name, capacity, matrix, tie_breaking=True)
+
+
+class TestBatchedSentinels:
+    def test_masked_clients_never_admit(self):
+        _, oracles = oracle_arrays()
+        batched = make_batched_policy("lru", 3, 2, oracles)
+        pages = np.array([0, 1, 2])
+        now = np.ones(3)
+        victims = batched.admit(pages, now, np.array([True, False, True]))
+        assert victims[1] == NO_ADMIT
+        assert victims[0] == FREE and victims[2] == FREE
+        assert batched.count.tolist() == [1, 0, 1]
+
+    def test_decline_returns_the_offered_page(self):
+        # P with a full cache of hotter pages declines a colder one.
+        _, oracles = oracle_arrays()
+        batched = make_batched_policy("p", 1, 2, oracles)
+        now = np.ones(1)
+        for page in (0, 1):  # hottest pages (descending probability)
+            batched.admit(np.array([page]), now, np.array([True]))
+        victims = batched.admit(np.array([17]), now, np.array([True]))
+        assert victims[0] == 17  # declined: the page itself comes back
+        assert 17 not in batched.slots[0]
