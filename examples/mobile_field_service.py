@@ -27,7 +27,7 @@ Run::
 from repro.cache.base import PolicyContext
 from repro.cache.registry import make_policy
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import ProgramSpec
 from repro.experiments.simengine import ClientSpec, run_clients
 from repro.sim.rng import RandomStreams
 from repro.workload.mapping import LogicalPhysicalMapping
@@ -78,8 +78,7 @@ def make_client(
 
 def main() -> None:
     # The base station shapes a 3-disk broadcast for the average client.
-    layout = DiskLayout.from_delta((70, 210, 420), delta=3)
-    schedule = multidisk_program(layout)
+    layout, schedule = ProgramSpec(sizes=(70, 210, 420), delta=3).build()
     streams = RandomStreams(99)
 
     print("Field-service broadcast", layout.describe(),

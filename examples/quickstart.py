@@ -12,7 +12,7 @@ Run::
     python examples/quickstart.py
 """
 
-from repro import DiskLayout, ExperimentConfig, multidisk_program, run_experiment
+from repro import ExperimentConfig, ProgramSpec, run_experiment
 
 
 def main() -> None:
@@ -20,8 +20,9 @@ def main() -> None:
     # 1. A broadcast program: 3 disks, hottest pages spinning fastest.
     #    This is the paper's D5 configuration at delta=3 (speeds 7:4:1).
     # ------------------------------------------------------------------
-    layout = DiskLayout.from_delta(sizes=(500, 2000, 2500), delta=3)
-    program = multidisk_program(layout)
+    layout, program = ProgramSpec(
+        sizes=(500, 2000, 2500), delta=3
+    ).build()
     print("Broadcast program", layout.describe())
     print(f"  period           : {program.period} broadcast units")
     print(f"  padding slots    : {program.empty_slots} "

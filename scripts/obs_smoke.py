@@ -39,8 +39,7 @@ if _SRC not in sys.path:
 
 from repro.cache.base import PolicyContext
 from repro.cache.registry import make_policy
-from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import ProgramSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import sweep_results
 from repro.experiments.simengine import ClientSpec, ProcessEngine
@@ -138,8 +137,9 @@ def strict_reference_grid() -> None:
 
 def traced_broadcast(out: Path) -> Path:
     """A process-engine run observing every broadcast slot."""
-    layout = DiskLayout((2, 4, 8), (4, 2, 1))
-    schedule = multidisk_program(layout)
+    layout, schedule = ProgramSpec(
+        sizes=(2, 4, 8), rel_freqs=(4, 2, 1)
+    ).build()
     trace_path = out / "broadcast-smoke.jsonl"
     with Tracer(JsonlSink(str(trace_path))) as tracer:
         engine = ProcessEngine(schedule, layout, tracer=tracer)

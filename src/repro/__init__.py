@@ -36,8 +36,10 @@ Quickstart::
 
 from repro.cache import available_policies, make_policy
 from repro.core import (
+    BroadcastProgram,
     BroadcastSchedule,
     DiskLayout,
+    ProgramSpec,
     flat_program,
     multidisk_program,
 )
@@ -71,9 +73,10 @@ from repro.population import (
 )
 from repro.workload import LogicalPhysicalMapping, ZipfRegionDistribution
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BroadcastProgram",
     "BroadcastSchedule",
     "ConfigurationError",
     "DISK_PRESETS",
@@ -89,6 +92,7 @@ __all__ = [
     "PopulationResult",
     "PopulationSpec",
     "Profiler",
+    "ProgramSpec",
     "ReproError",
     "ScheduleError",
     "SegmentSpec",

@@ -376,11 +376,15 @@ def build_columnar_engine(
 
     ``physical`` is the logical→physical page matrix — one shared row
     for noise-free groups, one row per client otherwise.  Returns
-    ``None`` when ``config.policy`` has no columnar formulation (the
-    callers fall back to the scalar per-client path).
+    ``None`` when ``config.policy`` has no columnar formulation, or when
+    the config asks for a multi-channel program — the columnar kernels
+    model a single shared channel, so those runs take the scalar
+    per-client path (which carries the tuner).
     """
     name = batchable_policy_name(config.policy)
     if name is None:
+        return None
+    if getattr(config, "channels", 1) > 1:
         return None
     physical = np.asarray(physical, dtype=np.int64)
     access_range = config.access_range

@@ -529,7 +529,8 @@ def run_fleet(
 
     for position, (segment, indices) in enumerate(spec.segment_ranges()):
         config = _group_config(spec, segment)
-        if config is not None and batchable_policy_name(config.policy):
+        if (config is not None and batchable_policy_name(config.policy)
+                and getattr(config, "channels", 1) == 1):
             if profiling:
                 profile.start_phase("build")
             layout, schedule = builds.layout_and_schedule(config)

@@ -14,7 +14,7 @@ runs are comparable request-by-request with the fast engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cache.base import CacheCounters, CachePolicy
 from repro.core.disks import DiskLayout
@@ -38,6 +38,9 @@ class ClientReport:
     #: units — the process-engine counterpart of the fast engine's
     #: ``EngineOutcome.final_time``.
     final_time: float = 0.0
+    #: Channel switches during the measured phase (multi-channel runs
+    #: only; a single-channel client never retunes).
+    retunes: int = 0
 
     @property
     def mean_response_time(self) -> float:
@@ -47,6 +50,27 @@ class ClientReport:
     def access_locations(self, num_disks: int) -> Dict[str, float]:
         """Fraction of measured accesses served per location."""
         return self.counters.access_locations(num_disks)
+
+
+@dataclass
+class ChannelTuner:
+    """Single-frequency tuner over the channels of a multi-channel program.
+
+    A client listens to exactly one channel at a time.  When a miss
+    targets a page on a different channel, the tuner switches and the
+    earliest usable completion moves ``retune_cost`` broadcast units
+    into the future (the channel's ``wait_for(..., not_before=...)``).
+    Each client owns its own tuner: the tuned-channel state is
+    per-client, even when clients share the physical channels.
+    """
+
+    channels: Sequence[BroadcastChannel]
+    channel_of: Mapping[int, int]
+    retune_cost: float = 1.0
+    #: Currently tuned channel; every client starts on channel 0.
+    current: int = 0
+    #: Lifetime channel switches (warm-up included).
+    retunes: int = 0
 
 
 class Client:
@@ -66,9 +90,13 @@ class Client:
         extra_warmup: int = 0,
         name: str = "client",
         tracer=None,
+        tuner: Optional[ChannelTuner] = None,
     ):
         self.sim = sim
         self.channel = channel
+        #: Optional :class:`ChannelTuner` for multi-channel programs;
+        #: ``None`` keeps the single-channel miss path byte-identical.
+        self.tuner = tuner
         self.mapping = mapping
         self.layout = layout
         self.cache = cache
@@ -135,7 +163,28 @@ class Client:
             if tracer is not None:
                 tracer.emit("client.miss", issued, page=int(page),
                             physical=int(physical), client=self.name)
-            yield self.channel.wait_for(physical)
+            tuner = self.tuner
+            if tuner is None:
+                yield self.channel.wait_for(physical)
+            else:
+                target = tuner.channel_of[physical]
+                if target != tuner.current:
+                    tuner.retunes += 1
+                    if measuring:
+                        report.retunes += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            "client.retune", issued, page=int(page),
+                            physical=int(physical),
+                            from_channel=tuner.current, to_channel=target,
+                            client=self.name,
+                        )
+                    tuner.current = target
+                    yield tuner.channels[target].wait_for(
+                        physical, not_before=issued + tuner.retune_cost
+                    )
+                else:
+                    yield tuner.channels[target].wait_for(physical)
             wait = sim.now - issued
             cache.admit(page, sim.now)
             if tracer is not None:

@@ -7,9 +7,12 @@ Layout of this subpackage:
 * :mod:`~repro.core.chunks` — the LCM chunking arithmetic of §2.2 step 4.
 * :mod:`~repro.core.schedule` — :class:`BroadcastSchedule`: the periodic
   slot sequence with per-page occurrence/frequency/next-arrival queries.
-* :mod:`~repro.core.programs` — generators for the §2.2 multidisk
-  algorithm plus the flat, clustered-skewed, and random comparison
-  programs of Figure 2.
+* :mod:`~repro.core.programs` — :class:`ProgramSpec`, the declarative
+  builder for the §2.2 multidisk algorithm plus the flat,
+  clustered-skewed, and random comparison programs of Figure 2.
+* :mod:`~repro.core.channels` — multi-channel programs: partitioning the
+  pages across C parallel channels (greedy bandwidth split plus
+  conflict-aware refinement) into a :class:`BroadcastProgram` grid.
 * :mod:`~repro.core.analysis` — closed-form expected-delay analysis
   (Table 1, the Bus Stop Paradox, bandwidth bounds).
 * :mod:`~repro.core.optimizer` — broadcast shaping: search for the disk
@@ -26,25 +29,38 @@ from repro.core.analysis import (
     sqrt_rule_lower_bound,
     sqrt_rule_shares,
 )
+from repro.core.channels import (
+    ChannelAssignment,
+    assign_channels,
+    build_program,
+    channel_schedule,
+)
 from repro.core.chunks import ChunkPlan, lcm_many
 from repro.core.disks import DiskLayout
 from repro.core.programs import (
     EMPTY_SLOT,
+    ProgramSpec,
     clustered_skewed_program,
     flat_program,
     multidisk_program,
     paper_example_programs,
     random_allocation_program,
 )
-from repro.core.schedule import BroadcastSchedule
+from repro.core.schedule import BroadcastProgram, BroadcastSchedule
 from repro.core.validate import ValidationReport, validate_program
 
 __all__ = [
+    "BroadcastProgram",
     "BroadcastSchedule",
+    "ChannelAssignment",
     "ChunkPlan",
     "DiskLayout",
     "EMPTY_SLOT",
+    "ProgramSpec",
+    "assign_channels",
+    "build_program",
     "bus_stop_penalty",
+    "channel_schedule",
     "clustered_skewed_program",
     "expected_delay",
     "flat_expected_delay",

@@ -203,19 +203,19 @@ def program_comparison(
     independent draws (it has no closed form).  Demonstrates §2.1's
     ordering multidisk <= skewed and multidisk <= random for skewed access.
     """
-    from repro.core.programs import schedule_for
+    from repro.core.programs import _schedule_of_kind
 
     results: Dict[str, float] = {
         "flat": flat_expected_delay(layout.total_pages),
         "multidisk": multidisk_expected_delay(layout, probabilities),
         "skewed": expected_delay(
-            schedule_for(layout, kind="skewed"), probabilities
+            _schedule_of_kind(layout, kind="skewed"), probabilities
         ),
     }
     if rng is not None:
         total = 0.0
         for _trial in range(random_trials):
-            program = schedule_for(layout, kind="random", rng=rng)
+            program = _schedule_of_kind(layout, kind="random", rng=rng)
             total += expected_delay(program, probabilities)
         results["random"] = total / random_trials
     return results

@@ -1,33 +1,44 @@
-"""Broadcast program generators.
+"""Broadcast program construction: :class:`ProgramSpec` and its builders.
 
 This module covers the program families the paper compares:
 
-* :func:`multidisk_program` — the §2.2 algorithm (the paper's proposal):
-  periodic, fixed per-page inter-arrival, bandwidth used exhaustively up
-  to chunk padding.
-* :func:`flat_program` — every page once per cycle (Datacycle/BCIS style).
-* :func:`clustered_skewed_program` — repeated copies broadcast
-  back-to-back (Figure 2(b)); used to demonstrate the Bus Stop Paradox.
-* :func:`random_allocation_program` — slots drawn i.i.d. proportional to
-  bandwidth shares (§2.1's "generated randomly according to those
-  bandwidth allocations"); also subject to the Bus Stop Paradox.
+* ``multidisk`` — the §2.2 algorithm (the paper's proposal): periodic,
+  fixed per-page inter-arrival, bandwidth used exhaustively up to chunk
+  padding.  With ``channels > 1`` the pages are partitioned across
+  parallel channels (:mod:`repro.core.channels`) and each channel
+  carries its own §2.2 row.
+* ``flat`` — every page once per cycle (Datacycle/BCIS style).
+* ``skewed`` — repeated copies broadcast back-to-back (Figure 2(b));
+  used to demonstrate the Bus Stop Paradox.
+* ``random`` — slots drawn i.i.d. proportional to bandwidth shares
+  (§2.1's "generated randomly according to those bandwidth
+  allocations"); also subject to the Bus Stop Paradox.
 * :func:`paper_example_programs` — the exact three 3-page programs of
   Figure 2 / Table 1.
+
+All construction goes through the keyword-only :class:`ProgramSpec`
+declarative builder.  The 1.1-era free functions (``multidisk_program``
+and friends) remain as one-release deprecation shims that forward to the
+same internals and emit a :class:`DeprecationWarning` attributed to the
+caller's file and line.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.chunks import EMPTY_SLOT, ChunkPlan
 from repro.core.disks import DiskLayout
-from repro.core.schedule import BroadcastSchedule
+from repro.core.schedule import BroadcastProgram, BroadcastSchedule
 from repro.errors import ConfigurationError
 
 __all__ = [
     "EMPTY_SLOT",
+    "ProgramSpec",
     "clustered_skewed_program",
     "flat_program",
     "multidisk_program",
@@ -35,12 +46,15 @@ __all__ = [
     "random_allocation_program",
 ]
 
+#: Program families :class:`ProgramSpec` can build.
+PROGRAM_KINDS = ("multidisk", "flat", "skewed", "random")
 
-def multidisk_program(
-    layout: DiskLayout,
-    label: str = "",
-) -> BroadcastSchedule:
-    """Generate the multi-disk broadcast program of §2.2.
+
+# ---------------------------------------------------------------------------
+# Internal builders (no deprecation warnings; the package calls these).
+# ---------------------------------------------------------------------------
+def _multidisk_program(layout: DiskLayout, *, label: str = "") -> BroadcastSchedule:
+    """The multi-disk broadcast program of §2.2.
 
     Physical pages ``0 .. layout.total_pages - 1`` are assumed already
     ordered hottest-to-coldest (step 1 of the algorithm); the logical →
@@ -55,16 +69,15 @@ def multidisk_program(
     return BroadcastSchedule(slots, label=label or f"multidisk{layout.describe()}")
 
 
-def flat_program(num_pages: int, label: str = "flat") -> BroadcastSchedule:
+def _flat_program(num_pages: int, *, label: str = "flat") -> BroadcastSchedule:
     """A flat broadcast: each page exactly once per cycle (Figure 1)."""
     if num_pages < 1:
         raise ConfigurationError(f"need at least one page, got {num_pages}")
     return BroadcastSchedule(range(num_pages), label=label)
 
 
-def clustered_skewed_program(
-    copies: Mapping[int, int],
-    label: str = "skewed",
+def _clustered_skewed_program(
+    copies: Mapping[int, int], *, label: str = "skewed"
 ) -> BroadcastSchedule:
     """A skewed program with repeated copies clustered together.
 
@@ -86,10 +99,11 @@ def clustered_skewed_program(
     return BroadcastSchedule(slots, label=label)
 
 
-def random_allocation_program(
+def _random_allocation_program(
     shares: Mapping[int, float],
     length: int,
     rng: np.random.Generator,
+    *,
     label: str = "random",
 ) -> BroadcastSchedule:
     """Randomly place slots allocated proportionally to ``shares``.
@@ -132,6 +146,152 @@ def random_allocation_program(
     return BroadcastSchedule(slots.tolist(), label=label)
 
 
+def _schedule_of_kind(
+    layout: DiskLayout,
+    *,
+    label: str = "",
+    rng: Optional[np.random.Generator] = None,
+    kind: str = "multidisk",
+    random_length: Optional[int] = None,
+) -> BroadcastSchedule:
+    """Single-channel dispatcher over the program families."""
+    if kind == "multidisk":
+        return _multidisk_program(layout, label=label)
+    if kind == "flat":
+        return _flat_program(layout.total_pages, label=label or "flat")
+    if kind == "skewed":
+        copies = {}
+        for disk in range(layout.num_disks):
+            for page in layout.pages_on_disk(disk):
+                copies[page] = layout.rel_freqs[disk]
+        return _clustered_skewed_program(copies, label=label or "skewed")
+    if kind == "random":
+        if rng is None:
+            raise ConfigurationError("random schedules require an rng")
+        shares = {}
+        for disk in range(layout.num_disks):
+            for page in layout.pages_on_disk(disk):
+                shares[page] = float(layout.rel_freqs[disk])
+        length = random_length or ChunkPlan.for_layout(layout).period
+        return _random_allocation_program(
+            shares, length, rng, label=label or "random"
+        )
+    raise ConfigurationError(f"unknown schedule kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The declarative builder
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, kw_only=True)
+class ProgramSpec:
+    """Declarative description of a broadcast program, built in one call.
+
+    Everything the scattered 1.1 free functions accepted — disk sizes,
+    Δ-rule or explicit frequencies, the program family — plus the
+    multi-channel knobs, in a single keyword-only object::
+
+        layout, schedule = ProgramSpec(sizes=(500, 2000, 2500), delta=3).build()
+        layout, program = ProgramSpec(
+            sizes=(500, 2000, 2500), delta=3, channels=4,
+        ).build()
+
+    Parameters
+    ----------
+    sizes:
+        Pages per disk, fastest first (required).
+    delta:
+        The §4.2 Δ-rule knob; ignored when ``rel_freqs`` is given.
+    rel_freqs:
+        Explicit relative frequencies overriding the Δ-rule.
+    kind:
+        Program family: ``multidisk`` (default), ``flat``, ``skewed`` or
+        ``random``.
+    channels / assignment / probabilities / retune_cost:
+        Multi-channel controls (``kind="multidisk"`` only): the channel
+        count, the :func:`~repro.core.channels.assign_channels` strategy
+        (``"conflict"`` or ``"bandwidth"``), the access-probability
+        estimate guiding the conflict refinement, and the tuner's
+        channel-switch cost in slots.
+    rng / random_length:
+        Only for ``kind="random"``: the generator and slot count.
+    label:
+        Optional label stamped on the schedule.
+
+    :meth:`build` returns ``(layout, schedule)`` where ``schedule`` is a
+    :class:`~repro.core.schedule.BroadcastSchedule` for one channel or a
+    :class:`~repro.core.schedule.BroadcastProgram` for several.
+    """
+
+    sizes: Tuple[int, ...]
+    delta: int = 0
+    rel_freqs: Optional[Tuple[int, ...]] = None
+    kind: str = "multidisk"
+    channels: int = 1
+    assignment: str = "conflict"
+    probabilities: Optional[Mapping[int, float]] = None
+    retune_cost: float = 1.0
+    rng: Optional[np.random.Generator] = field(default=None, compare=False)
+    random_length: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        if self.rel_freqs is not None:
+            object.__setattr__(
+                self, "rel_freqs", tuple(int(f) for f in self.rel_freqs)
+            )
+        if self.kind not in PROGRAM_KINDS:
+            raise ConfigurationError(
+                f"unknown program kind {self.kind!r}; "
+                f"valid kinds: {', '.join(PROGRAM_KINDS)}"
+            )
+        if self.channels < 1:
+            raise ConfigurationError(
+                f"need at least one channel, got {self.channels}"
+            )
+        if self.channels > 1 and self.kind != "multidisk":
+            raise ConfigurationError(
+                f"multi-channel programs require kind='multidisk', "
+                f"got kind={self.kind!r}"
+            )
+        if self.retune_cost < 0:
+            raise ConfigurationError(
+                f"retune cost must be >= 0, got {self.retune_cost}"
+            )
+
+    def build_layout(self) -> DiskLayout:
+        """The :class:`DiskLayout` described by ``sizes``/``delta``/``rel_freqs``."""
+        if self.rel_freqs is not None:
+            return DiskLayout(self.sizes, self.rel_freqs)
+        return DiskLayout.from_delta(self.sizes, self.delta)
+
+    def build(
+        self,
+    ) -> Tuple[DiskLayout, Union[BroadcastSchedule, BroadcastProgram]]:
+        """Build the layout and its broadcast schedule (or C-row program)."""
+        layout = self.build_layout()
+        if self.channels > 1:
+            from repro.core.channels import build_program
+
+            program = build_program(
+                layout,
+                self.channels,
+                probabilities=self.probabilities,
+                assignment=self.assignment,
+                retune_cost=self.retune_cost,
+                label=self.label,
+            )
+            return layout, program
+        schedule = _schedule_of_kind(
+            layout,
+            label=self.label,
+            rng=self.rng,
+            kind=self.kind,
+            random_length=self.random_length,
+        )
+        return layout, schedule
+
+
 def paper_example_programs() -> Dict[str, BroadcastSchedule]:
     """The three 3-page example programs of Figure 2 / Table 1.
 
@@ -147,39 +307,67 @@ def paper_example_programs() -> Dict[str, BroadcastSchedule]:
     return {"flat": flat, "skewed": skewed, "multidisk": multidisk}
 
 
+# ---------------------------------------------------------------------------
+# One-release deprecation shims (1.2 -> 1.3) for the 1.1 free functions.
+# ---------------------------------------------------------------------------
+def _warn_deprecated(name: str, replacement: str) -> None:
+    # stacklevel 3: this helper (1) -> the shim (2) -> the caller (3), so
+    # the warning carries the caller's own file and line.
+    warnings.warn(
+        f"{name}() is deprecated and will be removed in the next release; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def multidisk_program(
+    layout: DiskLayout, label: str = ""
+) -> BroadcastSchedule:
+    """Deprecated shim for ``ProgramSpec(sizes=..., ...).build()``."""
+    _warn_deprecated("multidisk_program", "ProgramSpec(...).build()")
+    return _multidisk_program(layout, label=label)
+
+
+def flat_program(num_pages: int, label: str = "flat") -> BroadcastSchedule:
+    """Deprecated shim for ``ProgramSpec(sizes=(n,), kind='flat').build()``."""
+    _warn_deprecated("flat_program", "ProgramSpec(kind='flat').build()")
+    return _flat_program(num_pages, label=label)
+
+
+def clustered_skewed_program(
+    copies: Mapping[int, int], label: str = "skewed"
+) -> BroadcastSchedule:
+    """Deprecated shim for ``ProgramSpec(..., kind='skewed').build()``."""
+    _warn_deprecated(
+        "clustered_skewed_program", "ProgramSpec(kind='skewed').build()"
+    )
+    return _clustered_skewed_program(copies, label=label)
+
+
+def random_allocation_program(
+    shares: Mapping[int, float],
+    length: int,
+    rng: np.random.Generator,
+    label: str = "random",
+) -> BroadcastSchedule:
+    """Deprecated shim for ``ProgramSpec(..., kind='random').build()``."""
+    _warn_deprecated(
+        "random_allocation_program", "ProgramSpec(kind='random').build()"
+    )
+    return _random_allocation_program(shares, length, rng, label=label)
+
+
 def schedule_for(
     layout: DiskLayout,
-    *, label: str = "",
+    *,
+    label: str = "",
     rng: Optional[np.random.Generator] = None,
     kind: str = "multidisk",
     random_length: Optional[int] = None,
 ) -> BroadcastSchedule:
-    """Convenience dispatcher used by the experiment configuration layer.
-
-    ``kind`` selects among ``multidisk`` (default), ``flat`` (ignores the
-    layout's frequencies), ``skewed`` (clustered copies per the layout's
-    frequencies) and ``random`` (i.i.d. slots by bandwidth share, needs
-    ``rng``).
-    """
-    if kind == "multidisk":
-        return multidisk_program(layout, label=label)
-    if kind == "flat":
-        return flat_program(layout.total_pages, label=label or "flat")
-    if kind == "skewed":
-        copies = {}
-        for disk in range(layout.num_disks):
-            for page in layout.pages_on_disk(disk):
-                copies[page] = layout.rel_freqs[disk]
-        return clustered_skewed_program(copies, label=label or "skewed")
-    if kind == "random":
-        if rng is None:
-            raise ConfigurationError("random schedules require an rng")
-        shares = {}
-        for disk in range(layout.num_disks):
-            for page in layout.pages_on_disk(disk):
-                shares[page] = float(layout.rel_freqs[disk])
-        length = random_length or ChunkPlan.for_layout(layout).period
-        return random_allocation_program(
-            shares, length, rng, label=label or "random"
-        )
-    raise ConfigurationError(f"unknown schedule kind {kind!r}")
+    """Deprecated shim for ``ProgramSpec(..., kind=...).build()``."""
+    _warn_deprecated("schedule_for", "ProgramSpec(kind=...).build()")
+    return _schedule_of_kind(
+        layout, label=label, rng=rng, kind=kind, random_length=random_length
+    )

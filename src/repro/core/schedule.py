@@ -545,3 +545,193 @@ class BroadcastSchedule:
             f"<BroadcastSchedule {self.label!r} period={self.period} "
             f"pages={self.num_pages} empty={self.empty_slots}>"
         )
+
+
+class BroadcastProgram:
+    """A C-row broadcast program: one :class:`BroadcastSchedule` per channel.
+
+    The paper fixes a single broadcast channel; a multi-channel server
+    (after the multi-channel data-broadcast model of Kenyon, Schabanel
+    and Young, cs/0205012) partitions the database across ``C`` parallel
+    channels, each carrying its own §2.2 periodic schedule at the same
+    per-channel slot rate.  A client owns a single-frequency tuner and
+    listens to exactly one channel at a time; switching channels costs a
+    configurable number of slots (see ``client/client.py``).
+
+    The rows must *partition* the pages: every page appears on exactly
+    one channel.  Timing queries delegate to the owning row, so a
+    program duck-types the read-only surface of a single schedule
+    (``next_arrival``, ``fixed_gap``, ``frequency``, ``__contains__``,
+    ``timing_stats``, ...) and slots into the engines and monitors
+    unchanged.  A one-row program is byte-identical to its single
+    schedule; the ``channels == 1`` configuration path never constructs
+    a program at all, so the legacy pipeline is untouched.
+    """
+
+    def __init__(self, channels: Sequence[BroadcastSchedule], label: str = ""):
+        rows = tuple(channels)
+        if not rows:
+            raise ScheduleError("a broadcast program needs at least one channel")
+        for index, row in enumerate(rows):
+            if not isinstance(row, BroadcastSchedule):
+                raise ScheduleError(
+                    f"channel {index} is {type(row).__name__}, "
+                    "expected BroadcastSchedule"
+                )
+        channel_of: Dict[int, int] = {}
+        for index, row in enumerate(rows):
+            for page in row.pages:
+                if page in channel_of:
+                    raise ScheduleError(
+                        f"page {page} appears on channels "
+                        f"{channel_of[page]} and {index}; channel rows "
+                        "must partition the pages"
+                    )
+                channel_of[page] = index
+        self._channels = rows
+        self._channel_of = channel_of
+        self.label = label or f"program[{'x'.join(r.label or '?' for r in rows)}]"
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def channels(self) -> Tuple[BroadcastSchedule, ...]:
+        """The per-channel schedule rows, channel 0 first."""
+        return self._channels
+
+    @property
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    @property
+    def pages(self) -> Tuple[int, ...]:
+        """All pages carried by the program, across every channel."""
+        return tuple(sorted(self._channel_of))
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._channel_of)
+
+    @property
+    def period(self) -> int:
+        """Longest per-channel major cycle (the program repeats every
+        ``lcm`` of the rows, but reporting uses the slowest row)."""
+        return max(row.period for row in self._channels)
+
+    @property
+    def total_slots(self) -> int:
+        """Aggregate slots per reporting period across all channels."""
+        return sum(row.period for row in self._channels)
+
+    @property
+    def empty_slots(self) -> int:
+        return sum(row.empty_slots for row in self._channels)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of all channel slots carrying a page."""
+        return 1.0 - self.empty_slots / self.total_slots
+
+    def channel_utilisation(self) -> Tuple[float, ...]:
+        """Per-channel slot utilisation, channel 0 first."""
+        return tuple(
+            1.0 - row.empty_slots / row.period for row in self._channels
+        )
+
+    def channel_schedule(self, index: int) -> BroadcastSchedule:
+        """The schedule broadcast on channel ``index``."""
+        try:
+            return self._channels[index]
+        except IndexError:
+            raise ScheduleError(
+                f"channel {index} outside program "
+                f"[0, {self.num_channels})"
+            ) from None
+
+    def channel_of(self, page: int) -> int:
+        """Index of the channel carrying ``page``."""
+        try:
+            return self._channel_of[page]
+        except KeyError:
+            raise ScheduleError(
+                f"page {page} never appears on program {self.label!r}"
+            ) from None
+
+    def channel_map(self) -> Dict[int, int]:
+        """A fresh ``page -> channel`` dict (for tuner hot loops)."""
+        return dict(self._channel_of)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._channel_of
+
+    def __len__(self) -> int:
+        return self.period
+
+    # -- delegated timing ----------------------------------------------------
+    def schedule_of(self, page: int) -> BroadcastSchedule:
+        """The row that carries ``page`` (its timing authority)."""
+        return self._channels[self.channel_of(page)]
+
+    def occurrences(self, page: int) -> np.ndarray:
+        return self.schedule_of(page).occurrences(page)
+
+    def broadcasts_per_period(self, page: int) -> int:
+        return self.schedule_of(page).broadcasts_per_period(page)
+
+    def frequency(self, page: int) -> float:
+        """Transmissions of ``page`` per broadcast unit *on its channel*.
+
+        Channels run in parallel at the same slot rate, so this is
+        directly comparable with the single-channel figure the cache
+        policies consume.
+        """
+        return self.schedule_of(page).frequency(page)
+
+    def next_arrival(self, page: int, time: float) -> float:
+        return self.schedule_of(page).next_arrival(page, time)
+
+    def next_arrival_bisect(self, page: int, time: float) -> float:
+        return self.schedule_of(page).next_arrival_bisect(page, time)
+
+    def fixed_gap(self, page: int) -> Optional[Tuple[int, int]]:
+        return self.schedule_of(page).fixed_gap(page)
+
+    def wait_time(self, page: int, time: float) -> float:
+        return self.next_arrival(page, time) - time
+
+    def expected_delay(self, page: int) -> float:
+        return self.schedule_of(page).expected_delay(page)
+
+    # -- observability -------------------------------------------------------
+    def enable_timing_counters(self) -> None:
+        for row in self._channels:
+            row.enable_timing_counters()
+
+    def timing_queries(self) -> Dict[str, int]:
+        totals = {"closed_form": 0, "wait_table": 0, "bisect": 0}
+        for row in self._channels:
+            for tier, count in row.timing_queries().items():
+                totals[tier] += count
+        return totals
+
+    def timing_stats(self) -> Dict[str, object]:
+        """Aggregate of the per-row :meth:`BroadcastSchedule.timing_stats`."""
+        stats: Dict[str, object] = {
+            "fixed_gap_entries": 0,
+            "wait_tables": 0,
+            "wait_table_bytes": 0,
+            "wait_table_budget": 0,
+            "wait_tables_declined": 0,
+            "nonempty_index_built": 0,
+        }
+        for row in self._channels:
+            for key, value in row.timing_stats().items():
+                if key != "queries":
+                    stats[key] += value
+        stats["queries"] = self.timing_queries()
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BroadcastProgram {self.label!r} channels={self.num_channels} "
+            f"period={self.period} pages={self.num_pages}>"
+        )

@@ -34,8 +34,25 @@ from repro.experiments.config import ExperimentConfig
 
 
 def structural_key(config: ExperimentConfig) -> Tuple:
-    """The config fields that determine the layout and schedule."""
-    return (config.disk_sizes, config.delta, config.rel_freqs)
+    """The config fields that determine the layout and schedule.
+
+    Single-channel keys are unchanged from 1.1.  A multi-channel
+    program additionally depends on the channel count and on the
+    server-side probability estimate steering the conflict-aware
+    assignment (access_range/region_size/theta) plus the retune cost in
+    its objective, so those join the key only when ``channels > 1``.
+    """
+    key = (config.disk_sizes, config.delta, config.rel_freqs)
+    channels = getattr(config, "channels", 1)
+    if channels > 1:
+        key = key + (
+            channels,
+            config.retune_cost,
+            config.access_range,
+            config.region_size,
+            config.theta,
+        )
+    return key
 
 
 def structural_hash(config: ExperimentConfig) -> str:

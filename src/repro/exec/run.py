@@ -54,6 +54,11 @@ class ExperimentResult:
     #: The run manifest dict, present when ``run_experiment`` was asked
     #: to write one (``manifest=...``).
     manifest: Optional[Dict] = None
+    #: Measured-phase channel switches (multi-channel runs; 0 otherwise).
+    retunes: int = 0
+    #: Per-channel slot utilisation for multi-channel programs; ``None``
+    #: on the single-channel path so legacy result dicts are unchanged.
+    channel_utilisation: Optional[List[float]] = None
 
     def summary(self) -> str:
         """One-line human-readable result."""
@@ -171,6 +176,8 @@ def execute_plan(
             trace=trace,
             tracer=effective_tracer,
             profile=profile,
+            channels=getattr(config, "channels", 1),
+            retune_cost=getattr(config, "retune_cost", 1.0),
         )
     finally:
         if attached_to_caller:
@@ -195,6 +202,16 @@ def execute_plan(
             "increase num_requests or lower cache_size"
         )
 
+    # A multi-channel program reports its aggregate utilisation over
+    # all channel slots plus the per-channel breakdown; the
+    # single-channel expression is untouched.
+    channel_utilisation = None
+    if hasattr(schedule, "channel_utilisation"):
+        utilisation = schedule.utilisation
+        channel_utilisation = list(schedule.channel_utilisation())
+    else:
+        utilisation = 1.0 - schedule.empty_slots / schedule.period
+
     return ExperimentResult(
         config=config,
         mean_response_time=outcome.response.mean,
@@ -204,9 +221,11 @@ def execute_plan(
         measured_requests=outcome.measured_requests,
         warmup_requests=outcome.warmup_requests,
         schedule_period=schedule.period,
-        schedule_utilisation=1.0 - schedule.empty_slots / schedule.period,
+        schedule_utilisation=utilisation,
         wall_seconds=perf_counter() - started,
         samples=outcome.samples,
+        retunes=outcome.retunes,
+        channel_utilisation=channel_utilisation,
     )
 
 
@@ -240,6 +259,8 @@ def result_state(result: ExperimentResult) -> Dict:
         "schedule_utilisation": result.schedule_utilisation,
         "wall_seconds": result.wall_seconds,
         "samples": result.samples,
+        "retunes": result.retunes,
+        "channel_utilisation": result.channel_utilisation,
     }
 
 
@@ -265,4 +286,9 @@ def result_from_state(config: ExperimentConfig, state: Dict) -> ExperimentResult
         schedule_utilisation=float(state["schedule_utilisation"]),
         wall_seconds=float(state["wall_seconds"]),
         samples=None if samples is None else [float(s) for s in samples],
+        retunes=int(state.get("retunes", 0)),
+        channel_utilisation=(
+            None if state.get("channel_utilisation") is None
+            else [float(u) for u in state["channel_utilisation"]]
+        ),
     )

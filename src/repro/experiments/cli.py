@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cache.registry import available_policies
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engines import plan_engine_names
@@ -67,6 +67,7 @@ ARTIFACTS: Dict[str, Tuple] = {
     "volatility": (figures.volatility_study, True, False),
     "drift": (figures.drift_study, True, False),
     "query": (figures.query_study, False, False),
+    "multichannel": (figures.multichannel_study, True, True),
     "hybrid": (_hybrid_study_entry, False, False),
 }
 
@@ -259,7 +260,7 @@ def _command_inspect(args) -> int:
     from repro.core.validate import validate_program
 
     layout = DiskLayout.from_delta(args.disks, args.delta)
-    program = multidisk_program(layout)
+    program = _multidisk_program(layout)
     print(f"layout        : {layout.describe()} (delta={args.delta})")
     print(f"period        : {program.period} broadcast units")
     print(f"padding slots : {program.empty_slots} "

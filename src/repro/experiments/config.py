@@ -13,14 +13,14 @@ D4⟨300,1200,3500⟩, D5⟨500,2000,2500⟩.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
 
 from repro.cache.base import PolicyContext
 from repro.cache.registry import make_policy
 from repro.core.disks import DiskLayout
-from repro.core.programs import flat_program, multidisk_program
-from repro.core.schedule import BroadcastSchedule
+from repro.core.programs import _flat_program, _multidisk_program
+from repro.core.schedule import BroadcastProgram, BroadcastSchedule
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomStreams
 from repro.workload.mapping import LogicalPhysicalMapping
@@ -91,6 +91,13 @@ class ExperimentConfig:
     # -- presentation ------------------------------------------------------
     label: str = ""
 
+    # -- multi-channel broadcast (keyword-only; defaults reproduce the
+    # single-channel paper setting, and both fields are omitted from
+    # serialized config dicts at their defaults so existing config
+    # hashes, bench-history baselines and checkpoints stay valid) -----------
+    channels: int = field(default=1, kw_only=True)
+    retune_cost: float = field(default=1.0, kw_only=True)
+
     def __post_init__(self):
         if self.cache_size < 1:
             raise ConfigurationError(
@@ -123,6 +130,15 @@ class ExperimentConfig:
         if self.drift_rotations < 0:
             raise ConfigurationError(
                 f"drift_rotations must be >= 0, got {self.drift_rotations}"
+            )
+        if not 1 <= self.channels <= self.server_db_size:
+            raise ConfigurationError(
+                f"channels must be in [1, {self.server_db_size}], "
+                f"got {self.channels}"
+            )
+        if self.retune_cost < 0:
+            raise ConfigurationError(
+                f"retune_cost must be >= 0, got {self.retune_cost}"
             )
 
     # -- derived quantities -------------------------------------------------
@@ -169,14 +185,46 @@ class ExperimentConfig:
             return DiskLayout(self.disk_sizes, self.rel_freqs)
         return DiskLayout.from_delta(self.disk_sizes, self.delta)
 
-    def build_schedule(self, layout: Optional[DiskLayout] = None) -> BroadcastSchedule:
-        """The periodic broadcast program for this configuration."""
+    def build_schedule(
+        self, layout: Optional[DiskLayout] = None
+    ) -> Union[BroadcastSchedule, BroadcastProgram]:
+        """The periodic broadcast program for this configuration.
+
+        ``channels == 1`` (the paper's setting) takes the legacy
+        single-schedule path untouched; ``channels > 1`` partitions the
+        pages across parallel channels (conflict-aware assignment guided
+        by the server's canonical Zipf estimate of the hot set) and
+        returns a :class:`BroadcastProgram`.
+        """
         layout = layout or self.build_layout()
+        if self.channels > 1:
+            from repro.core.channels import build_program
+
+            return build_program(
+                layout,
+                self.channels,
+                probabilities=self._server_probabilities(layout),
+                retune_cost=self.retune_cost,
+            )
         if layout.is_flat:
             # Flat layouts produce the canonical one-copy-per-page cycle
             # (identical timing, trivial period).
-            return flat_program(layout.total_pages)
-        return multidisk_program(layout)
+            return _flat_program(layout.total_pages)
+        return _multidisk_program(layout)
+
+    def _server_probabilities(self, layout: DiskLayout) -> Dict[int, float]:
+        """The server's access-probability estimate over physical pages.
+
+        The server lays pages out hottest-to-coldest (§4.2), so its best
+        estimate is the canonical Zipf profile over the first
+        ``access_range`` physical pages — the same assumption the §2.2
+        disk partitioning itself rests on.
+        """
+        probabilities = self.build_distribution().probabilities()
+        limit = min(self.access_range, layout.total_pages)
+        return {
+            page: float(probabilities[page]) for page in range(limit)
+        }
 
     def build_streams(self) -> RandomStreams:
         """The experiment's named random streams."""
@@ -222,7 +270,7 @@ class ExperimentConfig:
 
     def build_policy(
         self,
-        schedule: BroadcastSchedule,
+        schedule: Union[BroadcastSchedule, BroadcastProgram],
         mapping: LogicalPhysicalMapping,
         distribution: ZipfRegionDistribution,
         layout: Optional[DiskLayout] = None,

@@ -46,7 +46,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.base import CacheCounters, CachePolicy
 from repro.core.disks import DiskLayout
-from repro.core.schedule import BroadcastSchedule
+from repro.core.schedule import BroadcastProgram, BroadcastSchedule
 from repro.errors import ConfigurationError
 from repro.sim.stats import RunningStats
 from repro.workload.mapping import LogicalPhysicalMapping
@@ -65,6 +65,9 @@ class EngineOutcome:
     #: Per-request response times of the measured phase; populated only
     #: when the engine ran with ``collect_responses=True``.
     samples: Optional[list] = None
+    #: Channel switches during the measured phase (always 0 on a
+    #: single-channel schedule — there is nothing to switch to).
+    retunes: int = 0
 
     @property
     def mean_response_time(self) -> float:
@@ -84,10 +87,22 @@ class FastEngine:
         think_time: float,
         tracer=None,
         profile=None,
+        *,
+        retune_cost: float = 1.0,
     ):
         if think_time < 0:
             raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
+        if retune_cost < 0:
+            raise ConfigurationError(
+                f"retune_cost must be >= 0, got {retune_cost}"
+            )
         self.schedule = schedule
+        #: Set when ``schedule`` is a multi-channel
+        #: :class:`~repro.core.schedule.BroadcastProgram`; such runs take
+        #: the tuner-aware loop (:meth:`_run_trace_multichannel`) and the
+        #: single-channel hot path below is never entered.
+        self.program = schedule if isinstance(schedule, BroadcastProgram) else None
+        self.retune_cost = retune_cost
         self.mapping = mapping
         self.layout = layout
         self.cache = cache
@@ -123,7 +138,21 @@ class FastEngine:
         (``outcome.samples``) for engine cross-validation.
         """
         tracer = self.tracer
-        if tracer is not None and tracer.enabled:
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if self.program is not None:
+            profile = self.profile
+            return self._run_trace_multichannel(
+                trace,
+                warmup_requests=warmup_requests,
+                collect_responses=collect_responses,
+                extra_warmup=extra_warmup,
+                tracer=tracer,
+                dispatch_arithmetic=(
+                    profile is not None and profile.enabled
+                ),
+            )
+        if tracer is not None:
             return self._run_trace_traced(
                 trace,
                 warmup_requests=warmup_requests,
@@ -277,6 +306,15 @@ class FastEngine:
         tracer = self.tracer
         if tracer is not None and not tracer.enabled:
             tracer = None
+        if self.program is not None:
+            return self._run_trace_multichannel(
+                trace,
+                warmup_requests=warmup_requests,
+                collect_responses=collect_responses,
+                extra_warmup=extra_warmup,
+                tracer=tracer,
+                reference_arithmetic=True,
+            )
         return self._run_trace_traced(
             trace,
             warmup_requests=warmup_requests,
@@ -389,4 +427,163 @@ class FastEngine:
             warmup_requests=warmup_seen,
             final_time=now,
             samples=samples,
+        )
+
+    def _run_trace_multichannel(
+        self,
+        trace: RequestTrace,
+        *,
+        warmup_requests: Optional[int],
+        collect_responses: bool,
+        extra_warmup: int,
+        tracer,
+        reference_arithmetic: bool = False,
+        dispatch_arithmetic: bool = False,
+    ) -> EngineOutcome:
+        """The tuner-aware loop for multi-channel programs.
+
+        Same phase protocol as the single-channel loops, plus the
+        single-frequency tuner: the client listens to one channel at a
+        time (channel 0 initially), and a miss whose page lives on a
+        different channel first retunes — the earliest usable completion
+        moves from ``now`` to ``now + retune_cost`` broadcast units.
+        Waits still come from the §2.1 closed form (each channel row is
+        a §2.2 program with fixed per-page gaps); ``reference_arithmetic``
+        swaps in the bisection golden model and ``dispatch_arithmetic``
+        (profiled runs) routes every miss through ``next_arrival`` so the
+        timing tiers are attributed.
+        """
+        program = self.program
+        cache = self.cache
+        think = self.think_time
+        retune_cost = self.retune_cost
+
+        cache_lookup = cache.lookup
+        cache_admit = cache.admit
+        to_physical = self.mapping.to_physical
+        disk_of_physical = self.layout.disk_of_page
+        channel_map = program.channel_map()
+        next_arrival = (
+            program.next_arrival_bisect
+            if reference_arithmetic
+            else program.next_arrival
+        )
+        fixed_gap = program.fixed_gap
+        closed_form = not (reference_arithmetic or dispatch_arithmetic)
+
+        response = RunningStats()
+        counters = CacheCounters()
+        samples: Optional[List[float]] = [] if collect_responses else None
+
+        warming = True
+        warmup_seen = 0
+        extra_left = extra_warmup
+        now = self.now
+        current = 0  # tuned channel; every client starts on channel 0
+        retunes_measured = 0
+        total_hits = 0
+        total_misses = 0
+        total_retunes = 0
+        gaps: Dict[int, object] = {}
+        gaps_get = gaps.get
+        disks: Dict[int, int] = {}
+        disks_get = disks.get
+
+        pages = trace.pages.tolist()
+        for index in range(len(pages)):
+            page = pages[index]
+            now += think
+            if warming:
+                if warmup_requests is not None:
+                    warming = warmup_seen < warmup_requests
+                elif cache.is_full:
+                    if extra_left <= 0:
+                        warming = False
+                    else:
+                        extra_left -= 1
+            measuring = not warming
+            if warming:
+                warmup_seen += 1
+            if tracer is not None:
+                tracer.emit(
+                    "client.request", now, page=int(page),
+                    phase="measured" if measuring else "warmup",
+                )
+
+            if cache_lookup(page, now):
+                total_hits += 1
+                if tracer is not None:
+                    tracer.emit("client.hit", now, page=int(page))
+                if measuring:
+                    response.add(0.0)
+                    counters.record_hit()
+                    if samples is not None:
+                        samples.append(0.0)
+                continue
+
+            total_misses += 1
+            physical = to_physical(page)
+            target = channel_map[physical]
+            listen = now
+            if tracer is not None:
+                tracer.emit("client.miss", now, page=int(page),
+                            physical=int(physical))
+            if target != current:
+                total_retunes += 1
+                if measuring:
+                    retunes_measured += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "client.retune", now, page=int(page),
+                        physical=int(physical),
+                        from_channel=current, to_channel=target,
+                    )
+                current = target
+                listen = now + retune_cost
+            if closed_form:
+                entry = gaps_get(physical)
+                if entry is None:
+                    entry = fixed_gap(physical)
+                    gaps[physical] = entry if entry is not None else False
+                if entry:
+                    residue, gap = entry
+                    base = int(listen) + 1
+                    arrival = float(base + (residue - base) % gap)
+                else:
+                    arrival = next_arrival(physical, listen)
+            else:
+                arrival = next_arrival(physical, listen)
+            wait = arrival - now
+            if tracer is not None:
+                tracer.emit("client.wait", arrival, page=int(page),
+                            physical=int(physical), wait=wait)
+            now = arrival
+            cache_admit(page, now)
+            if measuring:
+                response.add(wait)
+                disk = disks_get(physical)
+                if disk is None:
+                    disk = disk_of_physical(physical)
+                    disks[physical] = disk
+                counters.record_miss(disk)
+                if samples is not None:
+                    samples.append(wait)
+
+        profile = self.profile
+        if profile is not None and profile.enabled:
+            name = "reference" if reference_arithmetic else "fast"
+            profile.count(f"engine.{name}.loop_iterations", len(pages))
+            profile.count(f"engine.{name}.hits", total_hits)
+            profile.count(f"engine.{name}.misses", total_misses)
+            profile.count(f"engine.{name}.retunes", total_retunes)
+
+        self.now = now
+        return EngineOutcome(
+            response=response,
+            counters=counters,
+            measured_requests=response.count,
+            warmup_requests=warmup_seen,
+            final_time=now,
+            samples=samples,
+            retunes=retunes_measured,
         )

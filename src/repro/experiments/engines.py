@@ -113,8 +113,14 @@ def get_plan_engine(name: str) -> EngineSpec:
 # ---------------------------------------------------------------------------
 
 def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
-                   tracer=None, profile=None):
-    """Drive the analytic-stepping engine for one plan."""
+                   tracer=None, profile=None, channels=1, retune_cost=1.0):
+    """Drive the analytic-stepping engine for one plan.
+
+    ``channels``/``retune_cost`` arrive keyword-only from the plan
+    executor; ``schedule`` is already the built single-channel schedule
+    or C-row program, so ``channels`` is advisory here and
+    ``retune_cost`` parameterises the engine's tuner.
+    """
     from repro.experiments.engine import FastEngine
 
     fast = FastEngine(
@@ -125,6 +131,7 @@ def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
         think_time=config.think_time,
         tracer=tracer,
         profile=profile,
+        retune_cost=retune_cost,
     )
     return fast.run_trace(
         trace,
@@ -135,7 +142,8 @@ def _run_plan_fast(plan, *, config, schedule, mapping, layout, cache, trace,
 
 
 def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
-                             cache, trace, tracer=None, profile=None):
+                             cache, trace, tracer=None, profile=None,
+                             channels=1, retune_cost=1.0):
     """Drive the frozen pre-optimisation fast loop for one plan.
 
     Same engine object as ``fast`` but through
@@ -154,6 +162,7 @@ def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
         think_time=config.think_time,
         tracer=tracer,
         profile=profile,
+        retune_cost=retune_cost,
     )
     return fast.run_trace_reference(
         trace,
@@ -164,7 +173,8 @@ def _run_plan_fast_reference(plan, *, config, schedule, mapping, layout,
 
 
 def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
-                      trace, tracer=None, profile=None):
+                      trace, tracer=None, profile=None, channels=1,
+                      retune_cost=1.0):
     """Drive the process-oriented engine for one plan."""
     from repro.experiments.engine import EngineOutcome
     from repro.experiments.simengine import run_single_client
@@ -181,6 +191,7 @@ def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
         extra_warmup=config.extra_warmup,
         tracer=tracer,
         profile=profile,
+        retune_cost=retune_cost,
     )
     return EngineOutcome(
         response=report.response,
@@ -189,29 +200,34 @@ def _run_plan_process(plan, *, config, schedule, mapping, layout, cache,
         warmup_requests=report.warmup_requests,
         final_time=report.final_time,
         samples=report.samples,
+        retunes=report.retunes,
     )
 
 
 def _run_plan_batch(plan, *, config, schedule, mapping, layout, cache,
-                    trace, tracer=None, profile=None):
+                    trace, tracer=None, profile=None, channels=1,
+                    retune_cost=1.0):
     """Drive the columnar batch engine for a single plan (N == 1).
 
-    Policies without a columnar formulation fall back to ``fast`` — the
-    single-client batch loop is byte-identical to it anyway, so the
-    choice never changes results, only the execution strategy.  The
-    pre-built ``cache`` is intentionally unused on the columnar path:
-    the batch engine carries its own array-state policy.
+    Policies without a columnar formulation — and multi-channel
+    programs, which the columnar kernels do not model — fall back to
+    ``fast``; the single-client batch loop is byte-identical to it
+    anyway, so the choice never changes results, only the execution
+    strategy.  The pre-built ``cache`` is intentionally unused on the
+    columnar path: the batch engine carries its own array-state policy.
     """
     from repro.batch.engine import build_columnar_engine
 
-    engine = build_columnar_engine(
-        config, schedule, layout, mapping.physical_array()[None, :], 1
-    )
+    engine = None
+    if channels == 1:
+        engine = build_columnar_engine(
+            config, schedule, layout, mapping.physical_array()[None, :], 1
+        )
     if engine is None:
         return _run_plan_fast(
             plan, config=config, schedule=schedule, mapping=mapping,
             layout=layout, cache=cache, trace=trace, tracer=tracer,
-            profile=profile,
+            profile=profile, channels=channels, retune_cost=retune_cost,
         )
     outcome = engine.run(
         trace.pages[:, None],
@@ -265,4 +281,11 @@ register_engine(EngineSpec(
     summary="multi-page retrieval (sequential vs opportunistic) study",
     executes_plans=False,
     study="repro.experiments.figures:query_study",
+))
+
+register_engine(EngineSpec(
+    name="multichannel",
+    summary="C-channel bandwidth split with single-frequency tuner study",
+    executes_plans=False,
+    study="repro.experiments.figures:multichannel_study",
 ))

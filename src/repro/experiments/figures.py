@@ -950,7 +950,7 @@ def indexed_multidisk_study(
     tuning (the tree depth), substantially lower access for the skewed
     workload — the broadcast-disk effect survives the index detour.
     """
-    from repro.core.programs import flat_program, multidisk_program
+    from repro.core.programs import _flat_program, _multidisk_program
     from repro.index.client import TuningClient
     from repro.index.integrate import index_schedule
     from repro.sim.rng import RandomStreams
@@ -958,9 +958,9 @@ def indexed_multidisk_study(
 
     layout = DiskLayout.from_delta((50, 200, 250), delta=4)
     variants = {
-        "flat + (1,3) index": index_schedule(flat_program(500), m=3, fanout=8),
+        "flat + (1,3) index": index_schedule(_flat_program(500), m=3, fanout=8),
         "multidisk + (1,8) index": index_schedule(
-            multidisk_program(layout), m=8, fanout=8
+            _multidisk_program(layout), m=8, fanout=8
         ),
     }
     distribution = ZipfRegionDistribution(100, 10, 0.95)
@@ -1093,14 +1093,14 @@ def query_study(
     speedup over sequential grows as (k+1)/2 on the flat disk, matching
     the closed form.
     """
-    from repro.core.programs import flat_program
+    from repro.core.programs import _flat_program
     from repro.query.analysis import opportunistic_expected_makespan_flat
     from repro.sim.rng import RandomStreams
     from repro.query.engine import fetch_opportunistic, fetch_sequential
     from repro.workload.mapping import LogicalPhysicalMapping
 
     layout = DiskLayout.flat(num_pages)
-    schedule = flat_program(num_pages)
+    schedule = _flat_program(num_pages)
     mapping = LogicalPhysicalMapping(layout)
     rng = RandomStreams(seed).stream("figures.query_study")
 
@@ -1130,4 +1130,75 @@ def query_study(
     data.add_series("sequential", sequential)
     data.add_series("opportunistic", opportunistic)
     data.add_series("opportunistic (analytic)", analytic)
+    return data
+
+
+def multichannel_study(
+    *, num_requests: int = PAPER_REQUESTS,
+    seed: int = 42,
+    deltas: Sequence[int] = DELTA_RANGE,
+    channel_counts: Sequence[int] = (1, 2, 4),
+    preset: str = "D5",
+    retune_cost: float = 1.0,
+    jobs: int = 1,
+    engine: str = "fast",
+    profile=None,
+    monitors=None,
+) -> FigureData:
+    """Response time and retune rate vs Δ for C parallel channels.
+
+    The Figure-5 protocol (CacheSize=1, Noise=0%, Offset=0) run with the
+    server's bandwidth split across C broadcast channels and a
+    single-frequency client tuner paying ``retune_cost`` per switch.
+    Expected shape: splitting shortens each channel's cycle, so C=2 and
+    C=4 sit strictly below the C=1 curve at every Δ; the retune rate
+    (retunes per measured request) rises with C and caps at the miss
+    rate — a tuner only switches to chase a cache miss.
+    """
+    data = FigureData(
+        figure="Extension: Multi-channel broadcast",
+        title=(
+            f"Multi-channel performance — Disk {preset}"
+            f"<{','.join(str(s) for s in _preset_layout(preset))}>, "
+            f"CacheSize=1, retune cost {retune_cost:g}"
+        ),
+        x_label="delta",
+        x_values=list(deltas),
+        notes=(
+            "Per-channel slot rate is 1/C of the single-channel rate; "
+            "retune rate = measured retunes / measured requests."
+        ),
+    )
+    configs = [
+        ExperimentConfig(
+            disk_sizes=_preset_layout(preset),
+            delta=delta,
+            cache_size=1,
+            noise=0.0,
+            offset=0,
+            num_requests=num_requests,
+            seed=seed,
+            channels=channels,
+            retune_cost=retune_cost,
+            label=f"MC {preset} Δ={delta} C={channels}",
+        )
+        for channels in channel_counts
+        for delta in deltas
+    ]
+    results = sweep_results(configs, engine=engine, jobs=jobs,
+                            profile=profile, monitors=monitors)
+    for position, channels in enumerate(channel_counts):
+        start = position * len(deltas)
+        block = results[start:start + len(deltas)]
+        data.add_series(
+            f"C={channels}", [r.mean_response_time for r in block]
+        )
+        data.add_series(
+            f"C={channels} retunes/req",
+            [r.retunes / r.measured_requests for r in block],
+        )
+        data.add_series(
+            f"C={channels} miss rate",
+            [1.0 - r.hit_rate for r in block],
+        )
     return data

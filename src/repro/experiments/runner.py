@@ -157,6 +157,10 @@ def _record_metrics(metrics, result: ExperimentResult) -> None:
     )
     metrics.gauge("schedule.period").set(float(result.schedule_period))
     metrics.gauge("schedule.utilisation").set(result.schedule_utilisation)
+    if result.channel_utilisation is not None:
+        metrics.counter("client.retunes").inc(result.retunes)
+        for index, value in enumerate(result.channel_utilisation):
+            metrics.gauge(f"schedule.utilisation.channel.{index}").set(value)
     metrics.counter("runs").inc()
 
 

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.cache.base import CachePolicy
-from repro.client.client import Client, ClientReport
+from repro.client.client import ChannelTuner, Client, ClientReport
 from repro.core.disks import DiskLayout
-from repro.core.schedule import BroadcastSchedule
+from repro.core.schedule import BroadcastProgram, BroadcastSchedule
 from repro.errors import SimulationError
 from repro.server.channel import BroadcastChannel
 from repro.server.server import BroadcastServer
@@ -45,19 +45,39 @@ class ProcessEngine:
     """Run one or many clients against a shared broadcast."""
 
     def __init__(self, schedule: BroadcastSchedule, layout: DiskLayout,
-                 tracer=None, profile=None):
+                 tracer=None, profile=None, *, retune_cost: float = 1.0):
         self.schedule = schedule
         self.layout = layout
         self.sim = Simulator()
-        self.channel = BroadcastChannel(self.sim, schedule)
-        self.server = BroadcastServer(self.sim, schedule, self.channel)
+        #: Set for multi-channel programs: one physical
+        #: :class:`BroadcastChannel` + :class:`BroadcastServer` pair per
+        #: program row, all on the shared simulator; clients then attach
+        #: through per-client :class:`ChannelTuner` state.
+        self.program = schedule if isinstance(schedule, BroadcastProgram) else None
+        self.retune_cost = retune_cost
+        if self.program is None:
+            self.channel = BroadcastChannel(self.sim, schedule)
+            self.server = BroadcastServer(self.sim, schedule, self.channel)
+            self.channels = [self.channel]
+            self.servers = [self.server]
+        else:
+            self.channels = []
+            self.servers = []
+            for index, row in enumerate(self.program.channels):
+                channel = BroadcastChannel(self.sim, row)
+                channel.channel_index = index
+                self.channels.append(channel)
+                self.servers.append(BroadcastServer(self.sim, row, channel))
+            self.channel = self.channels[0]
+            self.server = self.servers[0]
         self.clients: List[Client] = []
         #: Optional :class:`repro.obs.trace.Tracer` shared by the kernel,
-        #: the channel, and every attached client.
+        #: the channels, and every attached client.
         self.tracer = tracer
         if tracer is not None:
             self.sim.trace = tracer
-            self.channel.tracer = tracer
+            for channel in self.channels:
+                channel.tracer = tracer
         #: Optional :class:`repro.obs.profile.Profiler`; :meth:`run`
         #: reports kernel event counts and the event-heap high-water
         #: mark into it.
@@ -65,6 +85,13 @@ class ProcessEngine:
 
     def add_client(self, spec: ClientSpec) -> Client:
         """Attach a client process built from ``spec``."""
+        tuner = None
+        if self.program is not None:
+            tuner = ChannelTuner(
+                channels=self.channels,
+                channel_of=self.program.channel_map(),
+                retune_cost=self.retune_cost,
+            )
         client = Client(
             sim=self.sim,
             channel=self.channel,
@@ -78,6 +105,7 @@ class ProcessEngine:
             extra_warmup=spec.extra_warmup,
             name=spec.name,
             tracer=self.tracer,
+            tuner=tuner,
         )
         self.clients.append(client)
         return client
@@ -111,9 +139,11 @@ def run_single_client(
     extra_warmup: int = 0,
     tracer=None,
     profile=None,
+    retune_cost: float = 1.0,
 ) -> ClientReport:
     """Convenience wrapper: one client, one broadcast, run to completion."""
-    engine = ProcessEngine(schedule, layout, tracer=tracer, profile=profile)
+    engine = ProcessEngine(schedule, layout, tracer=tracer, profile=profile,
+                           retune_cost=retune_cost)
     engine.add_client(
         ClientSpec(
             mapping=mapping,

@@ -13,7 +13,7 @@ from typing import List, Sequence
 from repro.cache.base import PolicyContext
 from repro.cache.registry import make_policy
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program
 from repro.errors import ConfigurationError
 from repro.hybrid.channel import HybridChannel, HybridServer
 from repro.hybrid.client import HybridClient, HybridReport
@@ -45,7 +45,7 @@ def run_hybrid_population(
     if num_clients < 1:
         raise ConfigurationError(f"num_clients must be >= 1, got {num_clients}")
     layout = DiskLayout.from_delta(tuple(disk_sizes), delta)
-    schedule = multidisk_program(layout)
+    schedule = _multidisk_program(layout)
     sim = Simulator()
     channel = HybridChannel(sim, schedule, pull_spacing=pull_spacing)
     HybridServer(sim, channel)

@@ -26,11 +26,20 @@ MANIFEST_SCHEMA = "repro.obs.manifest/1"
 SWEEP_SCHEMA = "repro.obs.sweep/1"
 
 
+#: Config fields serialized only when they differ from their default.
+#: Omit-default serialization keeps the hash of every pre-existing
+#: configuration unchanged when a new field is introduced, so bench
+#: history baselines and sweep-checkpoint fingerprints stay valid.
+_OMIT_WHEN_DEFAULT = {"channels": 1, "retune_cost": 1.0}
+
+
 def _config_dict(config) -> Dict:
     """A plain-dict view of a config (dataclass or mapping)."""
-    if is_dataclass(config):
-        return asdict(config)
-    return dict(config)
+    data = asdict(config) if is_dataclass(config) else dict(config)
+    for key, default in _OMIT_WHEN_DEFAULT.items():
+        if key in data and data[key] == default:
+            del data[key]
+    return data
 
 
 def config_hash(config) -> str:
@@ -80,6 +89,12 @@ def build_manifest(result, *, metrics=None, tracer=None, profile=None,
         "access_locations": dict(result.access_locations),
         "wall_seconds": result.wall_seconds,
     }
+    # Multi-channel runs carry their tuner and per-channel figures;
+    # single-channel manifests keep their exact 1.1 shape.
+    channel_utilisation = getattr(result, "channel_utilisation", None)
+    if channel_utilisation is not None:
+        manifest["retunes"] = result.retunes
+        manifest["channel_utilisation"] = list(channel_utilisation)
     if metrics is not None:
         manifest["metrics"] = metrics.snapshot()
     if tracer is not None:

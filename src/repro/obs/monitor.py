@@ -257,9 +257,15 @@ class ClockMonotonicityMonitor(Monitor):
 
 
 class ConservationMonitor(Monitor):
-    """Per client: ``requests == hits + misses`` and waits match misses."""
+    """Per client: ``requests == hits + misses``, waits match misses, and
+    channel retunes never exceed misses (only a miss can retune)."""
 
     name = "conservation"
+
+    #: ``client.*`` record kinds the monitor tallies; unknown client
+    #: kinds are ignored rather than crashing the suite on a new record
+    #: type.
+    _KINDS = ("request", "hit", "miss", "wait", "retune")
 
     def __init__(self) -> None:
         super().__init__()
@@ -270,12 +276,15 @@ class ConservationMonitor(Monitor):
         kind = record.kind
         if not kind.startswith("client."):
             return
+        name = kind.split(".", 1)[1]
+        if name not in self._KINDS:
+            return
         client = record.fields.get("client", "")
         counts = self._counts.get(client)
         if counts is None:
-            counts = {"request": 0, "hit": 0, "miss": 0, "wait": 0}
+            counts = {key: 0 for key in self._KINDS}
             self._counts[client] = counts
-        counts[kind.split(".", 1)[1]] += 1
+        counts[name] += 1
         if record.time > self._final_time:
             self._final_time = record.time
 
@@ -298,6 +307,14 @@ class ConservationMonitor(Monitor):
                     f"{label}: {counts['miss']} misses vs "
                     f"{counts['wait']} waits (deficit {deficit})",
                 )
+            # The retune allowance: a single-frequency tuner switches at
+            # most once per miss (hits never touch the channel).
+            if counts["retune"] > counts["miss"]:
+                self._violate(
+                    "retune_allowance", self._final_time,
+                    f"{label}: {counts['retune']} retunes exceed "
+                    f"{counts['miss']} misses",
+                )
         return self.violations
 
 
@@ -312,6 +329,12 @@ class SchedulePeriodicityMonitor(Monitor):
         schedule = self.context.schedule
         if schedule is None:
             return
+        if hasattr(schedule, "channel_schedule"):
+            # Multi-channel program: the record names its row, and the
+            # periodicity contract holds per channel.
+            schedule = schedule.channel_schedule(
+                int(record.fields.get("channel", 0))
+            )
         now = record.time
         if abs(now - round(now)) > TIME_TOLERANCE:
             self._violate(

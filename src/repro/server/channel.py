@@ -51,14 +51,23 @@ class BroadcastChannel:
         #: :meth:`observe_every_slot`) to force delivery of *every*
         #: non-empty slot for full-broadcast traces.
         self.tracer = None
+        #: Row index when this channel is one of several in a
+        #: multi-channel program; ``None`` (single-channel) keeps the
+        #: ``channel.deliver`` record shape of 1.1 unchanged.
+        self.channel_index: Optional[int] = None
 
     # -- client-facing API -----------------------------------------------------
-    def wait_for(self, physical_page: int) -> Event:
+    def wait_for(
+        self, physical_page: int, *, not_before: Optional[float] = None
+    ) -> Event:
         """Event firing at the next completion of ``physical_page``.
 
-        The event's value is the arrival time.
+        The event's value is the arrival time.  ``not_before`` moves the
+        earliest usable completion past ``sim.now`` — a retuning client
+        cannot hear this channel until its tuner has settled.
         """
-        due = self.schedule.next_arrival(physical_page, self.sim.now)
+        start = self.sim.now if not_before is None else not_before
+        due = self.schedule.next_arrival(physical_page, start)
         event = self.sim.event()
         key = (due, physical_page)
         pending = self._waiters.get(key)
@@ -128,7 +137,11 @@ class BroadcastChannel:
         self.deliveries += 1
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
-            tracer.emit("channel.deliver", now, page=int(page))
+            if self.channel_index is None:
+                tracer.emit("channel.deliver", now, page=int(page))
+            else:
+                tracer.emit("channel.deliver", now, page=int(page),
+                            channel=self.channel_index)
         key = (now, page)
         waiters = self._waiters.pop(key, ())
         for event in waiters:

@@ -31,6 +31,7 @@ from repro.experiments.runner import run_experiment, sweep, sweep_results
 from repro.population import run_population
 
 EXPECTED_ALL = [
+    "BroadcastProgram",
     "BroadcastSchedule",
     "ConfigurationError",
     "DISK_PRESETS",
@@ -46,6 +47,7 @@ EXPECTED_ALL = [
     "PopulationResult",
     "PopulationSpec",
     "Profiler",
+    "ProgramSpec",
     "ReproError",
     "ScheduleError",
     "SegmentSpec",
@@ -94,7 +96,7 @@ class TestExportSnapshot:
             assert getattr(repro, name) is not None
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
 
 class TestKeywordOnlyContract:
@@ -187,6 +189,108 @@ class TestDeprecationShim:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_experiment(small_config(), engine="fast")
+
+    def test_multichannel_internal_path_does_not_warn(self):
+        # The channels > 1 pipeline must route through the internal
+        # builders, never the deprecated shims.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_experiment(small_config(channels=2), engine="fast")
+
+
+class TestProgramSpecSurface:
+    """The 1.2 consolidation: one declarative builder, shimmed functions."""
+
+    def test_spec_is_keyword_only(self):
+        signature = inspect.signature(repro.ProgramSpec)
+        for parameter in signature.parameters.values():
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"ProgramSpec({parameter.name}=...) must be keyword-only"
+            )
+
+    def test_spec_builds_single_channel(self):
+        layout, schedule = repro.ProgramSpec(
+            sizes=(2, 4, 8), delta=3
+        ).build()
+        assert layout.total_pages == 14
+        assert isinstance(schedule, repro.BroadcastSchedule)
+
+    def test_spec_builds_multi_channel(self):
+        layout, program = repro.ProgramSpec(
+            sizes=(2, 4, 8), delta=3, channels=2
+        ).build()
+        assert isinstance(program, repro.BroadcastProgram)
+        assert program.num_channels == 2
+        assert sorted(program.pages) == list(range(layout.total_pages))
+
+    def test_spec_rejects_multi_channel_non_multidisk(self):
+        with pytest.raises(ConfigurationError, match="multidisk"):
+            repro.ProgramSpec(sizes=(8,), kind="flat", channels=2)
+
+    @pytest.mark.parametrize("shim,args", [
+        ("multidisk_program", None),
+        ("flat_program", (8,)),
+    ])
+    def test_shims_warn_and_name_replacement(self, shim, args):
+        from repro.core import programs
+
+        if args is None:
+            args = (repro.DiskLayout.from_delta((2, 4), 1),)
+        with pytest.warns(DeprecationWarning, match="ProgramSpec"):
+            schedule = getattr(programs, shim)(*args)
+        assert isinstance(schedule, repro.BroadcastSchedule)
+
+    def test_shim_warning_attributed_to_caller(self):
+        # The small fix: stacklevel reaches through the shared warning
+        # helper, so the warning carries this file and the call line.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            repro.flat_program(4)
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
+    def test_shim_matches_spec_output(self):
+        layout = repro.DiskLayout.from_delta((2, 4, 8), 3)
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.multidisk_program(layout)
+        _, modern = repro.ProgramSpec(sizes=(2, 4, 8), delta=3).build()
+        assert legacy.slots == modern.slots
+
+
+class TestChannelOptionsSurface:
+    """channels= / retune_cost= are keyword-only everywhere they appear."""
+
+    def test_config_fields_keyword_only(self):
+        signature = inspect.signature(ExperimentConfig)
+        for name in ("channels", "retune_cost"):
+            assert signature.parameters[name].kind is \
+                inspect.Parameter.KEYWORD_ONLY, name
+
+    def test_config_defaults_reproduce_single_channel(self):
+        config = small_config()
+        assert config.channels == 1
+        assert config.retune_cost == 1.0
+
+    def test_plan_engines_accept_channel_kwargs(self):
+        for name in plan_engine_names():
+            run_plan = get_plan_engine(name).run_plan
+            parameters = inspect.signature(run_plan).parameters
+            for option in ("channels", "retune_cost"):
+                assert option in parameters, (name, option)
+                assert parameters[option].kind is \
+                    inspect.Parameter.KEYWORD_ONLY, (name, option)
+
+    def test_config_hash_omits_channel_defaults(self):
+        from repro.obs.manifest import _config_dict, config_hash
+
+        implicit = small_config()
+        explicit = small_config(channels=1, retune_cost=1.0)
+        assert "channels" not in _config_dict(implicit)
+        assert "retune_cost" not in _config_dict(implicit)
+        assert config_hash(implicit) == config_hash(explicit)
+        multi = small_config(channels=2)
+        assert _config_dict(multi)["channels"] == 2
+        assert config_hash(multi) != config_hash(implicit)
 
 
 class TestEngineRegistry:

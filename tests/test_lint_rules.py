@@ -587,6 +587,29 @@ class TestRL008KeywordOnlyOptions:
             """
         ) == []
 
+    def test_true_positive_multichannel_builder(self):
+        # The 1.2 channel builders are exactly the shape RL008 exists
+        # for: channel options drifting positional would let
+        # ``build_program(layout, 2, "bandwidth")`` silently swap
+        # strategy and retune cost in a later release.
+        diagnostics = run(
+            """
+            def build_program(layout, channels=2, assignment="conflict"):
+                return layout, channels, assignment
+            """
+        )
+        assert codes(diagnostics) == ["RL008"]
+        assert "channels, assignment" in diagnostics[0].message
+
+    def test_true_negative_multichannel_builder_keyword_only(self):
+        assert run(
+            """
+            def build_program(layout, num_channels, *, assignment="conflict",
+                              retune_cost=1.0):
+                return layout, num_channels, assignment, retune_cost
+            """
+        ) == []
+
     def test_true_negative_nested_function(self):
         assert run(
             """
