@@ -22,7 +22,10 @@ Three studies, recorded to ``BENCH_population.json``:
   ``BATCH_REPEATS``), clients/second, and a >= ``MIN_BATCH_SPEEDUP``
   gate, with the same within-sampling-error equivalence check between
   the two arms' fleet means (the kernel draws from group-level rather
-  than per-client streams, so the contract is statistical).
+  than per-client streams, so the contract is statistical).  A second
+  study runs the same fleet on a ``CHANNELS``-channel broadcast
+  program — the single-frequency tuner plus the per-channel phase
+  tables — gated at >= ``MIN_MULTICHANNEL_SPEEDUP``.
 
 Runs standalone (writes ``BENCH_population.json``) or under pytest
 (tiny scale, no file output)::
@@ -92,6 +95,15 @@ MIN_BATCH_SPEEDUP = 100.0
 #: best-of filters scheduler noise out of the speedup ratio).
 BATCH_REPEATS = 5
 
+#: Channel count for the multi-channel batch study.
+CHANNELS = 4
+
+#: Acceptance target for the batch engine on the ``CHANNELS``-channel
+#: fleet.  Lower than the single-channel target: the scalar arm is
+#: itself faster per request on C channels (shorter per-channel
+#: periods), which shrinks the numerator of the ratio.
+MIN_MULTICHANNEL_SPEEDUP = 50.0
+
 
 def hetero_spec(clients: int, num_requests: int = REQUESTS) -> PopulationSpec:
     """The scaling fleet: three segments over the reduced database."""
@@ -122,7 +134,8 @@ def hetero_spec(clients: int, num_requests: int = REQUESTS) -> PopulationSpec:
     return scale_spec(spec, clients)
 
 
-def homogeneous_config(delta: int, num_requests: int = REQUESTS):
+def homogeneous_config(delta: int, *, num_requests: int = REQUESTS,
+                       channels: int = 1):
     """One scaled Figure-5 point: D5-shaped disks, uncached client."""
     return ExperimentConfig(
         disk_sizes=(50, 200, 250),
@@ -131,17 +144,21 @@ def homogeneous_config(delta: int, num_requests: int = REQUESTS):
         access_range=100,
         region_size=10,
         num_requests=num_requests,
-        label=f"fig5 Δ={delta}",
+        channels=channels,
+        label=f"fig5 Δ={delta}" + (f" C={channels}" if channels > 1 else ""),
     )
 
 
 def homogeneous_spec(delta: int, clients: int, *,
                      num_requests: int = REQUESTS,
-                     engine: str = "fast") -> PopulationSpec:
+                     engine: str = "fast",
+                     channels: int = 1) -> PopulationSpec:
     """A homogeneous fleet of ``clients`` i.i.d. Figure-5 clients."""
     return PopulationSpec(
-        name=f"bench-fig5-delta{delta}",
-        base=homogeneous_config(delta, num_requests),
+        name=f"bench-fig5-delta{delta}"
+             + (f"-c{channels}" if channels > 1 else ""),
+        base=homogeneous_config(delta, num_requests=num_requests,
+                                channels=channels),
         seed=21,
         engine=engine,
         segments=(SegmentSpec("uniform", clients),),
@@ -199,7 +216,7 @@ def run_validation(delta: int, clients: int, reference_runs: int,
     fleet = run_population(spec, jobs=jobs)
     stats = fleet.overall.response_means
 
-    config = homogeneous_config(delta, num_requests)
+    config = homogeneous_config(delta, num_requests=num_requests)
     references = [
         run_experiment(
             config.with_(seed=derive_seed(REFERENCE_SEED, index))
@@ -230,23 +247,30 @@ def run_validation(delta: int, clients: int, reference_runs: int,
 
 def run_batch_study(delta: int, clients: int, *,
                     num_requests: int = REQUESTS,
-                    repeats: int = BATCH_REPEATS):
+                    repeats: int = BATCH_REPEATS,
+                    channels: int = 1,
+                    min_speedup: float = MIN_BATCH_SPEEDUP):
     """The columnar batch engine vs the per-client path, one fleet.
 
     Both arms run single-threaded; the batch arm's wall time is the
     best of ``repeats`` (one fleet costs milliseconds, so repetition is
     cheap and filters scheduler noise).  Equivalence uses the same
     4-sigma sampling-error tolerance as the Figure-5 validation, with
-    both samples of size ``clients``.
+    both samples of size ``clients``.  With ``channels > 1`` both arms
+    simulate the C-row :class:`~repro.core.schedule.BroadcastProgram`
+    — the scalar arm through ``_run_trace_multichannel``, the batch
+    arm through the vectorized tuner and per-channel phase tables.
     """
     started = perf_counter()
     per_client = run_population(
-        homogeneous_spec(delta, clients, num_requests=num_requests), jobs=1
+        homogeneous_spec(delta, clients, num_requests=num_requests,
+                         channels=channels), jobs=1
     )
     per_client_seconds = perf_counter() - started
 
     batch_spec = homogeneous_spec(delta, clients,
-                              num_requests=num_requests, engine="batch")
+                                  num_requests=num_requests,
+                                  engine="batch", channels=channels)
     batch_seconds = math.inf
     batch = None
     for _ in range(repeats):
@@ -261,6 +285,7 @@ def run_batch_study(delta: int, clients: int, *,
     return {
         "delta": delta,
         "clients": clients,
+        "channels": channels,
         "best_of": repeats,
         "per_client": {
             "wall_seconds": per_client_seconds,
@@ -276,11 +301,12 @@ def run_batch_study(delta: int, clients: int, *,
         "difference": difference,
         "tolerance": tolerance,
         "within_sampling_error": difference <= tolerance,
-        "min_speedup_target": MIN_BATCH_SPEEDUP,
+        "min_speedup_target": min_speedup,
     }
 
 
-def build_report(scaling, validation, jobs, batch=None):
+def build_report(scaling, validation, jobs, *, batch=None,
+                 batch_multichannel=None):
     return {
         "schema": "repro.bench.population/1",
         "benchmark": "population fleet scaling + Figure-5 validation",
@@ -294,6 +320,7 @@ def build_report(scaling, validation, jobs, batch=None):
         "scaling": scaling,
         "validation": validation,
         "batch": batch,
+        "batch_multichannel": batch_multichannel,
         "min_speedup_target": MIN_SPEEDUP,
         "target_applies": usable_cores() >= jobs,
         "identical_minus_wall_clock": True,
@@ -330,6 +357,19 @@ def test_batch_engine_matches_per_client():
         f"batch mean {row['columnar']['fleet_mean']:.2f} vs per-client "
         f"{row['per_client']['fleet_mean']:.2f} exceeds tolerance "
         f"{row['tolerance']:.2f}"
+    )
+    assert row["speedup"] > 1.0
+
+
+def test_multichannel_batch_engine_matches_per_client():
+    """Pytest entry: tiny C=4 batch fleet within sampling error."""
+    row = run_batch_study(delta=1, clients=80, num_requests=150,
+                          repeats=2, channels=CHANNELS,
+                          min_speedup=MIN_MULTICHANNEL_SPEEDUP)
+    assert row["within_sampling_error"], (
+        f"C={CHANNELS} batch mean {row['columnar']['fleet_mean']:.2f} vs "
+        f"per-client {row['per_client']['fleet_mean']:.2f} exceeds "
+        f"tolerance {row['tolerance']:.2f}"
     )
     assert row["speedup"] > 1.0
 
@@ -373,7 +413,26 @@ def main() -> int:
           f"(tolerance {batch['tolerance']:.2f}) -> "
           f"{'OK' if batch['within_sampling_error'] else 'FAIL'}")
 
-    report = build_report(scaling, validation, JOBS, batch)
+    print(f"batch engine, C={CHANNELS}: {VALIDATION_CLIENTS}-client "
+          f"multi-channel fleet, columnar vs per-client "
+          f"(best of {BATCH_REPEATS})")
+    multichannel = run_batch_study(
+        delta=3, clients=VALIDATION_CLIENTS, channels=CHANNELS,
+        min_speedup=MIN_MULTICHANNEL_SPEEDUP,
+    )
+    print(f"  Δ=3 C={CHANNELS}: per-client "
+          f"{multichannel['per_client']['wall_seconds']:.2f}s "
+          f"({multichannel['per_client']['clients_per_second']:.0f} "
+          f"clients/s), batch "
+          f"{multichannel['columnar']['wall_seconds'] * 1000:.1f}ms "
+          f"({multichannel['columnar']['clients_per_second']:.0f} "
+          f"clients/s) -> {multichannel['speedup']:.0f}x, "
+          f"|Δmean|={multichannel['difference']:.2f} "
+          f"(tolerance {multichannel['tolerance']:.2f}) -> "
+          f"{'OK' if multichannel['within_sampling_error'] else 'FAIL'}")
+
+    report = build_report(scaling, validation, JOBS, batch=batch,
+                          batch_multichannel=multichannel)
     out = Path(__file__).resolve().parent.parent / "BENCH_population.json"
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"  wrote {out}")
@@ -388,6 +447,17 @@ def main() -> int:
         failures.append(
             f"batch speedup {batch['speedup']:.0f}x below the "
             f"{MIN_BATCH_SPEEDUP:.0f}x target"
+        )
+    if not multichannel["within_sampling_error"]:
+        failures.append(
+            f"C={CHANNELS} batch fleet mean off by "
+            f"{multichannel['difference']:.2f} "
+            f"(> {multichannel['tolerance']:.2f})"
+        )
+    if multichannel["speedup"] < MIN_MULTICHANNEL_SPEEDUP:
+        failures.append(
+            f"C={CHANNELS} batch speedup {multichannel['speedup']:.0f}x "
+            f"below the {MIN_MULTICHANNEL_SPEEDUP:.0f}x target"
         )
     for row in validation:
         if not row["within_sampling_error"]:

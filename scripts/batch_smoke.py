@@ -4,8 +4,9 @@ Three gates, one per contract the engine makes
 (``src/repro/batch/fleet.py``):
 
 * **Exactness** — a single-client ``--engine batch`` plan must be
-  byte-identical to ``fast``: result stats, collected samples, and the
-  full traced record stream.
+  byte-identical to ``fast`` across channel counts C ∈ {1, 2, 4}:
+  result stats, collected samples, retune counters, and the full
+  traced record stream (including ``client.retune`` instants).
 * **Statistical equivalence** — a 1000-client homogeneous batch fleet
   (phase-table kernel) must sit within the 4-sigma sampling-error
   tolerance of the per-client path, with identical client/request
@@ -14,6 +15,10 @@ Three gates, one per contract the engine makes
   over a multi-client columnar run must observe interleaved per-client
   records and finish with zero violations, and profiled tier counts
   must reconcile with the engine's miss counters.
+* **Sub-segmentation** — a heterogeneous multi-channel fleet whose
+  segments draw from finite-support distributions (Choice/UniformInt)
+  must bucket into homogeneous columnar sub-segments and fold
+  byte-identically to the per-client plan path.
 
 Leaves the batch fleet manifest in the artifact directory.
 
@@ -39,7 +44,13 @@ from repro.experiments.runner import run_experiment
 from repro.obs.monitor import MonitorSuite
 from repro.obs.profile import Profiler
 from repro.obs.trace import MemorySink, Tracer
-from repro.population import PopulationSpec, SegmentSpec, run_population
+from repro.population import (
+    Choice,
+    PopulationSpec,
+    SegmentSpec,
+    UniformInt,
+    run_population,
+)
 
 KERNEL_CLIENTS = 1000
 
@@ -76,33 +87,45 @@ def check(condition: bool, message: str, failures: list) -> None:
 
 
 def gate_exactness(failures: list) -> None:
-    print("single-client exactness (batch vs fast):")
-    traces = {}
-    results = {}
-    for engine in ("fast", "batch"):
-        sink = MemorySink(capacity=200_000)
-        results[engine] = run_experiment(
-            single_config(), engine=engine, collect_responses=True,
-            tracer=Tracer(sink),
+    for channels in (1, 2, 4):
+        print(f"single-client exactness, C={channels} (batch vs fast):")
+        overrides = {} if channels == 1 else {"channels": channels}
+        traces = {}
+        results = {}
+        for engine in ("fast", "batch"):
+            sink = MemorySink(capacity=200_000)
+            results[engine] = run_experiment(
+                single_config(**overrides), engine=engine,
+                collect_responses=True, tracer=Tracer(sink),
+            )
+            traces[engine] = [
+                (record.time, record.kind, record.fields)
+                for record in sink.records
+            ]
+        fast, batch = results["fast"], results["batch"]
+        check(batch.mean_response_time == fast.mean_response_time,
+              "mean response time identical", failures)
+        check(batch.hit_rate == fast.hit_rate, "hit rate identical",
+              failures)
+        check(batch.samples == fast.samples,
+              "per-request samples identical", failures)
+        check(batch.retunes == fast.retunes,
+              f"retune counters identical ({fast.retunes})", failures)
+        check(
+            (batch.measured_requests, batch.warmup_requests)
+            == (fast.measured_requests, fast.warmup_requests),
+            "request accounting identical", failures,
         )
-        traces[engine] = [
-            (record.time, record.kind, record.fields)
-            for record in sink.records
-        ]
-    fast, batch = results["fast"], results["batch"]
-    check(batch.mean_response_time == fast.mean_response_time,
-          "mean response time identical", failures)
-    check(batch.hit_rate == fast.hit_rate, "hit rate identical", failures)
-    check(batch.samples == fast.samples,
-          "per-request samples identical", failures)
-    check(
-        (batch.measured_requests, batch.warmup_requests)
-        == (fast.measured_requests, fast.warmup_requests),
-        "request accounting identical", failures,
-    )
-    check(traces["batch"] == traces["fast"] and len(traces["batch"]) > 0,
-          f"traced record streams identical "
-          f"({len(traces['fast'])} records)", failures)
+        check(traces["batch"] == traces["fast"]
+              and len(traces["batch"]) > 0,
+              f"traced record streams identical "
+              f"({len(traces['fast'])} records)", failures)
+        if channels > 1:
+            retunes = sum(
+                1 for r in traces["batch"] if r[1] == "client.retune"
+            )
+            check(retunes > 0,
+                  f"retune records present ({retunes})", failures)
 
 
 def gate_statistical(failures: list, out: Path) -> None:
@@ -162,6 +185,33 @@ def gate_invariants(failures: list) -> None:
     )
 
 
+def gate_subsegmentation(failures: list) -> None:
+    print("sub-segmented heterogeneous fleet (C=2, finite support):")
+    monitors = MonitorSuite(mode="strict")
+    spec = PopulationSpec(
+        name="batch-smoke-subseg",
+        base=single_config(num_requests=300, channels=2),
+        seed=41,
+        segments=(
+            SegmentSpec("varied", 6,
+                        cache_size=UniformInt(5, 30),
+                        policy=Choice(("LRU", "LIX", "P"))),
+            SegmentSpec("uniform", 4),
+        ),
+    )
+    fleet = run_fleet(spec, kernel="never", monitors=monitors)
+    scalar = run_population(spec)
+    fleet_doc = fleet.overall.snapshot()
+    scalar_doc = scalar.overall.snapshot()
+    fleet_doc.pop("total_wall_seconds")
+    scalar_doc.pop("total_wall_seconds")
+    check(fleet_doc == scalar_doc,
+          "fleet fold byte-identical to per-client plans", failures)
+    check(monitors.ok,
+          f"strict invariants clean over {monitors.observed} records",
+          failures)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="batch-artifacts",
@@ -174,6 +224,7 @@ def main() -> int:
     gate_exactness(failures)
     gate_statistical(failures, out)
     gate_invariants(failures)
+    gate_subsegmentation(failures)
 
     if failures:
         print(f"batch smoke: {len(failures)} gate(s) failed",

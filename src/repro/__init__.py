@@ -40,8 +40,6 @@ from repro.core import (
     BroadcastSchedule,
     DiskLayout,
     ProgramSpec,
-    flat_program,
-    multidisk_program,
 )
 from repro.errors import (
     ConfigurationError,
@@ -73,7 +71,7 @@ from repro.population import (
 )
 from repro.workload import LogicalPhysicalMapping, ZipfRegionDistribution
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BroadcastProgram",
@@ -102,9 +100,7 @@ __all__ = [
     "__version__",
     "available_policies",
     "engine_names",
-    "flat_program",
     "make_policy",
-    "multidisk_program",
     "register_engine",
     "run_clients",
     "run_experiment",

@@ -11,6 +11,14 @@ next_arrival_batch`), which is what makes a single-client batch run
 **byte-identical** to the ``fast`` engine — the correctness gate
 ``scripts/batch_smoke.py`` and ``tests/test_batch_engine.py`` enforce.
 
+Multi-channel programs run natively: the engine carries a per-client
+tuned-channel column and applies the single-frequency tuner as array
+ops — on each miss the target channel is looked up in the program's
+dense ``channel_array``, retune costs are added where the target
+differs, and retune counters accumulate per client — replicating
+``FastEngine._run_trace_multichannel`` per client, including the
+``client.retune`` trace record between miss and wait.
+
 Tracing: with one client the emitted record stream is identical to the
 fast engine's (``client.*`` from the engine, ``cache.*`` in
 :class:`~repro.cache.base.TracedCache`'s vocabulary).  With many
@@ -89,6 +97,9 @@ class BatchOutcome:
     warmup_seen: np.ndarray
     final_time: np.ndarray
     samples: Optional[List[float]] = None
+    #: Measured-phase channel switches per client (zeros on
+    #: single-channel runs, matching the scalar engines).
+    retunes: Optional[np.ndarray] = None
 
     @property
     def num_clients(self) -> int:
@@ -129,6 +140,9 @@ class BatchOutcome:
             warmup_requests=int(self.warmup_seen[client]),
             final_time=float(self.final_time[client]),
             samples=self.samples,
+            retunes=(
+                0 if self.retunes is None else int(self.retunes[client])
+            ),
         )
 
 
@@ -143,10 +157,18 @@ class ColumnarEngine:
         disk_of: np.ndarray,
         num_disks: int,
         think_time: float,
+        *,
+        channel_of: Optional[np.ndarray] = None,
+        num_channels: int = 1,
+        retune_cost: float = 1.0,
     ):
         if think_time < 0:
             raise ConfigurationError(
                 f"think_time must be >= 0, got {think_time}"
+            )
+        if retune_cost < 0:
+            raise ConfigurationError(
+                f"retune_cost must be >= 0, got {retune_cost}"
             )
         physical = np.asarray(physical, dtype=np.int64)
         if physical.ndim != 2:
@@ -164,6 +186,14 @@ class ColumnarEngine:
         self.disk_of = np.asarray(disk_of, dtype=np.int64)
         self.num_disks = num_disks
         self.think_time = float(think_time)
+        #: Dense page -> channel lookup for C-row programs; ``None``
+        #: keeps the single-channel loop free of tuner arithmetic.
+        self.channel_of = (
+            None if channel_of is None
+            else np.asarray(channel_of, dtype=np.int64)
+        )
+        self.num_channels = int(num_channels)
+        self.retune_cost = float(retune_cost)
 
     def _physical_of(self, rows: np.ndarray, pages: np.ndarray) -> np.ndarray:
         if self.physical.shape[0] == 1:
@@ -231,6 +261,20 @@ class ColumnarEngine:
         physical_step = np.zeros(clients, dtype=np.int64)
         disk_step = np.zeros(clients, dtype=np.int64)
 
+        # Single-frequency tuner state (C-row programs only): every
+        # client starts tuned to channel 0, exactly like the scalar
+        # tuner loop.
+        channel_of = self.channel_of
+        tuned = channel_of is not None
+        if tuned:
+            current = np.zeros(clients, dtype=np.int64)
+            retunes_measured = np.zeros(clients, dtype=np.int64)
+            retune_step = np.zeros(clients, dtype=bool)
+            retune_from = np.zeros(clients, dtype=np.int64)
+            per_channel_misses = np.zeros(self.num_channels, dtype=np.int64)
+            total_retunes = 0
+            retune_cost = self.retune_cost
+
         for step in range(steps):
             page = pages[step]
             now += think
@@ -260,10 +304,33 @@ class ColumnarEngine:
             victims = None
             value[:] = 0.0
             rows = np.nonzero(miss)[0]
+            if tuned:
+                retune_step[:] = False
             if len(rows):
                 total_misses += len(rows)
                 physical = self._physical_of(rows, page[rows])
-                arrivals = schedule.next_arrival_batch(physical, now[rows])
+                if tuned:
+                    # The vectorized tuner: a miss whose page lives on
+                    # another channel switches first, so the earliest
+                    # usable completion moves from ``now`` to ``now +
+                    # retune_cost`` — the scalar loop's arithmetic,
+                    # element for element (the wait below still counts
+                    # from the request instant).
+                    target = channel_of[physical]
+                    switch = target != current[rows]
+                    retune_step[rows] = switch
+                    retune_from[rows] = current[rows]
+                    listen = now[rows] + retune_cost * switch
+                    total_retunes += int(switch.sum())
+                    per_channel_misses += np.bincount(
+                        target, minlength=self.num_channels
+                    )
+                    current[rows] = target
+                    arrivals = schedule.next_arrival_batch(physical, listen)
+                else:
+                    arrivals = schedule.next_arrival_batch(
+                        physical, now[rows]
+                    )
                 value[rows] = arrivals - now[rows]
                 now[rows] = arrivals
                 victims = policy.admit(page, now, miss)
@@ -287,6 +354,8 @@ class ColumnarEngine:
                     np.add.at(
                         per_disk, (disk_step[measured_miss], measured_miss), 1
                     )
+                if tuned:
+                    retunes_measured[measured] += retune_step[measured]
                 if samples is not None and measuring[0]:
                     samples.append(float(value[0]))
 
@@ -294,6 +363,9 @@ class ColumnarEngine:
                 self._emit_step(
                     tracer, client_labels, request_time, page, hit,
                     measuring, physical_step, now, value, victims,
+                    retune_step=retune_step if tuned else None,
+                    retune_from=retune_from if tuned else None,
+                    retune_to=current if tuned else None,
                 )
 
         if profile is not None and profile.enabled:
@@ -301,6 +373,13 @@ class ColumnarEngine:
             profile.count("engine.batch.clients", clients)
             profile.count("engine.batch.hits", total_hits)
             profile.count("engine.batch.misses", total_misses)
+            if tuned:
+                profile.count("engine.batch.retunes", total_retunes)
+                for channel in range(self.num_channels):
+                    profile.count(
+                        f"engine.batch.channel.{channel}.misses",
+                        int(per_channel_misses[channel]),
+                    )
 
         return BatchOutcome(
             count=count,
@@ -314,18 +393,22 @@ class ColumnarEngine:
             warmup_seen=warmup_seen,
             final_time=now,
             samples=samples,
+            retunes=retunes_measured if tuned else None,
         )
 
     def _emit_step(
         self, tracer, labels, request_time, page, hit, measuring,
-        physical_step, now, value, victims,
+        physical_step, now, value, victims, *,
+        retune_step=None, retune_from=None, retune_to=None,
     ) -> None:
         """Emit one step's records, per client, in the scalar order.
 
         For a single unlabelled client the sequence is byte-identical to
         the fast engine's traced run (``client.*`` records) wrapped in a
-        :class:`~repro.cache.base.TracedCache` (``cache.*`` records).
-        Labelled runs add a ``client`` field to every record.
+        :class:`~repro.cache.base.TracedCache` (``cache.*`` records) —
+        including the ``client.retune`` record a multi-channel miss
+        slips between its miss and wait.  Labelled runs add a
+        ``client`` field to every record.
         """
         for client in range(len(page)):
             extra = {} if labels is None else {"client": labels[client]}
@@ -349,6 +432,14 @@ class ColumnarEngine:
                 "client.miss", requested, page=page_id, physical=physical,
                 **extra,
             )
+            if retune_step is not None and retune_step[client]:
+                tracer.emit(
+                    "client.retune", requested, page=page_id,
+                    physical=physical,
+                    from_channel=int(retune_from[client]),
+                    to_channel=int(retune_to[client]),
+                    **extra,
+                )
             tracer.emit(
                 "client.wait", arrival, page=page_id, physical=physical,
                 wait=float(value[client]), **extra,
@@ -376,15 +467,15 @@ def build_columnar_engine(
 
     ``physical`` is the logical→physical page matrix — one shared row
     for noise-free groups, one row per client otherwise.  Returns
-    ``None`` when ``config.policy`` has no columnar formulation, or when
-    the config asks for a multi-channel program — the columnar kernels
-    model a single shared channel, so those runs take the scalar
-    per-client path (which carries the tuner).
+    ``None`` when ``config.policy`` has no columnar formulation.  A
+    multi-channel :class:`~repro.core.schedule.BroadcastProgram`
+    (detected by its ``channel_array`` surface) arms the vectorized
+    single-frequency tuner: per-client tuned-channel state, retune-cost
+    arithmetic, and retune counters, byte-identical per client to the
+    fast engine's ``_run_trace_multichannel``.
     """
     name = batchable_policy_name(config.policy)
     if name is None:
-        return None
-    if getattr(config, "channels", 1) > 1:
         return None
     physical = np.asarray(physical, dtype=np.int64)
     access_range = config.access_range
@@ -403,6 +494,11 @@ def build_columnar_engine(
     )
     if policy is None:
         return None
+    channel_of = None
+    num_channels = 1
+    if hasattr(schedule, "channel_array") and schedule.num_channels > 1:
+        channel_of = schedule.channel_array()
+        num_channels = schedule.num_channels
     return ColumnarEngine(
         schedule=schedule,
         policy=policy,
@@ -410,4 +506,7 @@ def build_columnar_engine(
         disk_of=disk_of,
         num_disks=layout.num_disks,
         think_time=config.think_time,
+        channel_of=channel_of,
+        num_channels=num_channels,
+        retune_cost=float(getattr(config, "retune_cost", 1.0)),
     )

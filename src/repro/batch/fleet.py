@@ -6,8 +6,17 @@
 segments (every distributed field a :class:`Constant`) with a batchable
 policy skip plan expansion entirely — the whole segment becomes one
 columnar engine run over a ``(steps, clients)`` trace matrix.
-Heterogeneous or unbatchable segments fall back to the scalar
-per-client path through :func:`~repro.exec.run.execute_plan`.
+Multi-channel programs batch natively (the engine carries the
+vectorized tuner).  Heterogeneous segments whose distributed fields all
+have *finite support* (:class:`Constant` / :class:`Choice` /
+:class:`UniformInt`) are **sub-segmented**: each client's parameter
+draws are replayed through
+:func:`~repro.population.spec.client_overrides` (preserving the
+``derive_seed`` per-client identity exactly), clients with equal draws
+bucket into one homogeneous sub-batch, and each bucket runs columnar.
+Only continuous draws (:class:`Uniform`) or unbatchable sampled
+policies still fall back to the scalar per-client path through
+:func:`~repro.exec.run.execute_plan`.
 
 Two execution regimes, two correctness contracts:
 
@@ -22,6 +31,10 @@ Two execution regimes, two correctness contracts:
   the broadcast period, so the whole group steps through precomputed
   ``(period, pages+1)`` wait/next-phase tables, with requests drawn in
   bulk from one group-level stream through a guide-table sampler.
+  C-row programs get a tuned-channel dimension — tables become
+  ``(C, lcm-period, pages+1)``, the flat state index encodes
+  ``(channel, phase)``, and integral retune costs fold into the wait
+  entries — so cache-less multi-channel groups keep the kernel speed.
   Per-client traces differ from the per-client path (group vs per-client
   streams), so the contract is the BENCH_population one: equal within
   sampling error.  This is the ≥100x path; force ``kernel="never"`` to
@@ -41,7 +54,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.batch.engine import batchable_policy_name, build_columnar_engine
-from repro.batch.rng import client_generator, group_generator
+from repro.batch.rng import client_generators, group_generator
+from repro.core.chunks import lcm_many
 from repro.errors import ConfigurationError, ScheduleError
 from repro.exec.build import BuildCache, structural_key
 from repro.exec.plan import RunPlan
@@ -58,10 +72,13 @@ from repro.population.run import (
 )
 from repro.population.spec import (
     _INT_FIELDS,
+    Choice,
     Constant,
     PopulationSpec,
     SegmentSpec,
+    UniformInt,
     client_config,
+    client_overrides,
 )
 from repro.workload.mapping import LogicalPhysicalMapping
 
@@ -143,6 +160,56 @@ def _group_config(spec: PopulationSpec, segment: SegmentSpec):
     )
 
 
+#: Distributions with finite support: a heterogeneous segment drawing
+#: only from these has a bounded set of distinct client identities and
+#: can be sub-segmented into homogeneous buckets.
+_FINITE_DISTRIBUTIONS = (Constant, Choice, UniformInt)
+
+
+def _sub_segments(
+    spec: PopulationSpec, segment: SegmentSpec, indices: range
+) -> Optional[List[Tuple[object, List[int]]]]:
+    """Deterministic sub-segmentation of a finite-support segment.
+
+    Replays every client's parameter draws through
+    :func:`~repro.population.spec.client_overrides` — the exact
+    ``derive_seed``-rooted streams the per-client path consumes, so
+    each client keeps its fleet-size-independent identity — and buckets
+    clients with equal draws into ``(shared config, client indices)``
+    groups, ordered by first appearance.  Returns ``None`` when any
+    distributed field has continuous support (:class:`Uniform` draws
+    are almost surely all distinct, so bucketing buys nothing).
+
+    Bucket configs share the segment-level label (per-client labels and
+    seeds are reattached by the columnar path's own per-client streams)
+    and bucket clients need not be contiguous — the columnar group
+    runner indexes clients individually.
+    """
+    distributions = segment.distributions().values()
+    if not all(isinstance(d, _FINITE_DISTRIBUTIONS) for d in distributions):
+        return None
+    members: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+    sampled: Dict[Tuple, Dict[str, object]] = {}
+    for client in indices:
+        overrides = client_overrides(spec, segment, client)
+        key = tuple(sorted(overrides.items()))
+        bucket = members.get(key)
+        if bucket is None:
+            members[key] = [client]
+            sampled[key] = overrides
+        else:
+            bucket.append(client)
+    return [
+        (
+            spec.base.with_(
+                label=f"{spec.name}/{segment.name}", **sampled[key]
+            ),
+            clients,
+        )
+        for key, clients in members.items()
+    ]
+
+
 # ---------------------------------------------------------------------------
 # The phase-table kernel
 # ---------------------------------------------------------------------------
@@ -164,10 +231,16 @@ def _kernel_eligible(config) -> bool:
         return False
     if config.drift_rotations or config.noise > 0.0:
         return False
+    if getattr(config, "channels", 1) > 1 and not float(
+            getattr(config, "retune_cost", 1.0)).is_integer():
+        # The tuned-channel tables fold the retune penalty into integer
+        # wait entries; fractional costs take the general columnar path.
+        return False
     return float(config.think_time).is_integer()
 
 
-def _phase_tables(schedule, physical: np.ndarray, think: int):
+def _phase_tables(schedule, physical: np.ndarray, think: int,
+                  retune: int = 0):
     """Wait and next-phase tables over (request phase, requested page).
 
     For a request issued at integral time ``t`` with phase ``s = t mod
@@ -178,7 +251,12 @@ def _phase_tables(schedule, physical: np.ndarray, think: int):
     think time is folded into the tables, so the step loop is pure
     table lookups.  Exact for any periodic schedule — a broadcast page's
     completions repeat with the period, no fixed-gap structure needed.
+
+    C-row programs dispatch to :func:`_phase_tables_program`, which
+    adds a tuned-channel dimension to the same flat encoding.
     """
+    if getattr(schedule, "num_channels", 1) > 1:
+        return _phase_tables_program(schedule, physical, think, retune)
     period = schedule.period
     pages = len(physical)
     width = pages + 1
@@ -225,6 +303,78 @@ def _phase_tables(schedule, physical: np.ndarray, think: int):
     body *= width
     waits[:, pages] = 0
     phases[:, pages] = shifted * width
+    return waits.ravel(), phases.ravel(), width
+
+
+def _phase_tables_program(program, physical: np.ndarray, think: int,
+                          retune: int):
+    """Per-channel phase tables for a C-row broadcast program.
+
+    The client state gains the tuned channel, so the tables are
+    ``(C, P, pages+1)`` with ``P`` the lcm of the row periods; the flat
+    state index is ``(channel * P + phase) * width``, and the initial
+    state ``0`` is channel 0 at phase 0 — exactly the scalar tuner's
+    starting point, so the step loop is unchanged.  A miss for a page
+    on another channel pays the (integral) ``retune`` cost before
+    listening: its wait entry is ``r + 1 + (residue - s - r - 1) mod
+    gap`` and its next state lands on the page's channel.  Hits keep
+    the tuned channel.  Waits are measured from the request instant,
+    matching the scalar loop's ``arrival - now``.
+    """
+    rows = program.channels
+    num_channels = len(rows)
+    period = lcm_many([row.period for row in rows])
+    pages = len(physical)
+    width = pages + 1
+    slots = np.arange(period, dtype=np.int64)
+    shifted = (slots + think) % period
+    waits = np.empty((num_channels, period, width), dtype=np.int32)
+    phases = np.empty((num_channels, period, width), dtype=np.int32)
+
+    residue_all, gap_all = program.regular_timing()
+    size = len(gap_all)
+    clipped = np.clip(physical, 0, size - 1)
+    gaps = gap_all[clipped]
+    regular = (physical == clipped) & (physical >= 0) & (gaps > 0)
+    page_channel = np.where(regular, program.channel_array()[clipped], 0)
+    residue = residue_all[clipped]
+    safe_gaps = np.where(regular, gaps, 1)
+
+    # Irregular pages: the owning row's exact occurrence search, built
+    # once per page as a wait-by-listen-phase lookup over the row
+    # period.  A page absent from the program raises ScheduleError in
+    # ``schedule_of``, which the kernel caller treats as "take the
+    # general path".
+    irregular = {}
+    for logical in np.flatnonzero(~regular):
+        page = int(physical[logical])
+        row = program.schedule_of(page)
+        page_channel[logical] = program.channel_of(page)
+        occurrences = row.occurrences(page)
+        bounds = np.concatenate([occurrences, occurrences[:1] + row.period])
+        srange = np.arange(row.period, dtype=np.int64)
+        irregular[int(logical)] = (
+            1 + bounds[np.searchsorted(occurrences, srange, side="left")]
+            - srange,
+            row.period,
+        )
+
+    for channel in range(num_channels):
+        cost = np.where(page_channel == channel, 0, retune)
+        listen = shifted[:, None] + cost[None, :]
+        wait = cost[None, :] + 1 + np.mod(
+            residue[None, :] - listen - 1, safe_gaps[None, :]
+        )
+        for logical, (by_phase, row_period) in irregular.items():
+            wait[:, logical] = cost[logical] + by_phase[
+                (shifted + cost[logical]) % row_period
+            ]
+        waits[channel, :, :pages] = wait
+        phases[channel, :, :pages] = (
+            page_channel[None, :] * period + (shifted[:, None] + wait) % period
+        ) * width
+        waits[channel, :, pages] = 0
+        phases[channel, :, pages] = (channel * period + shifted) * width
     return waits.ravel(), phases.ravel(), width
 
 
@@ -278,6 +428,23 @@ _KERNEL_CACHE_ENTRIES = 8
 _table_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
 _sampler_cache: "OrderedDict[Tuple, object]" = OrderedDict()
 
+#: Layouts and schedules are immutable after construction, so fleet
+#: runs share them process-wide rather than rebuilding per call — a
+#: multi-channel program's conflict-aware channel assignment costs more
+#: than the kernel run it feeds.  Same bounded-LRU discipline as the
+#: table caches above.
+_build_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+
+
+def _layout_and_schedule(config):
+    """Process-wide memoised ``(layout, schedule)`` for ``config``."""
+
+    def build():
+        layout = config.build_layout()
+        return layout, config.build_schedule(layout)
+
+    return _cached(_build_cache, structural_key(config), build)
+
 
 def _cached(cache: OrderedDict, key: Tuple, build):
     entry = cache.get(key)
@@ -301,7 +468,16 @@ def _run_group_kernel(
     then takes the general columnar path.
     """
     access_range = config.access_range
-    if schedule.period * (access_range + 1) > KERNEL_TABLE_ENTRIES:
+    num_channels = getattr(schedule, "num_channels", 1)
+    if num_channels > 1:
+        states = num_channels * lcm_many(
+            [row.period for row in schedule.channels]
+        )
+        retune = int(getattr(config, "retune_cost", 1.0))
+    else:
+        states = schedule.period
+        retune = 0
+    if states * (access_range + 1) > KERNEL_TABLE_ENTRIES:
         return None
     think = int(config.think_time)
     table_key = (structural_key(config), config.offset, access_range, think)
@@ -310,7 +486,7 @@ def _run_group_kernel(
         physical = (
             config.build_mapping(layout).physical_array()[:access_range]
         )
-        return _phase_tables(schedule, physical, think)
+        return _phase_tables(schedule, physical, think, retune)
 
     try:
         waits, phases, width = _cached(_table_cache, table_key, build_tables)
@@ -374,8 +550,8 @@ def _group_traces(spec, indices, config, total: int) -> np.ndarray:
     pages = np.empty((total, len(indices)), dtype=np.int64)
     distribution = config.build_distribution()
     drift = config.build_drift(total) if config.drift_rotations else None
-    for column, client in enumerate(indices):
-        generator = client_generator(spec.seed, client, "requests")
+    generators = client_generators(spec.seed, indices, "requests")
+    for column, generator in enumerate(generators):
         if drift is not None:
             pages[:, column] = drift.generate_trace(total, generator).pages
         else:
@@ -389,12 +565,13 @@ def _group_physical(spec, indices, config, layout) -> np.ndarray:
         return config.build_mapping(layout).physical_array()[None, :]
     scope = None if config.noise_over_full_database else config.access_range
     physical = np.empty((len(indices), layout.total_pages), dtype=np.int64)
-    for column, client in enumerate(indices):
+    generators = client_generators(spec.seed, indices, "noise")
+    for column, generator in enumerate(generators):
         mapping = LogicalPhysicalMapping(
             layout=layout,
             offset=config.offset,
             noise=config.noise,
-            rng=client_generator(spec.seed, client, "noise"),
+            rng=generator,
             noise_scope=scope,
         )
         physical[column] = mapping.physical_array()
@@ -507,8 +684,11 @@ def run_fleet(
     """Simulate ``spec`` through the batch engine and return its rollup.
 
     Homogeneous segments with a batchable policy run as columnar
-    groups; everything else falls back to per-client ``fast`` plans
-    (the results are identical either way, so mixed fleets stay
+    groups (multi-channel programs included — the engine carries the
+    vectorized tuner); heterogeneous segments with finite-support
+    draws are sub-segmented into homogeneous buckets that run columnar
+    too; everything else falls back to per-client ``fast`` plans (the
+    results are identical either way, so mixed fleets stay
     consistent).  ``kernel`` selects the cache-less fast path:
     ``"auto"`` (default) uses it where eligible and no observability
     hook is enabled, ``"never"`` forces the exact columnar path
@@ -523,49 +703,77 @@ def run_fleet(
     profiling = profile is not None and profile.enabled
     monitoring = monitors is not None and monitors.enabled
     tracing = tracer is not None and tracer.enabled
-    builds = BuildCache()
+    builds = BuildCache()  # per-client plan fallbacks within this run
     client_stats: List[object] = [None] * spec.num_clients
     kernel_blocks: Dict[int, _KernelBlock] = {}
 
+    def run_group(segment, clients, config, *, allow_kernel):
+        """One homogeneous group (or bucket): kernel when allowed, else
+        the exact columnar engine; results land in ``client_stats``."""
+        if profiling:
+            profile.start_phase("build")
+        layout, schedule = _layout_and_schedule(config)
+        block = None
+        if (allow_kernel and kernel == "auto" and not profiling
+                and not monitoring and not tracing
+                and _kernel_eligible(config)):
+            block = _run_group_kernel(
+                spec, clients, config, schedule, layout
+            )
+        if block is None:
+            stats = _run_group_columnar(
+                spec, segment, clients, config, schedule, layout,
+                tracer=tracer, profile=profile, monitors=monitors,
+            )
+            for client, per_client in zip(clients, stats):
+                client_stats[client] = per_client
+        if profiling:
+            profile.stop_phase("build")
+        return block
+
+    def run_scalar(segment, clients):
+        """The scalar per-client path.  ``fast`` rather than
+        ``spec.engine`` — a single-client batch run is byte-identical
+        to fast, only slower."""
+        for client in clients:
+            plan = RunPlan(
+                config=client_config(spec, segment, client),
+                engine="fast",
+                collect_responses=False,
+                index=client,
+            )
+            client_stats[client] = execute_plan(
+                plan, tracer=tracer, builds=builds,
+                profile=profile, monitors=monitors,
+            )
+
     for position, (segment, indices) in enumerate(spec.segment_ranges()):
         config = _group_config(spec, segment)
-        if (config is not None and batchable_policy_name(config.policy)
-                and getattr(config, "channels", 1) == 1):
-            if profiling:
-                profile.start_phase("build")
-            layout, schedule = builds.layout_and_schedule(config)
-            block = None
-            if (kernel == "auto" and not profiling and not monitoring
-                    and not tracing and _kernel_eligible(config)):
-                block = _run_group_kernel(
-                    spec, indices, config, schedule, layout
-                )
+        if config is not None and batchable_policy_name(config.policy):
+            block = run_group(segment, indices, config, allow_kernel=True)
             if block is not None:
                 kernel_blocks[position] = block
-            else:
-                stats = _run_group_columnar(
-                    spec, segment, indices, config, schedule, layout,
-                    tracer=tracer, profile=profile, monitors=monitors,
-                )
-                for client, per_client in zip(indices, stats):
-                    client_stats[client] = per_client
-            if profiling:
-                profile.stop_phase("build")
-        else:
-            # Heterogeneous or unbatchable: the scalar per-client path.
-            # ``fast`` rather than ``spec.engine`` — a single-client
-            # batch run is byte-identical to fast, only slower.
-            for client in indices:
-                plan = RunPlan(
-                    config=client_config(spec, segment, client),
-                    engine="fast",
-                    collect_responses=False,
-                    index=client,
-                )
-                client_stats[client] = execute_plan(
-                    plan, tracer=tracer, builds=builds,
-                    profile=profile, monitors=monitors,
-                )
+            continue
+        buckets = None if config is not None else _sub_segments(
+            spec, segment, indices
+        )
+        if buckets is not None:
+            # Sub-segmented heterogeneous fleet: every bucket is
+            # homogeneous by construction and always takes the *exact*
+            # columnar path (never the kernel), so results stay
+            # byte-identical to the per-client plan path.
+            for bucket_config, bucket_clients in buckets:
+                if batchable_policy_name(bucket_config.policy):
+                    run_group(
+                        segment, bucket_clients, bucket_config,
+                        allow_kernel=False,
+                    )
+                else:
+                    run_scalar(segment, bucket_clients)
+            continue
+        # Continuous draws or an unbatchable shared policy: the scalar
+        # per-client path.
+        run_scalar(segment, indices)
 
     if profiling:
         profile.start_phase("aggregate")

@@ -17,7 +17,7 @@ unmanaged randomness.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Iterable, Iterator, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ __all__ = [
     "stream_entropy",
     "seeded_generator",
     "client_generator",
+    "client_generators",
     "group_generator",
 ]
 
@@ -60,6 +61,21 @@ def client_generator(root_seed: int, index: int, name: str) -> np.random.Generat
     """
 
     return seeded_generator(derive_seed(root_seed, index), name)
+
+
+def client_generators(
+    root_seed: int, indices: Iterable[int], name: str
+) -> Iterator[np.random.Generator]:
+    """One :func:`client_generator` per index, in order.
+
+    ``indices`` may be any index sequence — a contiguous ``range`` for
+    a homogeneous segment or the scattered index list of a
+    sub-segmented bucket; each client's stream depends only on its own
+    global index, never on its neighbours in the batch.
+    """
+
+    for index in indices:
+        yield client_generator(root_seed, index, name)
 
 
 def group_generator(root_seed: int, start_index: int, name: str) -> np.random.Generator:

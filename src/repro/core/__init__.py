@@ -40,11 +40,7 @@ from repro.core.disks import DiskLayout
 from repro.core.programs import (
     EMPTY_SLOT,
     ProgramSpec,
-    clustered_skewed_program,
-    flat_program,
-    multidisk_program,
     paper_example_programs,
-    random_allocation_program,
 )
 from repro.core.schedule import BroadcastProgram, BroadcastSchedule
 from repro.core.validate import ValidationReport, validate_program
@@ -61,16 +57,12 @@ __all__ = [
     "build_program",
     "bus_stop_penalty",
     "channel_schedule",
-    "clustered_skewed_program",
     "expected_delay",
     "flat_expected_delay",
-    "flat_program",
     "lcm_many",
     "multidisk_expected_delay",
-    "multidisk_program",
     "paper_example_programs",
     "per_page_expected_delay",
-    "random_allocation_program",
     "sqrt_rule_lower_bound",
     "sqrt_rule_shares",
     "ValidationReport",

@@ -62,7 +62,8 @@ def multidisk_expected_delay(
     Every page on disk ``i`` has fixed inter-arrival
     ``period / rel_freq(i)`` (with ``period`` including chunk padding), so
     its expected delay is half that.  Matches
-    ``multidisk_program(layout).expected_delay_under(probabilities)``
+    ``ProgramSpec(...).build()`` followed by
+    ``schedule.expected_delay_under(probabilities)``
     exactly — a property the test suite checks — while being O(num_disks)
     instead of O(period).
     """

@@ -18,14 +18,13 @@ This module covers the program families the paper compares:
 
 All construction goes through the keyword-only :class:`ProgramSpec`
 declarative builder.  The 1.1-era free functions (``multidisk_program``
-and friends) remain as one-release deprecation shims that forward to the
-same internals and emit a :class:`DeprecationWarning` attributed to the
-caller's file and line.
+and friends) went through a one-release deprecation cycle in 1.2 and
+were removed in 1.3; the underscore-prefixed internals remain for the
+package's own call sites.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -39,11 +38,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "EMPTY_SLOT",
     "ProgramSpec",
-    "clustered_skewed_program",
-    "flat_program",
-    "multidisk_program",
     "paper_example_programs",
-    "random_allocation_program",
 ]
 
 #: Program families :class:`ProgramSpec` can build.
@@ -307,67 +302,3 @@ def paper_example_programs() -> Dict[str, BroadcastSchedule]:
     return {"flat": flat, "skewed": skewed, "multidisk": multidisk}
 
 
-# ---------------------------------------------------------------------------
-# One-release deprecation shims (1.2 -> 1.3) for the 1.1 free functions.
-# ---------------------------------------------------------------------------
-def _warn_deprecated(name: str, replacement: str) -> None:
-    # stacklevel 3: this helper (1) -> the shim (2) -> the caller (3), so
-    # the warning carries the caller's own file and line.
-    warnings.warn(
-        f"{name}() is deprecated and will be removed in the next release; "
-        f"use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def multidisk_program(
-    layout: DiskLayout, label: str = ""
-) -> BroadcastSchedule:
-    """Deprecated shim for ``ProgramSpec(sizes=..., ...).build()``."""
-    _warn_deprecated("multidisk_program", "ProgramSpec(...).build()")
-    return _multidisk_program(layout, label=label)
-
-
-def flat_program(num_pages: int, label: str = "flat") -> BroadcastSchedule:
-    """Deprecated shim for ``ProgramSpec(sizes=(n,), kind='flat').build()``."""
-    _warn_deprecated("flat_program", "ProgramSpec(kind='flat').build()")
-    return _flat_program(num_pages, label=label)
-
-
-def clustered_skewed_program(
-    copies: Mapping[int, int], label: str = "skewed"
-) -> BroadcastSchedule:
-    """Deprecated shim for ``ProgramSpec(..., kind='skewed').build()``."""
-    _warn_deprecated(
-        "clustered_skewed_program", "ProgramSpec(kind='skewed').build()"
-    )
-    return _clustered_skewed_program(copies, label=label)
-
-
-def random_allocation_program(
-    shares: Mapping[int, float],
-    length: int,
-    rng: np.random.Generator,
-    label: str = "random",
-) -> BroadcastSchedule:
-    """Deprecated shim for ``ProgramSpec(..., kind='random').build()``."""
-    _warn_deprecated(
-        "random_allocation_program", "ProgramSpec(kind='random').build()"
-    )
-    return _random_allocation_program(shares, length, rng, label=label)
-
-
-def schedule_for(
-    layout: DiskLayout,
-    *,
-    label: str = "",
-    rng: Optional[np.random.Generator] = None,
-    kind: str = "multidisk",
-    random_length: Optional[int] = None,
-) -> BroadcastSchedule:
-    """Deprecated shim for ``ProgramSpec(..., kind=...).build()``."""
-    _warn_deprecated("schedule_for", "ProgramSpec(kind=...).build()")
-    return _schedule_of_kind(
-        layout, label=label, rng=rng, kind=kind, random_length=random_length
-    )

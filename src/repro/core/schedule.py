@@ -590,6 +590,8 @@ class BroadcastProgram:
                 channel_of[page] = index
         self._channels = rows
         self._channel_of = channel_of
+        self._channel_array: Optional[np.ndarray] = None
+        self._regular_timing: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self.label = label or f"program[{'x'.join(r.label or '?' for r in rows)}]"
 
     # -- structure -----------------------------------------------------------
@@ -660,6 +662,25 @@ class BroadcastProgram:
         """A fresh ``page -> channel`` dict (for tuner hot loops)."""
         return dict(self._channel_of)
 
+    def channel_array(self) -> np.ndarray:
+        """Dense ``page -> channel`` int64 lookup for vectorized tuners.
+
+        Index ``p`` holds the channel carrying physical page ``p``;
+        pages absent from the program map to channel 0 (the scalar
+        tuner raises on them, but a columnar engine only ever queries
+        carried pages, so the filler is never observed).  Built once and
+        cached read-only.
+        """
+        cached = self._channel_array
+        if cached is None:
+            size = max(self._channel_of) + 1
+            cached = np.zeros(size, dtype=np.int64)
+            for page, channel in self._channel_of.items():
+                cached[page] = channel
+            cached.flags.writeable = False
+            self._channel_array = cached
+        return cached
+
     def __contains__(self, page: int) -> bool:
         return page in self._channel_of
 
@@ -700,6 +721,74 @@ class BroadcastProgram:
 
     def expected_delay(self, page: int) -> float:
         return self.schedule_of(page).expected_delay(page)
+
+    # -- batched timing ------------------------------------------------------
+    def regular_timing(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-page ``(residue, gap)`` arrays over the whole C-row grid.
+
+        The rows partition the pages, so the per-row
+        :meth:`BroadcastSchedule.regular_timing` arrays merge into one
+        dense pair indexed by physical page — identical in shape and
+        meaning to the single-schedule form.  Each entry is the owning
+        row's :meth:`fixed_gap` pair; a gap of ``0`` marks irregular
+        (or absent) pages that must take a scalar tier.  Residues are
+        defined modulo their own gap, so the closed form needs no
+        common period across rows.
+        """
+        cached = self._regular_timing
+        if cached is None:
+            size = max(self._channel_of) + 1
+            residue = np.zeros(size, dtype=np.int64)
+            gap = np.zeros(size, dtype=np.int64)
+            for page, channel in self._channel_of.items():
+                entry = self._channels[channel].fixed_gap(page)
+                if entry is not None:
+                    residue[page], gap[page] = entry
+            residue.flags.writeable = False
+            gap.flags.writeable = False
+            cached = (residue, gap)
+            self._regular_timing = cached
+        return cached
+
+    def next_arrival_batch(
+        self, pages: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`next_arrival` over parallel arrays.
+
+        Same contract as
+        :meth:`BroadcastSchedule.next_arrival_batch`, over the merged
+        C-row timing grid: fixed-gap pages (every page of a §2.2
+        per-channel row) are answered in one closed-form expression and
+        irregular pages fall back to scalar :meth:`next_arrival` on
+        their owning row.  Tier counters, when enabled, attribute the
+        vectorized elements to each row's ``closed_form`` tier by
+        channel; the scalar fallback counts its own dispatches.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        residue, gap = self.regular_timing()
+        size = len(gap)
+        clipped = np.clip(pages, 0, size - 1)
+        gaps = gap.take(clipped)
+        regular = (pages == clipped) & (pages >= 0) & (gaps > 0)
+        base = np.floor(times).astype(np.int64) + 1
+        safe_gaps = np.where(regular, gaps, 1)
+        arrivals = (
+            base + (residue.take(clipped) - base) % safe_gaps
+        ).astype(np.float64)
+        if not regular.all():
+            for index in np.nonzero(~regular)[0]:
+                arrivals[index] = self.next_arrival(
+                    int(pages[index]), float(times[index])
+                )
+        if any(row._tier_queries is not None for row in self._channels):
+            channels = self.channel_array().take(clipped[regular])
+            counts = np.bincount(channels, minlength=self.num_channels)
+            for index, row in enumerate(self._channels):
+                queries = row._tier_queries
+                if queries is not None:
+                    queries["closed_form"] += int(counts[index])
+        return arrivals
 
     # -- observability -------------------------------------------------------
     def enable_timing_counters(self) -> None:

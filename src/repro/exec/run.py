@@ -123,7 +123,17 @@ def execute_plan(
     streams = config.build_streams()
     mapping = config.build_mapping(layout, streams)
     distribution = config.build_distribution()
-    cache = config.build_policy(schedule, mapping, distribution, layout)
+    # Imported lazily: ``repro.batch`` itself imports this module.
+    from repro.batch.engine import batchable_policy_name
+
+    if plan.engine == "batch" and batchable_policy_name(config.policy):
+        # The columnar engine carries its own array-state policy; a
+        # scalar cache built here would never see a request.  Pass
+        # ``None`` and let ``_run_plan_batch`` rebuild one only if it
+        # actually falls back to the scalar path.
+        cache = None
+    else:
+        cache = config.build_policy(schedule, mapping, distribution, layout)
 
     if profiling:
         schedule.enable_timing_counters()
@@ -144,7 +154,7 @@ def execute_plan(
             effective_tracer = Tracer(monitors)
 
     tracing = effective_tracer is not None and effective_tracer.enabled
-    if tracing:
+    if tracing and cache is not None:
         cache = TracedCache(cache, effective_tracer)
 
     allowance = _warmup_trace_allowance(config)

@@ -209,21 +209,28 @@ def _run_plan_batch(plan, *, config, schedule, mapping, layout, cache,
                     retune_cost=1.0):
     """Drive the columnar batch engine for a single plan (N == 1).
 
-    Policies without a columnar formulation — and multi-channel
-    programs, which the columnar kernels do not model — fall back to
-    ``fast``; the single-client batch loop is byte-identical to it
-    anyway, so the choice never changes results, only the execution
-    strategy.  The pre-built ``cache`` is intentionally unused on the
-    columnar path: the batch engine carries its own array-state policy.
+    Policies without a columnar formulation fall back to ``fast``; the
+    single-client batch loop is byte-identical to it anyway (the
+    vectorized tuner covers C-row programs too), so the choice never
+    changes results, only the execution strategy.  The plan executor
+    passes ``cache=None`` when it can predict the columnar path — the
+    batch engine carries its own array-state policy — so the fallback
+    rebuilds the scalar cache on demand.
     """
     from repro.batch.engine import build_columnar_engine
 
-    engine = None
-    if channels == 1:
-        engine = build_columnar_engine(
-            config, schedule, layout, mapping.physical_array()[None, :], 1
-        )
+    engine = build_columnar_engine(
+        config, schedule, layout, mapping.physical_array()[None, :], 1
+    )
     if engine is None:
+        if cache is None:
+            from repro.cache.base import TracedCache
+
+            cache = config.build_policy(
+                schedule, mapping, config.build_distribution(), layout
+            )
+            if tracer is not None and tracer.enabled:
+                cache = TracedCache(cache, tracer)
         return _run_plan_fast(
             plan, config=config, schedule=schedule, mapping=mapping,
             layout=layout, cache=cache, trace=trace, tracer=tracer,

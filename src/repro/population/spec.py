@@ -279,19 +279,20 @@ class PopulationSpec:
         return spec_to_dict(self)
 
 
-def client_config(
+def client_overrides(
     spec: PopulationSpec, segment: SegmentSpec, index: int
-) -> ExperimentConfig:
-    """The frozen config of global client ``index`` in ``segment``.
+) -> Dict[str, object]:
+    """The sampled field overrides of global client ``index``.
 
-    Pure function of ``(spec.seed, index, segment distributions, base)``:
-    the per-client seed is :func:`~repro.exec.plan.derive_seed` of the
-    population seed and the client's global index, and the parameter
-    draws come from that seed's own ``"population"`` stream, consumed
-    in :data:`SEGMENT_FIELDS` order (skipping undistributed fields).
+    The draw protocol behind :func:`client_config`, exposed on its own
+    so the batch fleet can bucket clients by their sampled identity
+    (sub-segmentation) without constructing a config per client: draws
+    come from the ``"population"`` stream rooted at the client's
+    :func:`~repro.exec.plan.derive_seed` seed, consumed in
+    :data:`SEGMENT_FIELDS` order (skipping undistributed fields), and
+    coerced exactly as the config would coerce them.
     """
-    seed = derive_seed(spec.seed, index)
-    rng = RandomStreams(seed).stream("population")
+    rng = RandomStreams(derive_seed(spec.seed, index)).stream("population")
     overrides: Dict[str, object] = {}
     for field_name in SEGMENT_FIELDS:
         distribution = getattr(segment, field_name)
@@ -303,10 +304,24 @@ def client_config(
         elif field_name != "policy":
             value = float(value)
         overrides[field_name] = value
+    return overrides
+
+
+def client_config(
+    spec: PopulationSpec, segment: SegmentSpec, index: int
+) -> ExperimentConfig:
+    """The frozen config of global client ``index`` in ``segment``.
+
+    Pure function of ``(spec.seed, index, segment distributions, base)``:
+    the per-client seed is :func:`~repro.exec.plan.derive_seed` of the
+    population seed and the client's global index, and the parameter
+    draws come from that seed's own ``"population"`` stream via
+    :func:`client_overrides`.
+    """
     return spec.base.with_(
-        seed=seed,
+        seed=derive_seed(spec.seed, index),
         label=f"{spec.name}/{segment.name}/client{index}",
-        **overrides,
+        **client_overrides(spec, segment, index),
     )
 
 

@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.experiments.config import ExperimentConfig
 from repro.workload.zipf import ZipfRegionDistribution
 

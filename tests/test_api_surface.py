@@ -57,9 +57,7 @@ EXPECTED_ALL = [
     "__version__",
     "available_policies",
     "engine_names",
-    "flat_program",
     "make_policy",
-    "multidisk_program",
     "register_engine",
     "run_clients",
     "run_experiment",
@@ -96,7 +94,7 @@ class TestExportSnapshot:
             assert getattr(repro, name) is not None
 
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
 
 class TestKeywordOnlyContract:
@@ -199,7 +197,7 @@ class TestDeprecationShim:
 
 
 class TestProgramSpecSurface:
-    """The 1.2 consolidation: one declarative builder, shimmed functions."""
+    """The 1.2 consolidation: one declarative builder (shims removed in 1.3)."""
 
     def test_spec_is_keyword_only(self):
         signature = inspect.signature(repro.ProgramSpec)
@@ -227,34 +225,23 @@ class TestProgramSpecSurface:
         with pytest.raises(ConfigurationError, match="multidisk"):
             repro.ProgramSpec(sizes=(8,), kind="flat", channels=2)
 
-    @pytest.mark.parametrize("shim,args", [
-        ("multidisk_program", None),
-        ("flat_program", (8,)),
-    ])
-    def test_shims_warn_and_name_replacement(self, shim, args):
+    def test_deprecated_free_functions_removed(self):
+        # The 1.2 one-release shims are gone in 1.3: only the
+        # underscore internals remain, off the public surface.
         from repro.core import programs
 
-        if args is None:
-            args = (repro.DiskLayout.from_delta((2, 4), 1),)
-        with pytest.warns(DeprecationWarning, match="ProgramSpec"):
-            schedule = getattr(programs, shim)(*args)
-        assert isinstance(schedule, repro.BroadcastSchedule)
+        for shim in ("multidisk_program", "flat_program",
+                     "clustered_skewed_program",
+                     "random_allocation_program", "schedule_for"):
+            assert not hasattr(programs, shim), shim
+            assert not hasattr(repro, shim), shim
 
-    def test_shim_warning_attributed_to_caller(self):
-        # The small fix: stacklevel reaches through the shared warning
-        # helper, so the warning carries this file and the call line.
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always", DeprecationWarning)
-            repro.flat_program(4)
-        assert len(caught) == 1
-        assert caught[0].filename == __file__
+    def test_internal_builder_matches_spec_output(self):
+        from repro.core.programs import _multidisk_program
 
-    def test_shim_matches_spec_output(self):
         layout = repro.DiskLayout.from_delta((2, 4, 8), 3)
-        with pytest.warns(DeprecationWarning):
-            legacy = repro.multidisk_program(layout)
         _, modern = repro.ProgramSpec(sizes=(2, 4, 8), delta=3).build()
-        assert legacy.slots == modern.slots
+        assert _multidisk_program(layout).slots == modern.slots
 
 
 class TestChannelOptionsSurface:

@@ -174,6 +174,72 @@ class TestFleetExactness:
         assert kept.results is not None and len(kept.results) == 4
         assert snapshot(kept) == snapshot(run_population(spec))
 
+    def test_multichannel_fleet_matches_per_client_fold(self):
+        from repro.batch.fleet import run_fleet
+
+        spec = PopulationSpec(
+            name="tuned-fleet",
+            base=config(num_requests=200, channels=4),
+            seed=23,
+            segments=(SegmentSpec("uniform", 6),),
+        )
+        fleet = run_fleet(spec, kernel="never")
+        assert snapshot(fleet) == snapshot(run_population(spec))
+
+    def test_finite_support_segments_avoid_plan_fallback(self, monkeypatch):
+        # Choice/UniformInt segments sub-segment into homogeneous buckets
+        # that all ride the columnar engine: the per-client plan fallback
+        # must never fire, and the fold must stay byte-identical.
+        from repro.batch import fleet as fleet_module
+
+        calls = []
+        original = fleet_module.execute_plan
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(fleet_module, "execute_plan", counting)
+        spec = PopulationSpec(
+            name="subseg-fleet",
+            base=config(num_requests=200, channels=2),
+            seed=31,
+            segments=(
+                SegmentSpec("varied", 5,
+                            cache_size=UniformInt(5, 30),
+                            policy=Choice(("LRU", "LIX", "P"))),
+            ),
+        )
+        result = fleet_module.run_fleet(spec, kernel="never")
+        assert calls == []
+        assert snapshot(result) == snapshot(run_population(spec))
+
+    def test_continuous_segments_still_take_plan_fallback(self, monkeypatch):
+        # Uniform has continuous support — no finite bucketing exists, so
+        # those clients must run through per-client plans.
+        from repro.batch import fleet as fleet_module
+
+        calls = []
+        original = fleet_module.execute_plan
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(fleet_module, "execute_plan", counting)
+        spec = PopulationSpec(
+            name="drift-fleet",
+            base=config(num_requests=200),
+            seed=37,
+            segments=(
+                SegmentSpec("drifting", 3,
+                            drift_rotations=Uniform(0.5, 1.5)),
+            ),
+        )
+        result = fleet_module.run_fleet(spec, kernel="never")
+        assert len(calls) == 3
+        assert snapshot(result) == snapshot(run_population(spec))
+
 
 # ---------------------------------------------------------------------------
 # Regime 2: the phase-table kernel, statistically
@@ -216,6 +282,25 @@ class TestKernelStatistical:
                                               "drift_rotations": 1.0}))
         assert not _kernel_eligible(config(**{**self.KERNEL,
                                               "warmup_requests": 10}))
+        # Multi-channel programs fold the retune penalty into integer
+        # phase tables, so fractional costs disqualify the kernel.
+        assert _kernel_eligible(config(**{**self.KERNEL, "channels": 4}))
+        assert not _kernel_eligible(config(**{**self.KERNEL, "channels": 4,
+                                              "retune_cost": 1.5}))
+
+    def test_kernel_matches_columnar_multichannel(self):
+        from repro.batch.fleet import run_fleet
+
+        spec = homogeneous_spec(200, channels=4, **self.KERNEL)
+        auto = run_fleet(spec, kernel="auto")
+        exact = run_fleet(spec, kernel="never")
+        stats_a, stats_e = auto.overall.response_means, \
+            exact.overall.response_means
+        tolerance = 6.0 * math.sqrt(
+            stats_a.stderr ** 2 + stats_e.stderr ** 2
+        )
+        assert abs(stats_a.mean - stats_e.mean) < tolerance
+        assert abs(auto.overall.hit_rate - exact.overall.hit_rate) < 0.01
 
     def test_invalid_kernel_mode_rejected(self):
         from repro.batch.fleet import run_fleet

@@ -4,7 +4,7 @@ import pytest
 
 from repro.client.prefetch import PrefetchEngine, pt_value
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment

@@ -15,7 +15,7 @@ from repro.core.analysis import (
     table1_rows,
 )
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program, paper_example_programs
+from repro.core.programs import _multidisk_program as multidisk_program, paper_example_programs
 from repro.core.schedule import BroadcastSchedule
 from repro.errors import ConfigurationError
 

@@ -6,12 +6,12 @@ import pytest
 from repro.core.chunks import EMPTY_SLOT
 from repro.core.disks import DiskLayout
 from repro.core.programs import (
-    clustered_skewed_program,
-    flat_program,
-    multidisk_program,
+    _clustered_skewed_program as clustered_skewed_program,
+    _flat_program as flat_program,
+    _multidisk_program as multidisk_program,
     paper_example_programs,
-    random_allocation_program,
-    schedule_for,
+    _random_allocation_program as random_allocation_program,
+    _schedule_of_kind as schedule_for,
 )
 from repro.errors import ConfigurationError
 

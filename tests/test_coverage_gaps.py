@@ -9,7 +9,7 @@ from repro.index.onem import build_one_m_broadcast
 from repro.index.tree import DispatchTree
 from repro.index.integrate import index_schedule
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.server.channel import BroadcastChannel
 from repro.sim.kernel import Simulator, all_processed
 from repro.sim.resources import Resource

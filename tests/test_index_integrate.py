@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.disks import DiskLayout
-from repro.core.programs import flat_program, multidisk_program
+from repro.core.programs import _flat_program as flat_program, _multidisk_program as multidisk_program
 from repro.errors import ConfigurationError
 from repro.index.client import TuningClient
 from repro.index.integrate import index_schedule

@@ -10,7 +10,7 @@ import pytest
 from repro.cache.base import PolicyContext
 from repro.cache.lru import LRUPolicy
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.experiments.simengine import ClientSpec, ProcessEngine, run_clients
 from repro.errors import SimulationError
 from repro.workload.mapping import LogicalPhysicalMapping

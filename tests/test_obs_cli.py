@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.experiments.runner import run_experiment
 from repro.obs.cli import (
     EXIT_OK,

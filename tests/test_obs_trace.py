@@ -141,7 +141,7 @@ class TestScheduleTracing:
 class TestChannelAndClientHooks:
     def _run_process(self, tracer, observe_all=False):
         from repro.core.disks import DiskLayout
-        from repro.core.programs import multidisk_program
+        from repro.core.programs import _multidisk_program as multidisk_program
 
         layout = DiskLayout((2, 4, 8), (4, 2, 1))
         schedule = multidisk_program(layout)

@@ -177,3 +177,127 @@ class TestBatchedSentinels:
         victims = batched.admit(np.array([17]), now, np.array([True]))
         assert victims[0] == 17  # declined: the page itself comes back
         assert 17 not in batched.slots[0]
+
+
+# ---------------------------------------------------------------------------
+# The vectorized single-frequency tuner == the scalar fast tuner
+# ---------------------------------------------------------------------------
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs.trace import MemorySink, Tracer
+from repro.population import (
+    Choice,
+    PopulationSpec,
+    SegmentSpec,
+    UniformInt,
+    run_population,
+)
+from repro.population.run import fold_results  # noqa: F401  (import guard)
+
+
+def _channel_config(channels, policy, cache_size, retune_cost, think_time,
+                    seed):
+    return ExperimentConfig(
+        disk_sizes=(20, 60, 80),
+        delta=2,
+        cache_size=cache_size,
+        policy=policy,
+        access_range=60,
+        region_size=6,
+        num_requests=120,
+        think_time=think_time,
+        seed=seed,
+        channels=channels,
+        retune_cost=retune_cost,
+    )
+
+
+class TestMultiChannelTunerEquivalence:
+    """Batched tuner decisions == scalar ``_run_trace_multichannel``.
+
+    Trace-stream equality pins the retune *instants* and the
+    from/to channel fields; sample equality pins the retune *costs*
+    (waits include the switch penalty); the ``retunes`` counter pins
+    the measured-phase accounting.
+    """
+
+    @given(
+        st.sampled_from((1, 2, 4)),
+        st.sampled_from(("LRU", "LIX", "L", "P", "PIX")),
+        st.integers(min_value=1, max_value=16),
+        st.sampled_from((0.0, 1.0, 2.5)),
+        st.sampled_from((0.0, 1.0, 2.5)),
+        st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_equals_fast_per_client(self, channels, policy,
+                                          cache_size, retune_cost,
+                                          think_time, seed):
+        config = _channel_config(
+            channels, policy, cache_size, retune_cost, think_time, seed
+        )
+        streams = {}
+        results = {}
+        for engine in ("fast", "batch"):
+            sink = MemorySink()
+            results[engine] = run_experiment(
+                config, engine=engine, collect_responses=True,
+                tracer=Tracer(sink),
+            )
+            streams[engine] = [
+                (r.time, r.kind, r.fields) for r in sink.records
+            ]
+        fast, batch = results["fast"], results["batch"]
+        assert batch.samples == fast.samples
+        assert batch.mean_response_time == fast.mean_response_time
+        assert batch.hit_rate == fast.hit_rate
+        assert batch.retunes == fast.retunes
+        assert streams["batch"] == streams["fast"]
+        if channels > 1:
+            retune_records = [
+                r for r in streams["batch"] if r[1] == "client.retune"
+            ]
+            assert batch.retunes <= sum(
+                1 for r in streams["batch"] if r[1] == "client.retune"
+            )
+            for _, _, fields in retune_records:
+                assert fields["from_channel"] != fields["to_channel"]
+
+
+# ---------------------------------------------------------------------------
+# Sub-segmented heterogeneous fleets == the per-client plan path
+# ---------------------------------------------------------------------------
+
+class TestSubSegmentationIdentity:
+    @given(
+        st.sampled_from((1, 2)),
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fleet_matches_population(self, channels, clients, seed):
+        from repro.batch.fleet import run_fleet
+
+        spec = PopulationSpec(
+            name="prop-subseg",
+            base=_channel_config(channels, "LIX", 8, 1.0, 1.0, 3),
+            seed=seed,
+            engine="batch",
+            segments=(
+                SegmentSpec(
+                    "varied", clients,
+                    cache_size=UniformInt(2, 10),
+                    policy=Choice(("LRU", "LIX")),
+                ),
+            ),
+        )
+        fleet = run_fleet(spec, kernel="never")
+        population = run_population(spec)
+
+        def strip(document):
+            document.pop("total_wall_seconds")
+            return document
+
+        assert strip(fleet.overall.snapshot()) == \
+            strip(population.overall.snapshot())

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.cache.base import PolicyContext
 from repro.cache.registry import make_policy
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.experiments.engine import FastEngine
 from repro.workload.mapping import LogicalPhysicalMapping
 from repro.workload.trace import RequestTrace

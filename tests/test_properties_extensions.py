@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.client.prefetch import PrefetchEngine
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.query.engine import fetch_opportunistic, fetch_sequential
 from repro.updates.engine import VolatileEngine
 from repro.updates.process import PeriodicUpdateModel

@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 from repro.core.analysis import multidisk_expected_delay
 from repro.core.chunks import EMPTY_SLOT, ChunkPlan
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.core.schedule import BroadcastSchedule
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.cache.base import PolicyContext
 from repro.cache.lru import LRUPolicy
 from repro.core.disks import DiskLayout
-from repro.core.programs import flat_program, multidisk_program
+from repro.core.programs import _flat_program as flat_program, _multidisk_program as multidisk_program
 from repro.errors import ConfigurationError
 from repro.query.analysis import (
     opportunistic_expected_makespan_flat,

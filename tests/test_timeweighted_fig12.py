@@ -5,7 +5,7 @@ import pytest
 from repro.cache.base import PolicyContext
 from repro.cache.lix import LIXPolicy
 from repro.hybrid.channel import HybridChannel, HybridServer
-from repro.core.programs import flat_program
+from repro.core.programs import _flat_program as flat_program
 from repro.sim.kernel import Simulator
 from repro.sim.stats import TimeWeightedStat
 

@@ -4,9 +4,9 @@ import pytest
 
 from repro.core.disks import DiskLayout
 from repro.core.programs import (
-    clustered_skewed_program,
-    flat_program,
-    multidisk_program,
+    _clustered_skewed_program as clustered_skewed_program,
+    _flat_program as flat_program,
+    _multidisk_program as multidisk_program,
 )
 from repro.core.schedule import BroadcastSchedule
 from repro.core.validate import validate_program

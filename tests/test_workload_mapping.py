@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.disks import DiskLayout
-from repro.core.programs import multidisk_program
+from repro.core.programs import _multidisk_program as multidisk_program
 from repro.errors import ConfigurationError
 from repro.workload.mapping import LogicalPhysicalMapping
 
